@@ -1,0 +1,186 @@
+"""Ablation benchmarks for the design choices the paper discusses.
+
+* A1 (section III-A): implementing the shift buffer in URAM raises the
+  initiation interval to 2, halving throughput — "we considered it
+  unacceptable".
+* A2 (section III): chunk widths of ~8 or below degrade external memory
+  efficiency; above that the impact is negligible.
+* A3 (section IV): the overlap of transfer and compute is decisive for
+  end-to-end performance on every accelerator.
+* A4 (implicit): FIFO depth must absorb the column-top double emission;
+  the minimum legal depth already sustains II=1.
+"""
+
+import pytest
+
+from repro.core.flops import grid_flops
+from repro.core.grid import Grid
+from repro.experiments.common import paper_grid, standard_config
+from repro.hardware import ALVEO_U280
+from repro.hardware.memory import StreamingMemoryModel
+from repro.kernel.config import KernelConfig
+from repro.kernel.cycle_model import KernelCycleModel
+from repro.runtime.session import AdvectionSession
+
+
+def test_a1_uram_ii2_halves_throughput(benchmark, save_result):
+    grid = paper_grid("16M")
+
+    def run():
+        bram = KernelCycleModel(KernelConfig(grid=grid, shift_buffer_ii=1))
+        uram = KernelCycleModel(KernelConfig(grid=grid, shift_buffer_ii=2))
+        return bram.cycles(), uram.cycles()
+
+    bram_cycles, uram_cycles = benchmark(run)
+    ratio = uram_cycles / bram_cycles
+    assert ratio == pytest.approx(2.0, rel=0.02)
+    save_result("ablation_a1_uram", f"BRAM II=1 cycles: {bram_cycles}\n"
+                f"URAM II=2 cycles: {uram_cycles}\nslowdown: {ratio:.3f}x")
+    benchmark.extra_info["uram_slowdown"] = round(ratio, 3)
+
+
+def test_a2_chunk_size_memory_efficiency(benchmark, save_result):
+    """Burst efficiency vs chunk width: the paper's <=8 threshold."""
+    nz = 64
+
+    def run():
+        return {
+            width: StreamingMemoryModel.burst_efficiency(
+                StreamingMemoryModel.chunk_burst_bytes(width, nz))
+            for width in (1, 2, 4, 8, 16, 32, 64, 128)
+        }
+
+    table = benchmark(run)
+    lines = [f"chunk={w:4d}  burst_eff={e:.3f}" for w, e in table.items()]
+    save_result("ablation_a2_chunk", "\n".join(lines))
+    assert table[64] > 0.98      # negligible impact at sane widths
+    assert table[8] < 0.95       # paper's threshold where impact appears
+    assert table[1] < 0.55       # catastrophic at degenerate widths
+    assert list(table.values()) == sorted(table.values())
+
+
+def test_a2b_chunk_size_total_cycles(benchmark):
+    """Narrow chunks also amplify reads (halo overlap) and pipeline fills."""
+    grid = Grid(nx=64, ny=256, nz=64)
+
+    def run():
+        return {
+            width: KernelCycleModel(
+                KernelConfig(grid=grid, chunk_width=width)).cycles()
+            for width in (2, 8, 32, 128)
+        }
+
+    cycles = benchmark(run)
+    assert cycles[2] > cycles[8] > cycles[32] > cycles[128]
+    # The jump from 128 to 8 is mild; from 8 to 2 it balloons.
+    assert cycles[8] / cycles[128] < 1.3
+    assert cycles[2] / cycles[8] > 1.3
+
+
+def test_a3_overlap_benefit(benchmark, save_result):
+    grid = paper_grid("16M")
+    config = standard_config()
+    session = AdvectionSession(ALVEO_U280, config)
+
+    def run():
+        seq = session.run(grid, overlapped=False)
+        ovl = session.run(grid, overlapped=True)
+        return seq, ovl
+
+    seq, ovl = benchmark(run)
+    speedup = ovl.gflops / seq.gflops
+    save_result("ablation_a3_overlap",
+                f"sequential: {seq.gflops:.2f} GFLOPS\n"
+                f"overlapped: {ovl.gflops:.2f} GFLOPS\n"
+                f"speedup: {speedup:.2f}x")
+    assert speedup > 3.0
+    benchmark.extra_info["overlap_speedup"] = round(speedup, 2)
+
+
+def test_a4_min_stream_depth_sustains_ii1(benchmark):
+    """Stream depth 2 (the minimum that absorbs column-top double
+    emissions) already sustains full throughput in the cycle simulator."""
+    from repro.core.wind import random_wind
+    from repro.kernel.simulate import simulate_kernel
+
+    grid = Grid(nx=4, ny=4, nz=8)
+    fields = random_wind(grid, seed=0)
+
+    def run():
+        shallow = simulate_kernel(
+            KernelConfig(grid=grid, stream_depth=2), fields)
+        deep = simulate_kernel(
+            KernelConfig(grid=grid, stream_depth=32), fields)
+        return shallow.total_cycles, deep.total_cycles
+
+    shallow_cycles, deep_cycles = benchmark(run)
+    assert shallow_cycles <= deep_cycles + 2
+
+
+def test_a5_column_height_sensitivity(benchmark, save_result):
+    """The theoretical-peak metric vs column height: taller columns have
+    proportionally fewer one-sided top cells, asymptoting to 63 ops/cycle."""
+    from repro import constants
+    from repro.perf.theoretical import theoretical_gflops
+
+    def run():
+        return {
+            nz: (constants.average_ops_per_cycle(nz),
+                 theoretical_gflops(300.0, column_height=nz))
+            for nz in (16, 32, 64, 128, 256)
+        }
+
+    table = benchmark(run)
+    lines = [f"nz={nz:4d}  ops/cycle={ops:.4f}  peak={peak:.3f} GFLOPS"
+             for nz, (ops, peak) in table.items()]
+    save_result("ablation_a5_column_height", "\n".join(lines))
+    ops = [v[0] for v in table.values()]
+    assert ops == sorted(ops)           # monotone toward 63
+    assert table[64][0] == pytest.approx(62.875)
+    assert all(v[0] < 63.0 for v in table.values())
+
+
+def test_a6_x_chunk_count_tradeoff(benchmark, save_result):
+    """'Given a sensible chunk size' (section IV): too few X chunks give
+    poor overlap, too many pay per-transfer latency and per-launch
+    overhead — a U-shaped curve with a broad sweet spot."""
+    grid = paper_grid("16M")
+    config = standard_config()
+
+    def run():
+        table = {}
+        for x_chunks in (1, 2, 4, 16, 64, 256):
+            session = AdvectionSession(ALVEO_U280, config,
+                                       x_chunks=x_chunks)
+            table[x_chunks] = session.run(grid, overlapped=True).gflops
+        return table
+
+    table = benchmark(run)
+    lines = [f"x_chunks={n:4d}  {g:.2f} GFLOPS" for n, g in table.items()]
+    save_result("ablation_a6_chunk_count", "\n".join(lines))
+    print()
+    print("\n".join(lines))
+
+    best = max(table, key=table.get)
+    assert 2 < best <= 64                     # the sweet spot is interior
+    assert table[best] > 1.2 * table[1]       # single chunk: no overlap
+    assert table[best] > table[256]           # too many chunks: overheads
+
+
+def test_single_vs_multi_kernel_scaling(benchmark, save_result):
+    """Kernel-only scaling from one to six kernels on the U280 (HBM2)."""
+    grid = paper_grid("16M")
+    config = standard_config()
+
+    def run():
+        return {
+            k: ALVEO_U280.invocation(config, grid, num_kernels=k,
+                                     memory="hbm2").gflops(grid)
+            for k in (1, 2, 4, 6)
+        }
+
+    table = benchmark(run)
+    lines = [f"kernels={k}  {g:.2f} GFLOPS" for k, g in table.items()]
+    save_result("ablation_multi_kernel", "\n".join(lines))
+    assert table[6] > 5.0 * table[1]  # near-linear on banked HBM2
+    assert grid_flops(grid) > 0

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the dataflow engine and the shift buffer.
+
+These time the simulator itself (events per second), which bounds the
+grid sizes the cycle-accurate path can handle and justifies the split
+between cycle simulation (small grids) and the closed-form model
+(paper-scale grids).
+"""
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.dataflow.engine import DataflowEngine
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage
+from repro.kernel.config import KernelConfig
+from repro.kernel.simulate import simulate_kernel
+from repro.shiftbuffer.buffer3d import ShiftBuffer3D
+
+
+def test_engine_throughput(benchmark):
+    """Cycles per second of a simple three-stage pipeline."""
+
+    def run():
+        g = DataflowGraph("bench")
+        src = g.add(SourceStage("src", range(2000)))
+        fn = g.add(FunctionStage("fn", lambda x: x + 1, latency=4))
+        sink = g.add(SinkStage("sink"))
+        g.connect(src, "out", fn, "in")
+        g.connect(fn, "out", sink, "in")
+        return DataflowEngine(g).run()
+
+    stats = benchmark(run)
+    benchmark.extra_info["cycles_per_second"] = int(
+        stats.cycles / benchmark.stats.stats.mean)
+
+
+def test_shift_buffer_feed_rate(benchmark):
+    """Values per second through one ShiftBuffer3D (functional mode)."""
+    block = np.random.default_rng(0).normal(size=(6, 34, 64))
+
+    def run():
+        buf = ShiftBuffer3D(6, 34, 64)
+        return buf.feed_block(block)
+
+    windows = benchmark(run)
+    fed = block.size
+    benchmark.extra_info["feeds_per_second"] = int(
+        fed / benchmark.stats.stats.mean)
+    assert len(windows) == (6 - 2) * (34 - 2) * 63
+
+
+def test_cycle_accurate_kernel_rate(benchmark):
+    """Simulated kernel cells per wall second (full Fig. 2 graph)."""
+    grid = Grid(nx=4, ny=6, nz=8)
+    fields = random_wind(grid, seed=0)
+    config = KernelConfig(grid=grid, chunk_width=4)
+
+    result = benchmark(simulate_kernel, config, fields)
+    benchmark.extra_info["simulated_cycles"] = result.total_cycles
+    benchmark.extra_info["sim_cycles_per_second"] = int(
+        result.total_cycles / benchmark.stats.stats.mean)

@@ -1,0 +1,66 @@
+"""Distributed (MONC-style) scaling benchmark.
+
+MONC runs horizontally decomposed over MPI; this benchmark reproduces the
+strong-scaling behaviour of the advection step on the in-process cluster:
+per-rank compute shrinks with rank count while halo traffic per rank
+shrinks only linearly along one edge, so efficiency falls — and the
+result stays bit-identical to the single-domain reference throughout.
+"""
+
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.wind import shear_layer
+from repro.distributed import DistributedAdvection, ProcessGrid
+from repro.experiments.report import text_table
+
+DECOMPOSITIONS = ((1, 1), (2, 1), (2, 2), (4, 2), (4, 4))
+
+
+def test_strong_scaling(benchmark, save_result):
+    grid = Grid(nx=32, ny=32, nz=16)
+    fields = shear_layer(grid)
+    reference = advect_reference(fields)
+
+    def run():
+        rows = []
+        for px, py in DECOMPOSITIONS:
+            topo = ProcessGrid(global_grid=grid, px=px, py=py)
+            dist = DistributedAdvection(topo)
+            result = dist.compute(fields)
+            assert result.max_abs_difference(reference) == 0.0
+            report = dist.last_report
+            rows.append((f"{px}x{py}", topo.size,
+                         report.compute_seconds * 1e3,
+                         report.comm_seconds * 1e6,
+                         report.comm_fraction,
+                         dist.scaling_efficiency()))
+        return rows
+
+    rows = benchmark(run)
+    table = text_table(
+        ("decomp", "ranks", "compute ms", "comm us", "comm frac",
+         "efficiency"),
+        rows, precision=3,
+        title="Strong scaling of the distributed advection step")
+    save_result("distributed_scaling", table)
+    print()
+    print(table)
+
+    efficiencies = [row[5] for row in rows]
+    assert efficiencies == sorted(efficiencies, reverse=True)
+    # Compute per rank falls with rank count.
+    assert rows[-1][2] < rows[0][2]
+
+
+def test_halo_exchange_cost(benchmark):
+    grid = Grid(nx=32, ny=32, nz=16)
+    topo = ProcessGrid(global_grid=grid, px=4, py=4)
+    fields = shear_layer(grid)
+
+    from repro.distributed import LocalCluster
+
+    cluster = LocalCluster(topo)
+    cluster.scatter(fields)
+
+    benchmark(cluster.halo_exchange)
+    assert cluster.stats.exchanges >= 1

@@ -1,0 +1,51 @@
+"""Energy-to-solution: the complement of Fig. 8.
+
+Fig. 8 plots GFLOPS/W; operators often care about the dual — Joules per
+advection invocation (energy to solution).  The two contain the same
+information (J = FLOP / (GFLOPS/W)), so the ordering must invert: the
+most power-efficient device spends the least energy per solution.
+"""
+
+from repro.experiments.common import MULTI_KERNEL_SIZES
+from repro.experiments.report import text_table
+from repro.experiments.sweeps import SWEEP_DEVICE_LABELS, sweep
+
+
+def test_energy_to_solution(benchmark, save_result):
+    def run():
+        results = sweep(overlapped=True)
+        rows = []
+        for label in MULTI_KERNEL_SIZES:
+            row = [label]
+            for key in SWEEP_DEVICE_LABELS:
+                result = results[(key, label)]
+                row.append(None if result is None else result.energy_joules)
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark(run)
+    headers = ("grid cells",) + tuple(SWEEP_DEVICE_LABELS.values())
+    table = text_table(headers, rows, precision=1,
+                       title="Energy per advection invocation (Joules, "
+                             "lower is better)")
+    save_result("energy_to_solution", table)
+    print()
+    print(table)
+
+    results = sweep(overlapped=True)
+    for label in MULTI_KERNEL_SIZES:
+        cpu = results[("cpu", label)]
+        u280 = results[("u280", label)]
+        stratix = results[("stratix10", label)]
+        assert cpu and u280 and stratix
+        # The FPGAs solve the same problem for less energy than the CPU;
+        # while the U280's data fits HBM2 the margin exceeds 2x.
+        assert u280.energy_joules < cpu.energy_joules, label
+        assert stratix.energy_joules < cpu.energy_joules, label
+        if u280.memory == "hbm2":
+            assert u280.energy_joules < 0.5 * cpu.energy_joules, label
+        # Energy ordering inverts the Fig. 8 efficiency ordering.
+        if u280.gflops_per_watt > stratix.gflops_per_watt:
+            assert u280.energy_joules < stratix.energy_joules, label
+        else:
+            assert u280.energy_joules >= stratix.energy_joules, label

@@ -1,0 +1,34 @@
+"""Regenerates Fig. 5 (multi-kernel performance without overlap)."""
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import comparison_table
+from repro.experiments.sweeps import sweep
+
+
+def test_fig5(benchmark, save_result):
+    def run():
+        sweep.cache_clear()  # force the full sweep to be re-simulated
+        return run_experiment("fig5")
+
+    result = benchmark(run)
+    save_result("fig5", result.text + "\n\n"
+                + comparison_table(result.comparisons))
+    print()
+    print(result.text)
+
+    for row in result.rows:
+        by = dict(zip(result.headers, row))
+        # Who wins without overlap: Stratix > U280 (2x faster sync PCIe),
+        # the CPU needs no transfer at all, the GPU is crippled relative to
+        # its 367 GFLOPS kernel rate.
+        assert by["Stratix 10"] > 1.5 * by["Alveo U280"]
+        assert by["24-core Xeon"] > by["Stratix 10"]
+        if by["V100 GPU"] is not None:
+            assert by["V100 GPU"] < 0.05 * 367.2
+
+    # No V100 point at 536M cells (16 GB < 25.8 GB working set).
+    last = dict(zip(result.headers, result.rows[-1]))
+    assert last["V100 GPU"] is None
+
+    (comparison,) = result.comparisons
+    assert comparison.within(15.0), str(comparison)

@@ -1,0 +1,37 @@
+"""Regenerates Fig. 6 (multi-kernel performance with overlap)."""
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import comparison_table
+from repro.experiments.sweeps import sweep
+
+
+def test_fig6(benchmark, save_result):
+    def run():
+        sweep.cache_clear()
+        return run_experiment("fig6")
+
+    result = benchmark(run)
+    save_result("fig6", result.text + "\n\n"
+                + comparison_table(result.comparisons))
+    print()
+    print(result.text)
+
+    rows = {row[0]: dict(zip(result.headers, row)) for row in result.rows}
+
+    # The V100 wins everywhere it fits.
+    for size, by in rows.items():
+        if by["V100 GPU"] is not None:
+            assert by["V100 GPU"] > by["Alveo U280"], size
+            assert by["V100 GPU"] > by["Stratix 10"], size
+
+    # The U280 beats the Stratix 10 while HBM2 holds the data, then falls
+    # behind after the DDR fallback at 268M cells.
+    assert rows["16M"]["Alveo U280"] > rows["16M"]["Stratix 10"]
+    assert rows["67M"]["Alveo U280"] > rows["67M"]["Stratix 10"]
+    assert rows["268M"]["Alveo U280"] < rows["268M"]["Stratix 10"]
+    assert rows["536M"]["Alveo U280"] < rows["536M"]["Stratix 10"]
+
+    # With overlap, the FPGAs considerably outperform the CPU (abstract).
+    for size, by in rows.items():
+        assert by["Alveo U280"] > 0.9 * by["24-core Xeon"], size
+        assert by["Stratix 10"] > 1.5 * by["24-core Xeon"], size

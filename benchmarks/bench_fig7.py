@@ -1,0 +1,35 @@
+"""Regenerates Fig. 7 (power usage with overlap)."""
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import comparison_table
+from repro.experiments.sweeps import sweep
+
+
+def test_fig7(benchmark, save_result):
+    def run():
+        sweep.cache_clear()
+        return run_experiment("fig7")
+
+    result = benchmark(run)
+    save_result("fig7", result.text + "\n\n"
+                + comparison_table(result.comparisons))
+    print()
+    print(result.text)
+
+    rows = {row[0]: dict(zip(result.headers, row)) for row in result.rows}
+
+    # Absolute ordering: FPGAs << GPU < CPU.
+    for size, by in rows.items():
+        assert by["Alveo U280"] < by["Stratix 10"] < by["24-core Xeon"]
+        if by["V100 GPU"] is not None:
+            assert by["Stratix 10"] < by["V100 GPU"] < 1.5 * by["24-core Xeon"]
+
+    # Stratix draws ~50% more than the Alveo (paper's headline).
+    ratio = rows["16M"]["Stratix 10"] / rows["16M"]["Alveo U280"]
+    assert 1.35 < ratio < 1.7
+
+    # HBM2 -> DDR on the U280 adds ~12 W, not the whole FPGA gap.
+    delta = rows["268M"]["Alveo U280"] - rows["16M"]["Alveo U280"]
+    assert abs(delta - 12.0) < 2.0
+    assert delta < 0.5 * (rows["16M"]["Stratix 10"]
+                          - rows["16M"]["Alveo U280"]) * 2

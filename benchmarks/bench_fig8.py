@@ -1,0 +1,36 @@
+"""Regenerates Fig. 8 (power efficiency with overlap)."""
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import comparison_table
+from repro.experiments.sweeps import sweep
+
+
+def test_fig8(benchmark, save_result):
+    def run():
+        sweep.cache_clear()
+        return run_experiment("fig8")
+
+    result = benchmark(run)
+    save_result("fig8", result.text + "\n\n"
+                + comparison_table(result.comparisons))
+    print()
+    print(result.text)
+
+    rows = {row[0]: dict(zip(result.headers, row)) for row in result.rows}
+
+    # The CPU's low performance and high power make it worst everywhere.
+    for size, by in rows.items():
+        for device in ("V100 GPU", "Alveo U280", "Stratix 10"):
+            if by[device] is not None:
+                assert by["24-core Xeon"] < by[device], (size, device)
+
+    # U280 ~2x the Stratix until the DDR fallback, then it drops below.
+    for size in ("16M", "67M"):
+        ratio = rows[size]["Alveo U280"] / rows[size]["Stratix 10"]
+        assert 1.5 < ratio < 2.5, size
+    assert rows["268M"]["Alveo U280"] < rows["268M"]["Stratix 10"]
+
+    # Stratix more efficient than the V100 at small sizes; the V100
+    # slightly better at the largest size it fits.
+    assert rows["16M"]["Stratix 10"] > rows["16M"]["V100 GPU"]
+    assert rows["268M"]["V100 GPU"] >= rows["268M"]["Stratix 10"]

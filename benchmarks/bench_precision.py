@@ -1,0 +1,85 @@
+"""Benchmarks for the §V reduced-precision exploration.
+
+Regenerates the accuracy-vs-resources trade-off table the paper's future
+work calls for: numerical error of each format against float64, and the
+kernels-per-chip / projected-peak gains from narrower datapaths.
+"""
+
+from repro.core.grid import Grid
+from repro.core.wind import thermal_bubble
+from repro.experiments.report import text_table
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+from repro.kernel.config import KernelConfig
+from repro.precision import (
+    BFLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FixedPointFormat,
+    advect_quantised,
+    precision_error_study,
+    precision_fit_report,
+)
+
+FORMATS = (FLOAT64, FLOAT32,
+           FixedPointFormat("q8.23", integer_bits=8, fraction_bits=23),
+           BFLOAT16)
+
+
+def test_precision_error_table(benchmark, save_result):
+    grid = Grid(nx=16, ny=16, nz=32)
+    fields = thermal_bubble(grid, updraft=3.0)
+
+    def run():
+        return [precision_error_study(fields, fmt) for fmt in FORMATS]
+
+    reports = benchmark(run)
+    rows = [(r.format_name, r.bits, r.max_abs_error, r.rms_error,
+             r.significant_digits) for r in reports]
+    table = text_table(
+        ("format", "bits", "max abs err", "rms err", "digits"), rows,
+        precision=3, title="Reduced-precision accuracy (thermal bubble)")
+    save_result("precision_error", table)
+    print()
+    print(table)
+
+    # Error must be monotone in precision, and float64 exact.
+    assert reports[0].max_abs_error == 0.0
+    assert reports[1].max_abs_error < reports[3].max_abs_error
+
+
+def test_precision_fit_table(benchmark, save_result):
+    config = KernelConfig(grid=Grid.from_cells(16 * 1024 * 1024))
+
+    def run():
+        rows = []
+        for device in (ALVEO_U280, STRATIX10_GX2800):
+            for fmt in (FLOAT64, FLOAT32, BFLOAT16):
+                rows.append(precision_fit_report(config, device, fmt))
+        return rows
+
+    reports = benchmark(run)
+    rows = [(r.device, r.format_name, r.kernels_fit, r.extra_kernels,
+             r.projected_peak_gflops) for r in reports]
+    table = text_table(
+        ("device", "format", "kernels", "extra", "projected peak GFLOPS"),
+        rows, precision=1,
+        title="Kernels per chip vs precision (the paper's SV projection)")
+    save_result("precision_fit", table)
+    print()
+    print(table)
+
+    by_key = {(r.device, r.format_name): r for r in reports}
+    # float64 reproduces the paper's 6/5 fits; float32 at least doubles them.
+    assert by_key[(ALVEO_U280.name, "float64")].kernels_fit == 6
+    assert by_key[(STRATIX10_GX2800.name, "float64")].kernels_fit == 5
+    for device in (ALVEO_U280, STRATIX10_GX2800):
+        assert by_key[(device.name, "float32")].kernels_fit >= \
+            2 * by_key[(device.name, "float64")].kernels_fit
+
+
+def test_quantised_kernel_cost(benchmark):
+    """The quantised datapath is a modelling tool, not a fast path — but it
+    should remain usable on study-sized grids."""
+    grid = Grid(nx=16, ny=16, nz=32)
+    fields = thermal_bubble(grid)
+    benchmark(advect_quantised, fields, FLOAT32)

@@ -1,0 +1,26 @@
+"""Regenerates Table I (kernel-only performance, 16M cells) and times it."""
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import comparison_table
+
+
+def test_table1(benchmark, save_result):
+    result = benchmark(run_experiment, "table1")
+    save_result("table1", result.text + "\n\n"
+                + comparison_table(result.comparisons))
+    print()
+    print(result.text)
+
+    # Headline reproduction bound: every Table I entry within 2% of paper.
+    for comparison in result.comparisons:
+        assert comparison.within(2.0), str(comparison)
+
+    by_name = {row[0]: row for row in result.rows}
+    u280 = by_name["Xilinx Alveo U280"]
+    stratix = by_name["Intel Stratix 10"]
+    # The paper's percent-of-theoretical figures: 77% and 83%.
+    assert abs(u280[2] - 77.0) < 2.0
+    assert abs(stratix[2] - 83.0) < 2.0
+
+    benchmark.extra_info["u280_gflops"] = round(u280[1], 2)
+    benchmark.extra_info["stratix_gflops"] = round(stratix[1], 2)

@@ -1,0 +1,25 @@
+"""Regenerates Table II (HBM2 vs DDR on the U280) and times it."""
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import comparison_table
+
+
+def test_table2(benchmark, save_result):
+    result = benchmark(run_experiment, "table2")
+    save_result("table2", result.text + "\n\n"
+                + comparison_table(result.comparisons))
+    print()
+    print(result.text)
+
+    for comparison in result.comparisons:
+        assert comparison.within(12.0), str(comparison)
+
+    # Shape: HBM2 wins at every size; the overhead column sits in the
+    # paper's 39-46% band (we allow a slightly wider 30-50%).
+    for label, hbm, ddr, overhead in result.rows:
+        assert hbm > ddr, label
+        assert 30.0 < overhead < 50.0, label
+
+    by_label = {row[0]: row for row in result.rows}
+    benchmark.extra_info["hbm2_16m"] = round(by_label["16M"][1], 2)
+    benchmark.extra_info["ddr_16m"] = round(by_label["16M"][2], 2)

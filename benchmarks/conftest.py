@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures (the
+rows/series the paper reports), times the regeneration with
+pytest-benchmark, and writes the rendered table next to the timings under
+``benchmarks/out/`` so the numbers can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(out_dir):
+    """Write one experiment's rendered output to benchmarks/out/<id>.txt."""
+
+    def _save(experiment_id: str, text: str) -> None:
+        (out_dir / f"{experiment_id}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick a kernel configuration like the paper did.
+
+Sweeps the knobs Section III/IV expose — chunk width, kernel count, memory
+space, shift-buffer II — over the U280 and Stratix 10 device models, and
+prints the frontier.  This is the reasoning loop an FPGA developer runs
+before committing to a multi-hour synthesis: the models make it instant.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core import Grid
+from repro.core.flops import grid_flops
+from repro.experiments.report import text_table
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+from repro.kernel import KernelConfig
+from repro.runtime import AdvectionSession
+
+
+def sweep_device(device, grid, memories):
+    rows = []
+    for chunk_width in (8, 16, 64, 256):
+        for memory in memories:
+            config = KernelConfig(grid=grid, chunk_width=chunk_width)
+            kernels = device.max_kernels(config)
+            if kernels == 0:
+                continue
+            session = AdvectionSession(device, config, memory=memory)
+            result = session.run(grid, overlapped=True)
+            rows.append((
+                chunk_width, memory, kernels,
+                device.clock.frequency_mhz(kernels),
+                result.gflops, result.average_watts,
+                result.gflops_per_watt,
+            ))
+    return rows
+
+
+def main() -> None:
+    grid = Grid.from_cells(16 * 1024 * 1024)
+    print(f"problem: {grid.interior_shape} = {grid.num_cells / 1e6:.1f}M "
+          f"cells, {grid_flops(grid) / 1e9:.2f} GFLOP per invocation\n")
+
+    headers = ("chunk", "memory", "kernels", "MHz", "GFLOPS", "W", "GFLOPS/W")
+    for device, memories in ((ALVEO_U280, ("hbm2", "ddr")),
+                             (STRATIX10_GX2800, ("ddr",))):
+        rows = sweep_device(device, grid, memories)
+        print(text_table(headers, rows, title=device.name))
+        best = max(rows, key=lambda r: r[4])
+        print(f"-> best: chunk={best[0]}, memory={best[1]}, "
+              f"{best[2]} kernels @ {best[3]:.0f} MHz = "
+              f"{best[4]:.1f} GFLOPS\n")
+
+    # Also show the resource picture behind the kernel counts.
+    config = KernelConfig(grid=grid)
+    for device in (ALVEO_U280, STRATIX10_GX2800):
+        usage = device.kernel_resources(config)
+        util = usage.utilisation(device.capacity)
+        busiest = max(util, key=util.get)
+        print(f"{device.name}: one kernel uses "
+              f"{100 * util[busiest]:.1f}% of {busiest} "
+              f"-> {device.max_kernels(config)} kernels fit "
+              f"(after the shell and routing derate)")
+
+
+if __name__ == "__main__":
+    main()

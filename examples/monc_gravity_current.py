@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A MONC-style scenario: advecting a gravity-current outflow in time.
+
+This example runs the kind of workload the paper's introduction motivates:
+a Large-Eddy-Simulation-style wind field integrated forward in time, with
+the advection source terms computed each step — here by the *simulated
+FPGA kernel* (the chunked functional path with the paper's Y chunking),
+exactly as MONC would call the accelerator once per timestep.
+
+It prints per-step diagnostics (momentum, max wind, CFL) and finishes
+with the conservation drift over the whole run.
+
+Run:  python examples/monc_gravity_current.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AdvectionCoefficients,
+    AdvectionIntegrator,
+    Grid,
+    gravity_current,
+)
+from repro.hardware import ALVEO_U280
+from repro.kernel import KernelConfig
+from repro.runtime import AdvectionSession
+
+
+def main() -> None:
+    grid = Grid(nx=24, ny=24, nz=32, dx=200.0, dy=200.0, dz=100.0)
+    coeffs = AdvectionCoefficients.isothermal(grid)
+    config = KernelConfig(grid=grid, chunk_width=8)
+
+    # The "device": an Alveo U280 session whose functional execution stands
+    # in for launching the real kernel each timestep.
+    session = AdvectionSession(ALVEO_U280, config)
+
+    integrator = AdvectionIntegrator(
+        fields=gravity_current(grid, head_speed=6.0),
+        dt=1.0,
+        coeffs=coeffs,
+        advect=lambda fields: session.execute(fields, coeffs),
+    )
+
+    m0 = integrator.fields.momentum()
+    print(f"grid {grid.interior_shape}, dt={integrator.dt}s, "
+          f"initial CFL={integrator.cfl_number():.3f}")
+    print(f"{'step':>4} {'time':>6} {'max wind':>9} {'max source':>11} "
+          f"{'u-momentum':>12}")
+
+    for _ in range(20):
+        rec = integrator.step()
+        if rec.step % 4 == 0 or rec.step == 1:
+            print(f"{rec.step:>4} {rec.time:>6.1f} {rec.max_speed:>9.3f} "
+                  f"{rec.max_source:>11.3e} {rec.momentum[0]:>12.1f}")
+
+    m1 = integrator.fields.momentum()
+    # Normalise by a momentum scale (initial components can be ~0 by
+    # symmetry, e.g. the sinusoidal w field sums to zero).
+    scale = max(abs(v) for v in m0) + 1e-30
+    drift = [abs(a - b) / scale for a, b in zip(m0, m1)]
+    print(f"\nmomentum drift over {integrator.steps_taken} steps "
+          f"(relative to the initial u-momentum scale): "
+          f"u={drift[0]:.2e}, v={drift[1]:.2e}, w={drift[2]:.2e}")
+
+    # What would this cost on the modelled device, per timestep?
+    result = session.run(grid, overlapped=True)
+    print(f"\nmodelled per-step cost on {result.device}: "
+          f"{result.runtime_seconds * 1e3:.2f} ms "
+          f"({result.gflops:.1f} GFLOPS overall, "
+          f"{result.average_watts:.0f} W, memory={result.memory})")
+
+    assert np.all(np.isfinite(integrator.fields.u))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The paper's §V outlook, made runnable: precision + next-gen hardware.
+
+Three questions the conclusion raises, answered with the models:
+
+1. What does reduced precision *cost* numerically?  (quantised-datapath
+   error study against the float64 reference)
+2. What does it *buy* on today's chips?  (kernels-per-chip, end-to-end
+   GFLOPS with halved traffic, the vanished HBM2->DDR cliff)
+3. Where do the announced AI-engine devices (Versal ACAP, Stratix 10 NX)
+   land on this kernel's roofline?
+
+Run:  python examples/next_generation.py
+"""
+
+from repro.constants import PAPER_GRID_LABELS
+from repro.core import Grid, thermal_bubble
+from repro.experiments.report import text_table
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+from repro.hardware.versal import STRATIX10_NX_PROJECTION, VERSAL_VC1902
+from repro.kernel import KernelConfig
+from repro.precision import (
+    BFLOAT16,
+    FLOAT32,
+    FLOAT64,
+    precision_error_study,
+    precision_fit_report,
+)
+from repro.runtime import AdvectionSession
+
+
+def main() -> None:
+    # ---- 1. accuracy cost -------------------------------------------------
+    study_grid = Grid(nx=16, ny=16, nz=32)
+    fields = thermal_bubble(study_grid, updraft=3.0)
+    rows = []
+    for fmt in (FLOAT64, FLOAT32, BFLOAT16):
+        report = precision_error_study(fields, fmt)
+        rows.append((report.format_name, report.bits, report.max_abs_error,
+                     report.significant_digits))
+    print(text_table(("format", "bits", "max abs error", "digits"), rows,
+                     precision=3,
+                     title="1. Numerical cost of narrow datapaths "
+                           "(thermal bubble)"))
+
+    # ---- 2. resource and end-to-end gain on today's FPGAs -------------------
+    config = KernelConfig(grid=Grid.from_cells(PAPER_GRID_LABELS["16M"]))
+    rows = []
+    for device in (ALVEO_U280, STRATIX10_GX2800):
+        for fmt in (FLOAT64, FLOAT32):
+            fit = precision_fit_report(config, device, fmt)
+            rows.append((device.name, fmt.name, fit.kernels_fit,
+                         fit.projected_peak_gflops))
+    print()
+    print(text_table(("device", "format", "kernels fit", "projected peak"),
+                     rows, precision=1,
+                     title="2a. Kernels per chip vs precision"))
+
+    grid = Grid.from_cells(PAPER_GRID_LABELS["268M"])
+    rows = []
+    for word_bytes, label in ((8, "float64"), (4, "float32 storage")):
+        cfg = KernelConfig(grid=grid, word_bytes=word_bytes)
+        result = AdvectionSession(ALVEO_U280, cfg).run(grid, overlapped=True)
+        rows.append((label, result.memory, result.gflops,
+                     result.gflops_per_watt))
+    print()
+    print(text_table(("storage", "memory", "GFLOPS", "GFLOPS/W"), rows,
+                     precision=2,
+                     title="2b. U280 at 268M cells: the DDR cliff vanishes "
+                           "with narrow storage"))
+
+    # ---- 3. AI-engine generation -----------------------------------------------
+    rows = []
+    for proj in (VERSAL_VC1902, STRATIX10_NX_PROJECTION):
+        rows.append((proj.name, proj.compute_peak_gflops,
+                     proj.attainable_gflops(),
+                     "feed" if proj.feed_bound else "compute"))
+    print()
+    print(text_table(("device", "raw peak", "attainable", "bound by"), rows,
+                     precision=0,
+                     title="3. SV projection: AI-engine devices on this "
+                           "kernel"))
+    print("\nThe paper's closing prediction holds in the model: the next "
+          "generation is bound by\nfeeding the engines (the shift-buffer "
+          "fabric), not by arithmetic — and it closes\nthe gap to (indeed "
+          "passes) the V100's 367 GFLOPS kernel rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Visualise the paper's transfer/compute overlap as an ASCII timeline.
+
+Builds the Fig. 5 (sequential) and Fig. 6 (overlapped, event-chained)
+schedules for a 16M-cell problem on the Alveo U280 model and renders each
+engine's activity over time, making it obvious *why* overlap transforms
+end-to-end performance.
+
+Run:  python examples/overlap_pipeline.py
+"""
+
+from repro.core import Grid
+from repro.hardware import ALVEO_U280
+from repro.kernel import KernelConfig
+from repro.runtime import AdvectionSession
+from repro.runtime.gantt import render_gantt
+
+
+def render(schedule, title: str) -> None:
+    print()
+    print(render_gantt(schedule, width=88, title=title))
+
+
+def main() -> None:
+    grid = Grid.from_cells(16 * 1024 * 1024)
+    config = KernelConfig(grid=grid)
+    session = AdvectionSession(ALVEO_U280, config, x_chunks=8)
+
+    sequential = session.run(grid, overlapped=False)
+    overlapped = session.run(grid, overlapped=True)
+
+    render(sequential.schedule,
+           "Fig. 5 style: synchronous write -> execute -> read")
+    render(overlapped.schedule,
+           "Fig. 6 style: chunked, event-chained, bulk-registered")
+
+    print(f"\nsequential: {sequential.gflops:6.2f} GFLOPS "
+          f"(transfer busy {sequential.transfer_seconds * 1e3:.0f} ms, "
+          f"kernel busy {sequential.kernel_seconds * 1e3:.0f} ms)")
+    print(f"overlapped: {overlapped.gflops:6.2f} GFLOPS "
+          f"(transfer busy {overlapped.transfer_seconds * 1e3:.0f} ms, "
+          f"kernel busy {overlapped.kernel_seconds * 1e3:.0f} ms)")
+    print(f"speedup from overlap: "
+          f"{overlapped.gflops / sequential.gflops:.2f}x")
+    print("\nNote how the kernel row is fully hidden inside the H2D stream "
+          "in the overlapped schedule: the advection kernel is PCIe-bound "
+          "end to end, the paper's core observation in Section IV.")
+
+
+if __name__ == "__main__":
+    main()

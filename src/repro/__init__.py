@@ -1,0 +1,36 @@
+"""repro: reproduction of "Accelerating advection for atmospheric modelling
+on Xilinx and Intel FPGAs" (N. Brown, IEEE CLUSTER 2021).
+
+The package implements, in pure Python/NumPy:
+
+* the Met Office Piacsek-Williams (PW) advection scheme used by MONC
+  (:mod:`repro.core`) — both a scalar specification and a fast vectorised
+  reference;
+* a cycle-level dataflow machine simulator (:mod:`repro.dataflow`) and the
+  paper's 3D shift buffer (:mod:`repro.shiftbuffer`);
+* the advection kernel assembled per the paper's Fig. 2
+  (:mod:`repro.kernel`), with a cycle-accurate simulation, a fast
+  functional path, and a closed-form cycle model that the simulator
+  validates;
+* models of the evaluation hardware (:mod:`repro.hardware`) and the
+  OpenCL-style host runtime with transfer/compute overlap
+  (:mod:`repro.runtime`);
+* performance metrics and paper calibration (:mod:`repro.perf`) and the
+  experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.core import Grid, thermal_bubble, advect_reference
+    grid = Grid(nx=32, ny=32, nz=64)
+    sources = advect_reference(thermal_bubble(grid))
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro import constants
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "ReproError", "__version__"]

@@ -1,0 +1,24 @@
+"""Flow diagnostics for the advected wind fields.
+
+MONC users judge a run by its physics: divergence (mass consistency),
+vorticity (turbulence structure), kinetic-energy spectra (LES resolution)
+and CFL fields (stability headroom).  This subpackage provides those
+diagnostics for the library's :class:`~repro.core.fields.FieldSet`, so
+examples and tests can assert physical sanity, not just bit equality.
+"""
+
+from repro.analysis.diagnostics import (
+    cfl_field,
+    divergence,
+    kinetic_energy,
+    vorticity_z,
+)
+from repro.analysis.spectra import energy_spectrum
+
+__all__ = [
+    "divergence",
+    "vorticity_z",
+    "kinetic_energy",
+    "cfl_field",
+    "energy_spectrum",
+]

@@ -1,0 +1,74 @@
+"""Point diagnostics: divergence, vorticity, kinetic energy, CFL.
+
+All operators use centred differences on the interior with the periodic
+halos for horizontal neighbours and one-sided differences at the vertical
+boundaries, matching the grid conventions of :mod:`repro.core.grid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fields import FieldSet
+
+__all__ = ["divergence", "vorticity_z", "kinetic_energy", "cfl_field"]
+
+
+def _centred_x(array: np.ndarray, dx: float) -> np.ndarray:
+    """d/dx over the interior of a halo-carrying array."""
+    return (array[2:, 1:-1, :] - array[:-2, 1:-1, :]) / (2.0 * dx)
+
+
+def _centred_y(array: np.ndarray, dy: float) -> np.ndarray:
+    return (array[1:-1, 2:, :] - array[1:-1, :-2, :]) / (2.0 * dy)
+
+
+def _centred_z(interior: np.ndarray, dz: float) -> np.ndarray:
+    """d/dz with one-sided differences at the column boundaries."""
+    out = np.empty_like(interior)
+    out[:, :, 1:-1] = (interior[:, :, 2:] - interior[:, :, :-2]) / (2.0 * dz)
+    out[:, :, 0] = (interior[:, :, 1] - interior[:, :, 0]) / dz
+    out[:, :, -1] = (interior[:, :, -1] - interior[:, :, -2]) / dz
+    return out
+
+
+def divergence(fields: FieldSet) -> np.ndarray:
+    """du/dx + dv/dy + dw/dz over the interior.
+
+    A mass-consistent (anelastic, constant-density) wind field has zero
+    divergence; the generators in :mod:`repro.core.wind` are not exactly
+    solenoidal, but advection should not blow the divergence up.
+    """
+    grid = fields.grid
+    return (
+        _centred_x(fields.u, grid.dx)
+        + _centred_y(fields.v, grid.dy)
+        + _centred_z(fields.interior("w"), grid.dz)
+    )
+
+
+def vorticity_z(fields: FieldSet) -> np.ndarray:
+    """Vertical vorticity dv/dx - du/dy over the interior."""
+    grid = fields.grid
+    return _centred_x(fields.v, grid.dx) - _centred_y(fields.u, grid.dy)
+
+
+def kinetic_energy(fields: FieldSet) -> float:
+    """Domain-integrated kinetic energy per unit density, 0.5 * sum |V|^2."""
+    return 0.5 * float(
+        (fields.interior("u") ** 2
+         + fields.interior("v") ** 2
+         + fields.interior("w") ** 2).sum()
+    )
+
+
+def cfl_field(fields: FieldSet, dt: float) -> np.ndarray:
+    """Per-cell advective CFL number for timestep ``dt``."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    grid = fields.grid
+    return dt * (
+        np.abs(fields.interior("u")) / grid.dx
+        + np.abs(fields.interior("v")) / grid.dy
+        + np.abs(fields.interior("w")) / grid.dz
+    )

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [ids...]``
+    Regenerate the paper's tables and figures (default: all).
+``run --device u280 --cells 16M [--no-overlap] [--memory ddr]``
+    One end-to-end run on a device model, with a Gantt timeline.
+``validate [--nx 6 --ny 9 --nz 5]``
+    Cross-check every kernel execution path against the reference.
+``devices``
+    Print the device catalog with kernel fits and clocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import constants
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Accelerating advection for "
+                    "atmospheric modelling on Xilinx and Intel FPGAs' "
+                    "(CLUSTER 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate paper tables/figures")
+    p_exp.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+
+    p_run = sub.add_parser("run", help="simulate one end-to-end run")
+    p_run.add_argument("--device", default="u280",
+                       help="u280 | stratix10 | cpu | v100")
+    p_run.add_argument("--cells", default="16M",
+                       help="problem size label "
+                            f"({', '.join(constants.PAPER_GRID_LABELS)})")
+    p_run.add_argument("--memory", default=None,
+                       help="force a memory space (hbm2 | ddr)")
+    p_run.add_argument("--no-overlap", action="store_true",
+                       help="use the sequential (Fig. 5) schedule")
+    p_run.add_argument("--kernels", type=int, default=None,
+                       help="kernel replicas (default: as many as fit)")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a chrome://tracing JSON of the schedule")
+
+    p_val = sub.add_parser("validate",
+                           help="cross-check all kernel paths vs reference")
+    p_val.add_argument("--nx", type=int, default=6)
+    p_val.add_argument("--ny", type=int, default=9)
+    p_val.add_argument("--nz", type=int, default=5)
+    p_val.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("devices", help="print the device catalog")
+
+    p_score = sub.add_parser("scorecard",
+                             help="overall paper-reproduction scorecard")
+    p_score.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full summary JSON")
+    p_score.add_argument("--tolerance", type=float, default=15.0,
+                         help="quantitative tolerance in percent")
+
+    p_report = sub.add_parser("report",
+                              help="regenerate the markdown "
+                                   "reproduction report")
+    p_report.add_argument("path", nargs="?", default=None,
+                          help="output file (default: stdout)")
+    return parser
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    return run_all_main(args.ids)
+
+
+def _cmd_run(args) -> int:
+    from repro.core.grid import Grid
+    from repro.hardware import device_by_name
+    from repro.kernel.config import KernelConfig
+    from repro.runtime.gantt import render_gantt
+    from repro.runtime.session import AdvectionSession
+
+    try:
+        cells = constants.PAPER_GRID_LABELS[args.cells]
+    except KeyError:
+        print(f"unknown size {args.cells!r}; known: "
+              f"{', '.join(constants.PAPER_GRID_LABELS)}", file=sys.stderr)
+        return 2
+    grid = Grid.from_cells(cells)
+    device = device_by_name(args.device)
+    session = AdvectionSession(device, KernelConfig(grid=grid),
+                               num_kernels=args.kernels, memory=args.memory)
+    result = session.run(grid, overlapped=not args.no_overlap)
+
+    print(f"device:   {result.device}")
+    print(f"problem:  {result.grid_cells / 1e6:.1f}M cells "
+          f"({grid.interior_shape})")
+    print(f"schedule: {'overlapped' if result.overlapped else 'sequential'}"
+          f", memory={result.memory}, kernels={result.num_kernels}")
+    print(f"runtime:  {result.runtime_seconds * 1e3:.2f} ms")
+    print(f"perf:     {result.gflops:.2f} GFLOPS overall")
+    print(f"power:    {result.average_watts:.1f} W "
+          f"({result.gflops_per_watt:.3f} GFLOPS/W)")
+    if result.schedule is not None:
+        print()
+        print(render_gantt(result.schedule, title="engine timeline"))
+        if args.trace:
+            from repro.runtime.trace_export import write_chrome_trace
+
+            path = write_chrome_trace(
+                result.schedule, args.trace,
+                process_name=f"{args.device}-{args.cells}")
+            print(f"\nwrote chrome://tracing file: {path}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.coefficients import AdvectionCoefficients
+    from repro.core.grid import Grid
+    from repro.core.reference import advect_reference
+    from repro.core.golden import advect_golden
+    from repro.core.wind import random_wind
+    from repro.kernel.config import KernelConfig
+    from repro.kernel.functional import execute_chunked, execute_shiftbuffer
+    from repro.kernel.simulate import simulate_kernel
+
+    grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    fields = random_wind(grid, seed=args.seed, magnitude=2.0)
+    coeffs = AdvectionCoefficients.isothermal(grid)
+    config = KernelConfig(grid=grid, chunk_width=max(2, grid.ny // 3))
+    reference = advect_reference(fields, coeffs)
+
+    checks = {
+        "scalar golden": advect_golden(fields, coeffs),
+        "chunked functional": execute_chunked(config, fields, coeffs),
+        "shift-buffer functional": execute_shiftbuffer(config, fields,
+                                                       coeffs),
+        "cycle-accurate simulation": simulate_kernel(config, fields,
+                                                     coeffs).sources,
+    }
+    failed = 0
+    for name, sources in checks.items():
+        diff = sources.max_abs_difference(reference)
+        status = "OK (bitwise)" if diff == 0.0 else f"FAIL (max diff {diff:g})"
+        print(f"{name:>28}: {status}")
+        failed += diff != 0.0
+    return 1 if failed else 0
+
+
+def _cmd_devices() -> int:
+    from repro.core.grid import Grid
+    from repro.hardware import (
+        ALVEO_U280,
+        STRATIX10_GX2800,
+        TESLA_V100,
+        XEON_8260M,
+    )
+    from repro.kernel.config import KernelConfig
+
+    config = KernelConfig(grid=Grid.from_cells(16 * 1024 * 1024))
+    for device in (ALVEO_U280, STRATIX10_GX2800):
+        kernels = device.max_kernels(config)
+        print(f"{device.name}: {kernels} kernels fit, "
+              f"{device.clock.frequency_mhz(kernels):.0f} MHz at that "
+              f"count, memories: "
+              + ", ".join(f"{name} ({m.spec.capacity_bytes / 2**30:.0f} GiB)"
+                          for name, m in device.memories.items()))
+    print(f"{XEON_8260M.name}: {XEON_8260M.cores} cores, "
+          f"{XEON_8260M.gflops():.1f} GFLOPS on this kernel")
+    print(f"{TESLA_V100.name}: {TESLA_V100.kernel_gflops:.1f} GFLOPS "
+          f"kernel-only, "
+          f"{TESLA_V100.memory_capacity_bytes / 2**30:.0f} GiB HBM2")
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.experiments.summary import (
+        build_scorecard,
+        build_summary,
+        write_summary,
+    )
+
+    summary = build_summary()
+    card = build_scorecard(summary, tolerance_pct=args.tolerance)
+    print(card.summary_line())
+    if args.json:
+        path = write_summary(args.json)
+        print(f"full summary written to {path}")
+    return 0 if card.match_fraction == 1.0 else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "devices":
+            return _cmd_devices()
+        if args.command == "scorecard":
+            return _cmd_scorecard(args)
+        if args.command == "report":
+            from repro.experiments.markdown_report import main as report_main
+
+            return report_main([args.path] if args.path else [])
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Paper-level constants shared across the library.
+
+These numbers come straight out of the CLUSTER 2021 paper (sections II-IV)
+and the MONC model defaults.  They are centralised here so the FLOP
+accounting, the cycle model and the experiment harness all agree on a single
+source of truth.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Floating point operation accounting (paper section III).
+#
+# Each advection stage (one per field U, V, W) performs 21 double precision
+# operations per grid cell:  6 for the x-line, 7 for the y-line (including
+# the accumulate), 8 for the z-line (including the accumulate).  At the top
+# of a column the U and V stages drop their second vertical term which saves
+# 4 operations each, giving 63 - 8 = 55 operations for a column-top cell.
+# ---------------------------------------------------------------------------
+
+#: Double precision operations per field per interior grid cell.
+OPS_PER_FIELD: int = 21
+
+#: Operations in the x-direction line of one field update.
+OPS_X_LINE: int = 6
+#: Operations in the y-direction line of one field update (incl. accumulate).
+OPS_Y_LINE: int = 7
+#: Operations in the z-direction line of one field update (incl. accumulate).
+OPS_Z_LINE: int = 8
+#: Operations saved per U/V stage at the top of a column (single vertical term).
+OPS_TOP_SAVING_PER_FIELD: int = 4
+
+#: Total operations per interior grid cell (three fields).
+OPS_PER_CELL: int = 3 * OPS_PER_FIELD  # 63
+#: Total operations for a column-top grid cell.
+OPS_PER_TOP_CELL: int = OPS_PER_CELL - 2 * OPS_TOP_SAVING_PER_FIELD  # 55
+
+#: MONC default column height used throughout the paper's evaluation.
+DEFAULT_COLUMN_HEIGHT: int = 64
+
+#: Bytes per double precision value.
+BYTES_PER_WORD: int = 8
+
+#: Number of input fields streamed to the kernel (u, v, w).
+NUM_INPUT_FIELDS: int = 3
+#: Number of source-term fields streamed back (su, sv, sw).
+NUM_OUTPUT_FIELDS: int = 3
+
+#: Width of the packed external-memory access used on the Alveo (bits).
+XILINX_MEM_ACCESS_BITS: int = 512
+
+# ---------------------------------------------------------------------------
+# Clock frequencies reported in the paper (MHz).
+# ---------------------------------------------------------------------------
+
+#: Default kernel clock on the Alveo U280 (any kernel count, per the paper).
+ALVEO_CLOCK_MHZ: float = 300.0
+#: Stratix 10 clock with a single kernel instance.
+STRATIX_SINGLE_KERNEL_CLOCK_MHZ: float = 398.0
+#: Stratix 10 clock once the design is scaled to five kernels.
+STRATIX_MULTI_KERNEL_CLOCK_MHZ: float = 250.0
+
+#: Kernels that fit on each device in the paper's multi-kernel evaluation.
+ALVEO_MAX_KERNELS: int = 6
+STRATIX_MAX_KERNELS: int = 5
+
+# ---------------------------------------------------------------------------
+# Problem sizes used in the paper's evaluation (grid cells).
+# The paper quotes 1M/4M/16M/67M/268M/536M which are x*y*64 grids with
+# square horizontal extents: 128^2, 256^2, 512^2, 1024^2, 2048^2, 2896^2.
+# ---------------------------------------------------------------------------
+
+#: Grid-cell counts for Table II and Figures 5-8 (approximate paper labels).
+PAPER_GRID_LABELS: dict[str, int] = {
+    "1M": 128 * 128 * 64,
+    "4M": 256 * 256 * 64,
+    "16M": 512 * 512 * 64,
+    "67M": 1024 * 1024 * 64,
+    "268M": 2048 * 2048 * 64,
+    "536M": 2896 * 2896 * 64,
+}
+
+#: PCIe payload for a 16M-cell problem quoted in the paper (~800 MB):
+#: 6 fields x 8 bytes x 16.7M cells.
+PAPER_16M_TRANSFER_BYTES: int = (
+    (NUM_INPUT_FIELDS + NUM_OUTPUT_FIELDS) * BYTES_PER_WORD * PAPER_GRID_LABELS["16M"]
+)
+
+# ---------------------------------------------------------------------------
+# Memory capacities (bytes).
+# ---------------------------------------------------------------------------
+
+GIB: int = 1024**3
+MIB: int = 1024**2
+
+ALVEO_HBM2_BYTES: int = 8 * GIB
+ALVEO_DDR_BYTES: int = 32 * GIB
+STRATIX_DDR_BYTES: int = 32 * GIB
+V100_HBM2_BYTES: int = 16 * GIB
+
+# ---------------------------------------------------------------------------
+# Average operations per cycle for a full column (the paper's "theoretical
+# performance" metric): one column-top cell per DEFAULT_COLUMN_HEIGHT cells.
+# (63 * 63 + 55) / 64 = 62.875 -> 18.86 GFLOPS @ 300 MHz, 25.02 @ 398 MHz.
+# ---------------------------------------------------------------------------
+
+
+def average_ops_per_cycle(column_height: int = DEFAULT_COLUMN_HEIGHT) -> float:
+    """Average FLOPs issued per clock cycle for a column of ``column_height``.
+
+    The advection pipeline consumes one grid cell per cycle; interior cells
+    need :data:`OPS_PER_CELL` operations and the single column-top cell only
+    :data:`OPS_PER_TOP_CELL`.
+    """
+    if column_height < 2:
+        raise ValueError(f"column height must be >= 2, got {column_height}")
+    interior = column_height - 1
+    return (interior * OPS_PER_CELL + OPS_PER_TOP_CELL) / column_height

@@ -1,0 +1,227 @@
+"""Advection coefficients of the Piacsek-Williams scheme.
+
+The PW centred advective form (Piacsek & Williams 1970; MONC module
+``pw_advection_mod``) pre-computes a small set of coefficients:
+
+* ``tcx = 0.25 / dx`` and ``tcy = 0.25 / dy`` for the horizontal terms, and
+* density-weighted vertical coefficients per level ``k``:
+
+  - ``tzc1[k] = 0.25 * rdz[k] * rho[k-1] / rhon[k]``
+  - ``tzc2[k] = 0.25 * rdz[k] * rho[k]   / rhon[k]``
+  - ``tzd1[k] = 0.25 * rdzn[k+1] * rhon[k]   / rho[k]``
+  - ``tzd2[k] = 0.25 * rdzn[k+1] * rhon[k+1] / rho[k]``
+
+where ``rho`` is the reference density on w-levels, ``rhon`` on pressure
+levels, and ``rdz``/``rdzn`` the reciprocal level spacings.  The ``tzc``
+pair weights the U/V vertical fluxes, the ``tzd`` pair the W vertical
+fluxes.  With a uniform, constant-density atmosphere all four collapse to
+``0.25 / dz``, which is a useful property in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.errors import ConfigurationError
+
+__all__ = ["AdvectionCoefficients"]
+
+#: Scale height of the isothermal reference atmosphere (metres).
+_SCALE_HEIGHT_M: float = 8000.0
+
+
+@dataclass(frozen=True)
+class AdvectionCoefficients:
+    """Precomputed PW advection coefficients for one grid.
+
+    Attributes
+    ----------
+    tcx, tcy:
+        Horizontal coefficients (scalars).
+    tzc1, tzc2:
+        Vertical coefficients for the U and V updates, indexed by the
+        0-based vertical level ``k`` (length ``nz``).  Entries at ``k = 0``
+        are zero because the bottom level carries no source term.
+    tzd1, tzd2:
+        Vertical coefficients for the W update, same indexing.  Entries at
+        ``k = 0`` and ``k = nz - 1`` are zero because W sources are only
+        computed strictly inside the column.
+    """
+
+    tcx: float
+    tcy: float
+    tzc1: np.ndarray
+    tzc2: np.ndarray
+    tzd1: np.ndarray
+    tzd2: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.tzc1), len(self.tzc2), len(self.tzd1), len(self.tzd2)}
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                "vertical coefficient arrays must share one length, got "
+                f"{sorted(lengths)}"
+            )
+        for name in ("tzc1", "tzc2", "tzd1", "tzd2"):
+            arr = getattr(self, name)
+            if not np.all(np.isfinite(arr)):
+                raise ConfigurationError(f"{name} contains non-finite values")
+        if not (np.isfinite(self.tcx) and np.isfinite(self.tcy)):
+            raise ConfigurationError("tcx/tcy must be finite")
+
+    @property
+    def nz(self) -> int:
+        return len(self.tzc1)
+
+    # -- factories -----------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, grid: Grid) -> "AdvectionCoefficients":
+        """Coefficients for a uniform constant-density atmosphere.
+
+        All vertical coefficients become ``0.25 / dz`` (with the boundary
+        zeros described in the class docstring).  This is the configuration
+        used by most tests because the expected values are easy to reason
+        about.
+        """
+        rho = np.ones(grid.nz + 1)
+        return cls.from_density(grid, rho_w=rho, rho_n=np.ones(grid.nz + 1))
+
+    @classmethod
+    def isothermal(cls, grid: Grid, *, surface_density: float = 1.225,
+                   scale_height: float = _SCALE_HEIGHT_M) -> "AdvectionCoefficients":
+        """Coefficients for an isothermal exponentially decaying atmosphere.
+
+        ``rho(z) = rho_0 * exp(-z / H)`` evaluated on w-levels (cell faces)
+        and pressure levels (cell centres).  This exercises the
+        density-weighted code paths the way a real MONC setup would.
+        """
+        if surface_density <= 0 or scale_height <= 0:
+            raise ConfigurationError(
+                "surface_density and scale_height must be positive"
+            )
+        z_w = np.arange(grid.nz + 1) * grid.dz
+        z_n = (np.arange(grid.nz + 1) + 0.5) * grid.dz
+        rho_w = surface_density * np.exp(-z_w / scale_height)
+        rho_n = surface_density * np.exp(-z_n / scale_height)
+        return cls.from_density(grid, rho_w=rho_w, rho_n=rho_n)
+
+    @classmethod
+    def stretched(cls, grid: Grid, dz_levels: np.ndarray, *,
+                  rho_w: np.ndarray | None = None,
+                  rho_n: np.ndarray | None = None) -> "AdvectionCoefficients":
+        """Coefficients for a vertically stretched grid.
+
+        MONC supports stretched vertical grids (fine levels near the
+        surface); only the coefficients change — the kernel itself is
+        spacing-agnostic.  ``dz_levels[k]`` is the thickness of cell ``k``
+        (length ``nz``); the inter-centre spacing ``dzn`` is derived as
+        the mean of adjacent thicknesses.  Density profiles default to a
+        constant atmosphere.
+        """
+        dz_levels = np.asarray(dz_levels, dtype=np.float64)
+        if dz_levels.shape != (grid.nz,):
+            raise ConfigurationError(
+                f"dz_levels must have length nz={grid.nz}, got "
+                f"{dz_levels.shape}"
+            )
+        if np.any(dz_levels <= 0):
+            raise ConfigurationError("dz_levels must be positive")
+        ones = np.ones(grid.nz + 1)
+        # Centre-to-centre spacing above cell k (pad the top level).
+        dzn = np.empty(grid.nz + 1)
+        dzn[1:grid.nz] = 0.5 * (dz_levels[:-1] + dz_levels[1:])
+        dzn[0] = dz_levels[0]
+        dzn[grid.nz] = dz_levels[-1]
+        return cls.from_density(
+            grid,
+            rho_w=ones if rho_w is None else rho_w,
+            rho_n=ones if rho_n is None else rho_n,
+            rdz=1.0 / dz_levels,
+            rdzn=1.0 / dzn,
+        )
+
+    @classmethod
+    def from_density(cls, grid: Grid, *, rho_w: np.ndarray,
+                     rho_n: np.ndarray,
+                     rdz: np.ndarray | float | None = None,
+                     rdzn: np.ndarray | float | None = None,
+                     ) -> "AdvectionCoefficients":
+        """Build coefficients from density profiles on w and pressure levels.
+
+        Parameters
+        ----------
+        rho_w:
+            Density on w-levels (faces), length ``nz + 1``; ``rho_w[k]`` is
+            the face above cell ``k``'s centre, ``rho_w[k-1]`` below.
+        rho_n:
+            Density on pressure levels (centres), length ``nz + 1`` so the
+            W coefficients can reach one level above the top source level.
+        rdz, rdzn:
+            Reciprocal level thickness / inter-centre spacing.  Scalars
+            (uniform grid, the default ``1/dz``) or per-level arrays of
+            length ``nz`` and ``nz + 1`` respectively for stretched grids.
+        """
+        rho_w = np.asarray(rho_w, dtype=np.float64)
+        rho_n = np.asarray(rho_n, dtype=np.float64)
+        if rho_w.shape != (grid.nz + 1,) or rho_n.shape != (grid.nz + 1,):
+            raise ConfigurationError(
+                f"density profiles must have length nz+1={grid.nz + 1}, got "
+                f"{rho_w.shape} and {rho_n.shape}"
+            )
+        if np.any(rho_w <= 0) or np.any(rho_n <= 0):
+            raise ConfigurationError("density profiles must be positive")
+
+        if rdz is None:
+            rdz = 1.0 / grid.dz
+        if rdzn is None:
+            rdzn = 1.0 / grid.dz
+        rdz = np.broadcast_to(np.asarray(rdz, dtype=np.float64),
+                              (grid.nz,))
+        rdzn = np.broadcast_to(np.asarray(rdzn, dtype=np.float64),
+                               (grid.nz + 1,))
+        if np.any(rdz <= 0) or np.any(rdzn <= 0):
+            raise ConfigurationError("rdz/rdzn must be positive")
+
+        k = np.arange(grid.nz)
+        tzc1 = np.zeros(grid.nz)
+        tzc2 = np.zeros(grid.nz)
+        tzd1 = np.zeros(grid.nz)
+        tzd2 = np.zeros(grid.nz)
+
+        inner = k >= 1  # bottom level has no source
+        tzc1[inner] = (0.25 * rdz[k[inner]]
+                       * rho_w[k[inner] - 1] / rho_n[k[inner]])
+        tzc2[inner] = (0.25 * rdz[k[inner]]
+                       * rho_w[k[inner]] / rho_n[k[inner]])
+
+        w_inner = (k >= 1) & (k <= grid.nz - 2)  # W sources strictly interior
+        tzd1[w_inner] = (0.25 * rdzn[k[w_inner] + 1]
+                         * rho_n[k[w_inner]] / rho_w[k[w_inner]])
+        tzd2[w_inner] = (0.25 * rdzn[k[w_inner] + 1]
+                         * rho_n[k[w_inner] + 1] / rho_w[k[w_inner]])
+
+        return cls(
+            tcx=0.25 / grid.dx,
+            tcy=0.25 / grid.dy,
+            tzc1=tzc1,
+            tzc2=tzc2,
+            tzd1=tzd1,
+            tzd2=tzd2,
+        )
+
+    # -- utilities -------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, np.ndarray | float]:
+        """Plain-dict view (used when streaming coefficients to the kernel)."""
+        return {
+            "tcx": self.tcx,
+            "tcy": self.tcy,
+            "tzc1": self.tzc1.copy(),
+            "tzc2": self.tzc2.copy(),
+            "tzd1": self.tzd1.copy(),
+            "tzd2": self.tzd2.copy(),
+        }

@@ -1,0 +1,96 @@
+"""Floating-point operation accounting for the PW advection kernel.
+
+The paper reasons about kernel performance through a simple FLOP model:
+each advection stage performs 21 double-precision operations per grid cell
+(6 for the x-line, 7 for the y-line including the accumulate, 8 for the
+z-line including the accumulate), so the three concurrent stages issue 63
+operations per cycle, dropping to 55 for a column-top cell where the U and V
+stages use a one-sided vertical term.  With the MONC default column height
+of 64 this averages 62.875 operations per cycle — which reproduces the
+paper's 18.86 GFLOPS (300 MHz) and 25.02 GFLOPS (398 MHz) theoretical
+figures exactly.
+
+Two conventions are provided:
+
+* the **paper convention** (:func:`grid_flops`), which charges every cell in
+  the column as the pipeline does (the kernel streams all ``nz`` cells and
+  one of them is a "top" cell), and
+* the **strict convention** (:func:`strict_grid_flops`), which additionally
+  discounts the bottom level (no source is computed there) and the missing
+  W source at the top — useful when sanity-checking against an operation
+  count instrumented out of the numerics.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.core.grid import Grid
+
+__all__ = [
+    "field_flops",
+    "cell_flops",
+    "column_flops",
+    "grid_flops",
+    "strict_grid_flops",
+    "strict_cell_flops",
+]
+
+
+def field_flops(*, top: bool = False, field: str = "u") -> int:
+    """Operations for one field update at one cell.
+
+    ``top`` selects the column-top variant (one-sided vertical term), which
+    only affects the U and V stages; the W stage computes nothing at the top
+    but the paper's 55-op figure charges it at full cost, so we do too (see
+    :func:`strict_cell_flops` for the discounted variant).
+    """
+    if field not in ("u", "v", "w"):
+        raise ValueError(f"unknown field {field!r}")
+    ops = constants.OPS_PER_FIELD
+    if top and field in ("u", "v"):
+        ops -= constants.OPS_TOP_SAVING_PER_FIELD
+    return ops
+
+
+def cell_flops(*, top: bool = False) -> int:
+    """Operations for one full cell (all three fields), paper convention."""
+    return sum(field_flops(top=top, field=f) for f in ("u", "v", "w"))
+
+
+def column_flops(nz: int) -> int:
+    """Operations for one full column of height ``nz``, paper convention."""
+    if nz < 2:
+        raise ValueError(f"column height must be >= 2, got {nz}")
+    return (nz - 1) * cell_flops() + cell_flops(top=True)
+
+
+def grid_flops(grid: Grid) -> int:
+    """Operations for one kernel invocation over ``grid``, paper convention.
+
+    This is the numerator of every GFLOPS figure in the reproduction; using
+    the paper's own convention keeps our percentages comparable with theirs.
+    """
+    return grid.num_columns * column_flops(grid.nz)
+
+
+def strict_cell_flops(k: int, nz: int) -> int:
+    """Operations actually executed by the numerics at vertical level ``k``.
+
+    * ``k = 0``: no sources at all -> 0 ops.
+    * ``0 < k < nz - 1``: all three fields at full cost.
+    * ``k = nz - 1``: U and V with the one-sided vertical term (21 - 4 each)
+      and no W source.
+    """
+    if not 0 <= k < nz:
+        raise ValueError(f"level {k} outside column of height {nz}")
+    if k == 0:
+        return 0
+    if k == nz - 1:
+        return 2 * (constants.OPS_PER_FIELD - constants.OPS_TOP_SAVING_PER_FIELD)
+    return 3 * constants.OPS_PER_FIELD
+
+
+def strict_grid_flops(grid: Grid) -> int:
+    """Operations the numerics execute over ``grid`` (strict convention)."""
+    per_column = sum(strict_cell_flops(k, grid.nz) for k in range(grid.nz))
+    return grid.num_columns * per_column

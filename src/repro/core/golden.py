@@ -1,0 +1,133 @@
+"""Scalar loop-nest PW advection, mirroring the MONC Fortran.
+
+This is the *specification* implementation: a direct transliteration of the
+triple loop of Listing 1 (reconstructed — see DESIGN.md section 5), one grid
+cell at a time, no vectorisation.  It is deliberately slow and simple; the
+vectorised :mod:`repro.core.reference` and every simulator path are tested
+bit-for-bit against it on small grids.
+
+Index convention: arrays are ``field[i, j, k]`` with a one-cell halo in
+``i``/``j`` (so the first interior cell is ``[1, 1, 0]``), and 0-based ``k``
+with no vertical halo.  The Fortran ``k = 2 .. z_size`` loop becomes
+``k = 1 .. nz-1`` here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet, SourceSet
+
+__all__ = ["advect_golden", "advect_cell"]
+
+
+def advect_cell(u: np.ndarray, v: np.ndarray, w: np.ndarray,
+                coeffs: AdvectionCoefficients, i: int, j: int, k: int,
+                nz: int) -> tuple[float, float, float]:
+    """Source terms for a single cell at halo coordinates ``(i, j, k)``.
+
+    Returns ``(su, sv, sw)`` for that cell.  ``k`` is the 0-based vertical
+    level; callers must pass interior horizontal coordinates
+    (``1 <= i <= nx``, ``1 <= j <= ny``).
+    """
+    tcx, tcy = coeffs.tcx, coeffs.tcy
+    tzc1, tzc2 = coeffs.tzc1, coeffs.tzc2
+    tzd1, tzd2 = coeffs.tzd1, coeffs.tzd2
+
+    su = 0.0
+    sv = 0.0
+    sw = 0.0
+
+    if k >= 1:
+        # --- U source ----------------------------------------------------
+        su = tcx * (
+            u[i - 1, j, k] * (u[i, j, k] + u[i - 1, j, k])
+            - u[i + 1, j, k] * (u[i, j, k] + u[i + 1, j, k])
+        )
+        su += tcy * (
+            u[i, j - 1, k] * (v[i, j - 1, k] + v[i + 1, j - 1, k])
+            - u[i, j + 1, k] * (v[i, j, k] + v[i + 1, j, k])
+        )
+        if k < nz - 1:
+            su += (
+                tzc1[k] * u[i, j, k - 1] * (w[i, j, k - 1] + w[i + 1, j, k - 1])
+                - tzc2[k] * u[i, j, k + 1] * (w[i, j, k] + w[i + 1, j, k])
+            )
+        else:
+            su += tzc1[k] * u[i, j, k - 1] * (w[i, j, k - 1] + w[i + 1, j, k - 1])
+
+        # --- V source ----------------------------------------------------
+        sv = tcy * (
+            v[i, j - 1, k] * (v[i, j, k] + v[i, j - 1, k])
+            - v[i, j + 1, k] * (v[i, j, k] + v[i, j + 1, k])
+        )
+        sv += tcx * (
+            v[i - 1, j, k] * (u[i - 1, j, k] + u[i - 1, j + 1, k])
+            - v[i + 1, j, k] * (u[i, j, k] + u[i, j + 1, k])
+        )
+        if k < nz - 1:
+            sv += (
+                tzc1[k] * v[i, j, k - 1] * (w[i, j, k - 1] + w[i, j + 1, k - 1])
+                - tzc2[k] * v[i, j, k + 1] * (w[i, j, k] + w[i, j + 1, k])
+            )
+        else:
+            sv += tzc1[k] * v[i, j, k - 1] * (w[i, j, k - 1] + w[i, j + 1, k - 1])
+
+        # --- W source (strictly interior in the column) -------------------
+        if k < nz - 1:
+            sw = tcx * (
+                w[i - 1, j, k] * (u[i - 1, j, k] + u[i - 1, j, k + 1])
+                - w[i + 1, j, k] * (u[i, j, k] + u[i, j, k + 1])
+            )
+            sw += tcy * (
+                w[i, j - 1, k] * (v[i, j - 1, k] + v[i, j - 1, k + 1])
+                - w[i, j + 1, k] * (v[i, j, k] + v[i, j, k + 1])
+            )
+            sw += (
+                tzd1[k] * w[i, j, k - 1] * (w[i, j, k] + w[i, j, k - 1])
+                - tzd2[k] * w[i, j, k + 1] * (w[i, j, k] + w[i, j, k + 1])
+            )
+
+    return su, sv, sw
+
+
+def advect_golden(fields: FieldSet,
+                  coeffs: AdvectionCoefficients | None = None) -> SourceSet:
+    """Compute PW advection source terms with the scalar specification code.
+
+    Parameters
+    ----------
+    fields:
+        Wind components with valid halos (call ``fields.fill_halos()`` first
+        for periodic boundaries).
+    coeffs:
+        Advection coefficients; defaults to the uniform atmosphere for the
+        field's grid.
+
+    Returns
+    -------
+    SourceSet
+        Interior-only ``su``, ``sv``, ``sw`` arrays.  The bottom level
+        (``k = 0``) is zero everywhere; the top level's ``sw`` is zero.
+    """
+    grid = fields.grid
+    if coeffs is None:
+        coeffs = AdvectionCoefficients.uniform(grid)
+    if coeffs.nz != grid.nz:
+        raise ValueError(
+            f"coefficients are for nz={coeffs.nz}, grid has nz={grid.nz}"
+        )
+
+    u, v, w = fields.u, fields.v, fields.w
+    sources = SourceSet.zeros(grid)
+
+    for i in range(1, grid.nx + 1):
+        for j in range(1, grid.ny + 1):
+            for k in range(1, grid.nz):
+                su, sv, sw = advect_cell(u, v, w, coeffs, i, j, k, grid.nz)
+                sources.su[i - 1, j - 1, k] = su
+                sources.sv[i - 1, j - 1, k] = sv
+                sources.sw[i - 1, j - 1, k] = sw
+
+    return sources

@@ -1,0 +1,88 @@
+"""Field I/O: checkpoints and MONC-compatible array layouts.
+
+MONC is Fortran: its arrays are ``(k, j, i)`` column-major, while this
+library stores ``(i, j, k)`` C-order (so ``k`` is contiguous in both —
+the streaming order of the FPGA kernel).  The converters here move
+between the two layouts losslessly, and the checkpoint functions persist
+full :class:`~repro.core.fields.FieldSet` states as ``.npz`` archives
+with geometry metadata for exact round trips.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.fields import FIELD_NAMES, FieldSet
+from repro.core.grid import Grid
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "save_fields",
+    "load_fields",
+    "to_monc_layout",
+    "from_monc_layout",
+]
+
+#: Format marker stored in checkpoints; bump on incompatible change.
+_FORMAT_VERSION = 1
+
+
+def to_monc_layout(interior: np.ndarray) -> np.ndarray:
+    """Convert an ``(i, j, k)`` C-order interior to MONC's ``(k, j, i)``.
+
+    The result is Fortran-contiguous, as a Fortran ``u(k, j, i)`` array
+    would be, and shares no memory with the input.
+    """
+    if interior.ndim != 3:
+        raise ConfigurationError(
+            f"expected a 3-D interior array, got shape {interior.shape}"
+        )
+    return np.asfortranarray(interior.transpose(2, 1, 0))
+
+
+def from_monc_layout(monc: np.ndarray) -> np.ndarray:
+    """Convert a MONC ``(k, j, i)`` array to this library's ``(i, j, k)``."""
+    if monc.ndim != 3:
+        raise ConfigurationError(
+            f"expected a 3-D MONC array, got shape {monc.shape}"
+        )
+    return np.ascontiguousarray(monc.transpose(2, 1, 0))
+
+
+def save_fields(path: str | pathlib.Path, fields: FieldSet) -> None:
+    """Persist a field set (interiors + geometry) to a ``.npz`` archive."""
+    grid = fields.grid
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "dims": np.array([grid.nx, grid.ny, grid.nz], dtype=np.int64),
+        "spacings": np.array([grid.dx, grid.dy, grid.dz]),
+    }
+    for name in FIELD_NAMES:
+        payload[name] = fields.interior(name)
+    np.savez_compressed(pathlib.Path(path), **payload)
+
+
+def load_fields(path: str | pathlib.Path, *,
+                periodic: bool = True) -> FieldSet:
+    """Load a field set saved by :func:`save_fields`.
+
+    Halos are refilled (periodically by default), so a round trip through
+    disk reproduces the original interior bit for bit and leaves the
+    halos consistent.
+    """
+    with np.load(pathlib.Path(path)) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"checkpoint format {version} not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        nx, ny, nz = (int(v) for v in archive["dims"])
+        dx, dy, dz = (float(v) for v in archive["spacings"])
+        grid = Grid(nx=nx, ny=ny, nz=nz, dx=dx, dy=dy, dz=dz)
+        return FieldSet.from_interior(
+            grid, archive["u"], archive["v"], archive["w"],
+            periodic=periodic,
+        )

@@ -1,0 +1,38 @@
+"""A generic cycle-level dataflow machine simulator.
+
+The paper's central methodology is to view the FPGA kernel as an
+application-specific *dataflow machine*: independent stages running
+concurrently, streaming values to each other, each producing one result per
+clock cycle in steady state (initiation interval II = 1).  This subpackage
+implements exactly that abstraction:
+
+* :class:`~repro.dataflow.stream.Stream` — a bounded FIFO channel (an HLS
+  stream / OpenCL channel) with backpressure and stall statistics,
+* :class:`~repro.dataflow.stage.Stage` — a pipelined processing stage with a
+  configurable initiation interval and pipeline latency,
+* :class:`~repro.dataflow.graph.DataflowGraph` — stage wiring plus
+  structural validation, and
+* :class:`~repro.dataflow.engine.DataflowEngine` — the cycle-driven
+  simulator, which reports cycle counts, stall breakdowns and per-stage
+  occupancy so dataflow designs can be compared quantitatively.
+"""
+
+from repro.dataflow.engine import DataflowEngine, RunStats
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.monitors import StreamProbe, ThroughputMonitor
+from repro.dataflow.stage import ConstStage, FunctionStage, SinkStage, SourceStage, Stage
+from repro.dataflow.stream import Stream
+
+__all__ = [
+    "Stream",
+    "Stage",
+    "SourceStage",
+    "SinkStage",
+    "FunctionStage",
+    "ConstStage",
+    "DataflowGraph",
+    "DataflowEngine",
+    "RunStats",
+    "StreamProbe",
+    "ThroughputMonitor",
+]

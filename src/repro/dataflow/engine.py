@@ -1,0 +1,151 @@
+"""The cycle-driven simulation engine.
+
+The engine ticks every stage once per clock cycle, in topological order
+(producers before consumers, so a value can traverse at most one stage per
+cycle *boundary* while each stage still enforces its own pipeline latency).
+It terminates when the whole machine is quiescent — every source exhausted,
+every pipeline drained, every stream empty — and reports cycle counts plus
+stall breakdowns, the numbers the paper uses to argue a design achieves
+II = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.monitors import Monitor
+from repro.errors import DataflowError
+
+__all__ = ["DataflowEngine", "RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Result of one engine run."""
+
+    cycles: int
+    #: stage name -> fires
+    fires: dict[str, int] = field(default_factory=dict)
+    #: stage name -> {"input": n, "output": n, "ii": n, "pipeline": n}
+    stalls: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: stream name -> max occupancy observed
+    stream_high_water: dict[str, int] = field(default_factory=dict)
+
+    def throughput(self, stage: str) -> float:
+        """Average results per cycle for one stage (1.0 == ideal II=1)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.fires.get(stage, 0) / self.cycles
+
+    def total_stalls(self, stage: str) -> int:
+        return sum(self.stalls.get(stage, {}).values())
+
+    def summary(self) -> str:
+        """Human-readable multi-line run summary."""
+        lines = [f"cycles: {self.cycles}"]
+        for name in sorted(self.fires):
+            stalls = self.stalls.get(name, {})
+            lines.append(
+                f"  {name}: fires={self.fires[name]} "
+                f"throughput={self.throughput(name):.3f} "
+                f"stalls(in={stalls.get('input', 0)}, out={stalls.get('output', 0)}, "
+                f"ii={stalls.get('ii', 0)}, pipe={stalls.get('pipeline', 0)})"
+            )
+        return "\n".join(lines)
+
+
+class DataflowEngine:
+    """Runs a :class:`DataflowGraph` to quiescence.
+
+    Parameters
+    ----------
+    graph:
+        The wired dataflow graph; :meth:`DataflowGraph.validate` is called
+        before the first cycle.
+    max_cycles:
+        Hard cap to bound runaway simulations.
+    monitors:
+        Optional probes sampled once per cycle.
+    """
+
+    def __init__(self, graph: DataflowGraph, *, max_cycles: int = 10_000_000,
+                 monitors: list[Monitor] | None = None,
+                 stall_grace: int | None = None) -> None:
+        if max_cycles < 1:
+            raise DataflowError(f"max_cycles must be >= 1, got {max_cycles}")
+        if stall_grace is not None and stall_grace < 1:
+            raise DataflowError(
+                f"stall_grace must be >= 1, got {stall_grace}"
+            )
+        self.graph = graph
+        self.max_cycles = max_cycles
+        self.monitors = list(monitors or [])
+        self.stall_grace = stall_grace
+
+    def run(self) -> RunStats:
+        """Simulate until quiescence and return run statistics."""
+        self.graph.validate()
+        order = self.graph.topological_order()
+        # A machine can legitimately make no visible progress for up to the
+        # largest II (waiting out the interval); anything longer without
+        # progress while non-idle is a deadlock (e.g. an undersized FIFO).
+        # Stages gated by external resources (a starved memory arbiter)
+        # may stall longer — callers model that via ``stall_grace``.
+        grace = self.stall_grace if self.stall_grace is not None else (
+            max(s.ii for s in order) + max(s.latency for s in order) + 1
+        )
+
+        cycle = 0
+        last_progress = 0
+        while cycle < self.max_cycles:
+            progressed = False
+            for stage in order:
+                progressed |= stage.tick(cycle)
+            for monitor in self.monitors:
+                monitor.sample(cycle, self.graph)
+            if progressed:
+                last_progress = cycle
+            else:
+                if self._quiescent():
+                    cycle += 1
+                    break
+                if cycle - last_progress > grace:
+                    raise DataflowError(
+                        f"dataflow deadlock in graph {self.graph.name!r} at "
+                        f"cycle {cycle}: no progress for {cycle - last_progress} "
+                        f"cycles; stream states: "
+                        + ", ".join(
+                            f"{s.name}={s.occupancy}/{s.depth}"
+                            for s in self.graph.streams
+                        )
+                    )
+            cycle += 1
+        else:
+            raise DataflowError(
+                f"graph {self.graph.name!r} did not quiesce within "
+                f"{self.max_cycles} cycles"
+            )
+
+        return RunStats(
+            cycles=cycle,
+            fires={s.name: s.stats.fires for s in order},
+            stalls={
+                s.name: {
+                    "input": s.stats.input_stalls,
+                    "output": s.stats.output_stalls,
+                    "ii": s.stats.ii_waits,
+                    "pipeline": s.stats.pipeline_full_stalls,
+                }
+                for s in order
+            },
+            stream_high_water={
+                s.name: s.stats.max_occupancy for s in self.graph.streams
+            },
+        )
+
+    def _quiescent(self) -> bool:
+        """True when nothing can ever happen again."""
+        return all(stage.is_idle() for stage in self.graph.stages) and all(
+            stream.is_empty for stream in self.graph.streams
+        )

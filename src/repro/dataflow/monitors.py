@@ -1,0 +1,95 @@
+"""Probes sampled by the engine once per simulated cycle.
+
+These mirror the insight the Xilinx analysis pane gives a developer
+(section III-C of the paper): per-cycle stream occupancy and windowed stage
+throughput, used to locate the limiting stage of a design.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.graph import DataflowGraph
+
+__all__ = ["Monitor", "StreamProbe", "ThroughputMonitor"]
+
+
+class Monitor(Protocol):
+    """Anything with a per-cycle ``sample`` hook."""
+
+    def sample(self, cycle: int, graph: "DataflowGraph") -> None:
+        """Called by the engine once per cycle after all stages ticked."""
+        ...
+
+
+class StreamProbe:
+    """Records the occupancy of one stream over time.
+
+    Parameters
+    ----------
+    stream_name:
+        Stream to watch.
+    stride:
+        Sample every ``stride`` cycles to bound memory for long runs.
+    """
+
+    def __init__(self, stream_name: str, *, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stream_name = stream_name
+        self.stride = stride
+        self.samples: list[tuple[int, int]] = []
+
+    def sample(self, cycle: int, graph: "DataflowGraph") -> None:
+        if cycle % self.stride == 0:
+            self.samples.append((cycle, graph.stream(self.stream_name).occupancy))
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(occ for _, occ in self.samples) / len(self.samples)
+
+    @property
+    def max_occupancy(self) -> int:
+        return max((occ for _, occ in self.samples), default=0)
+
+
+class ThroughputMonitor:
+    """Windowed firing-rate monitor for one stage.
+
+    ``rates`` holds (cycle, fires_in_window / window) pairs; in steady state
+    an II=1 stage reports 1.0, and the ramp at the start visualises the
+    shift-buffer priming the paper describes.
+    """
+
+    def __init__(self, stage_name: str, *, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.stage_name = stage_name
+        self.window = window
+        self.rates: list[tuple[int, float]] = []
+        self._last_fires = 0
+
+    def sample(self, cycle: int, graph: "DataflowGraph") -> None:
+        if cycle % self.window != self.window - 1:
+            return
+        fires = graph.stage(self.stage_name).stats.fires
+        self.rates.append((cycle, (fires - self._last_fires) / self.window))
+        self._last_fires = fires
+
+    @property
+    def steady_state_rate(self) -> float:
+        """Median of the recorded window rates (robust to ramp-up/drain)."""
+        if not self.rates:
+            return 0.0
+        values = sorted(rate for _, rate in self.rates)
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    @property
+    def peak_rate(self) -> float:
+        return max((rate for _, rate in self.rates), default=0.0)

@@ -1,0 +1,130 @@
+"""Periodic 2-D processor grids and per-rank subdomains.
+
+MONC decomposes the horizontal (x, y) plane across ranks; columns are
+never split vertically.  The decomposition here mirrors that: a ``px x
+py`` periodic processor grid, each rank owning a contiguous block of
+columns plus a one-cell halo all round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.grid import Grid
+from repro.errors import ConfigurationError
+
+__all__ = ["ProcessGrid", "RankDomain"]
+
+
+def _split(cells: int, parts: int) -> list[tuple[int, int]]:
+    """Near-equal contiguous split of ``cells`` into ``parts`` ranges."""
+    base, extra = divmod(cells, parts)
+    bounds = []
+    start = 0
+    for p in range(parts):
+        width = base + (1 if p < extra else 0)
+        bounds.append((start, start + width))
+        start += width
+    return bounds
+
+
+@dataclass(frozen=True)
+class RankDomain:
+    """One rank's piece of the global domain.
+
+    ``x_range``/``y_range`` are global interior coordinates of the owned
+    columns; the rank's local arrays carry the usual one-cell halo.
+    """
+
+    rank: int
+    coords: tuple[int, int]
+    x_range: tuple[int, int]
+    y_range: tuple[int, int]
+    nz: int
+
+    @property
+    def nx(self) -> int:
+        return self.x_range[1] - self.x_range[0]
+
+    @property
+    def ny(self) -> int:
+        return self.y_range[1] - self.y_range[0]
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def local_grid(self, template: Grid) -> Grid:
+        """The rank-local grid (same spacings as the global one)."""
+        return Grid(nx=self.nx, ny=self.ny, nz=self.nz, dx=template.dx,
+                    dy=template.dy, dz=template.dz)
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A periodic ``px x py`` processor grid over a global domain."""
+
+    global_grid: Grid
+    px: int
+    py: int
+
+    def __post_init__(self) -> None:
+        if self.px < 1 or self.py < 1:
+            raise ConfigurationError("processor grid dims must be >= 1")
+        if self.px > self.global_grid.nx or self.py > self.global_grid.ny:
+            raise ConfigurationError(
+                f"processor grid {self.px}x{self.py} exceeds domain "
+                f"{self.global_grid.nx}x{self.global_grid.ny}"
+            )
+        # A depth-1 halo exchange needs every subdomain at least 1 wide;
+        # guaranteed by the check above.
+
+    @property
+    def size(self) -> int:
+        return self.px * self.py
+
+    def rank_of(self, i: int, j: int) -> int:
+        """Rank at processor coordinates (i, j), periodic."""
+        return (i % self.px) * self.py + (j % self.py)
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(
+                f"rank {rank} outside communicator of size {self.size}"
+            )
+        return divmod(rank, self.py)
+
+    def neighbours(self, rank: int) -> dict[str, int]:
+        """Periodic neighbours: west/east in x, south/north in y."""
+        i, j = self.coords_of(rank)
+        return {
+            "west": self.rank_of(i - 1, j),
+            "east": self.rank_of(i + 1, j),
+            "south": self.rank_of(i, j - 1),
+            "north": self.rank_of(i, j + 1),
+        }
+
+    def domain(self, rank: int) -> RankDomain:
+        """The subdomain owned by ``rank``."""
+        i, j = self.coords_of(rank)
+        x_bounds = _split(self.global_grid.nx, self.px)
+        y_bounds = _split(self.global_grid.ny, self.py)
+        return RankDomain(
+            rank=rank,
+            coords=(i, j),
+            x_range=x_bounds[i],
+            y_range=y_bounds[j],
+            nz=self.global_grid.nz,
+        )
+
+    def domains(self) -> list[RankDomain]:
+        return [self.domain(r) for r in range(self.size)]
+
+    def validate_coverage(self) -> None:
+        """Subdomains must tile the global interior exactly once."""
+        total = sum(d.num_cells for d in self.domains())
+        if total != self.global_grid.num_cells:
+            raise ConfigurationError(
+                f"subdomains cover {total} cells, global domain has "
+                f"{self.global_grid.num_cells}"
+            )

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from simulation-time faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GridError",
+    "DataflowError",
+    "StreamError",
+    "GraphError",
+    "ShiftBufferError",
+    "PortConflictError",
+    "ChunkingError",
+    "ResourceError",
+    "CapacityError",
+    "ScheduleError",
+    "CalibrationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class GridError(ConfigurationError):
+    """A grid geometry is malformed (non-positive sizes, halo too large...)."""
+
+
+class DataflowError(ReproError):
+    """Base class for dataflow-machine simulation errors."""
+
+
+class StreamError(DataflowError):
+    """Illegal stream operation (pop from empty, push to full FIFO...)."""
+
+
+class GraphError(DataflowError):
+    """The dataflow graph is malformed (unconnected port, cycle, ...)."""
+
+
+class ShiftBufferError(ReproError):
+    """Shift-buffer misuse (feeding out of order, reading before primed)."""
+
+
+class PortConflictError(ShiftBufferError):
+    """More memory-port accesses in one cycle than the RAM provides."""
+
+
+class ChunkingError(ReproError):
+    """Invalid chunk plan (chunk narrower than the stencil, bad overlap)."""
+
+
+class ResourceError(ReproError):
+    """A design does not fit on the targeted device resources."""
+
+
+class CapacityError(ResourceError):
+    """A buffer allocation exceeds a memory space's capacity."""
+
+
+class ScheduleError(ReproError):
+    """The host runtime schedule is inconsistent (dependency cycle, ...)."""
+
+
+class CalibrationError(ReproError):
+    """A calibration table lookup failed or produced nonsense."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was asked to run with unsupported parameters."""

@@ -1,0 +1,51 @@
+"""Fig. 5: overall performance WITHOUT overlapping transfer and compute.
+
+Six kernels on the U280, five on the Stratix 10, the whole V100, and the
+24-core Xeon, across 16M-536M grid cells, *including* the PCIe transfer of
+inputs and results via the synchronous (Fig. 5) path.  Higher is better.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import MULTI_KERNEL_SIZES
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.report import text_table
+from repro.experiments.sweeps import SWEEP_DEVICE_LABELS, sweep
+from repro.perf.metrics import compare_to_paper
+
+__all__ = ["run_fig5"]
+
+
+@register("fig5")
+def run_fig5() -> ExperimentResult:
+    results = sweep(overlapped=False)
+    headers = ("grid cells",) + tuple(SWEEP_DEVICE_LABELS.values())
+    rows: list[tuple] = []
+    for label in MULTI_KERNEL_SIZES:
+        row: list = [label]
+        for key in SWEEP_DEVICE_LABELS:
+            result = results[(key, label)]
+            row.append(None if result is None else result.gflops)
+        rows.append(tuple(row))
+
+    # The paper's quantitative claim for this figure: synchronous transfer
+    # takes ~2x longer on the U280 than the Stratix 10.
+    u280 = results[("u280", "16M")]
+    stratix = results[("stratix10", "16M")]
+    assert u280 is not None and stratix is not None
+    comparisons = [
+        compare_to_paper(
+            "U280/Stratix transfer-time ratio @16M",
+            u280.transfer_seconds / stratix.transfer_seconds,
+            2.0,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Fig. 5: overall performance without overlap (GFLOPS)",
+        headers=headers,
+        rows=rows,
+        text=text_table(headers, rows,
+                        title="Fig. 5 (no overlap, incl. PCIe; GFLOPS)"),
+        comparisons=comparisons,
+    )

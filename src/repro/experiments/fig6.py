@@ -1,0 +1,59 @@
+"""Fig. 6: overall performance WITH overlapping of transfer and compute.
+
+Same configurations as Fig. 5, but using the chunked, event-chained
+schedule (CUDA streams on the GPU).  Higher is better.  The paper's
+headline observations — the V100 wins everywhere it fits, the U280 beats
+the Stratix 10 until it must fall back from HBM2 to DDR at 268M cells —
+are checked as comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import MULTI_KERNEL_SIZES
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.report import text_table
+from repro.experiments.sweeps import SWEEP_DEVICE_LABELS, sweep
+from repro.perf.metrics import compare_to_paper
+
+__all__ = ["run_fig6"]
+
+
+@register("fig6")
+def run_fig6() -> ExperimentResult:
+    results = sweep(overlapped=True)
+    headers = ("grid cells",) + tuple(SWEEP_DEVICE_LABELS.values())
+    rows: list[tuple] = []
+    for label in MULTI_KERNEL_SIZES:
+        row: list = [label]
+        for key in SWEEP_DEVICE_LABELS:
+            result = results[(key, label)]
+            row.append(None if result is None else result.gflops)
+        rows.append(tuple(row))
+
+    # Structural claims as boolean-ish comparisons (ratio > 1 == claim holds).
+    comparisons = []
+    for label in ("16M", "67M"):
+        u280 = results[("u280", label)]
+        stratix = results[("stratix10", label)]
+        assert u280 is not None and stratix is not None
+        comparisons.append(compare_to_paper(
+            f"U280/Stratix @{label} (paper: >1)",
+            u280.gflops / stratix.gflops, 1.0, kind="ordering",
+        ))
+    for label in ("268M", "536M"):
+        u280 = results[("u280", label)]
+        stratix = results[("stratix10", label)]
+        assert u280 is not None and stratix is not None
+        comparisons.append(compare_to_paper(
+            f"Stratix/U280 @{label} (paper: >1, DDR fallback)",
+            stratix.gflops / u280.gflops, 1.0, kind="ordering",
+        ))
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Fig. 6: overall performance with overlap (GFLOPS)",
+        headers=headers,
+        rows=rows,
+        text=text_table(headers, rows,
+                        title="Fig. 6 (overlapped transfer+compute; GFLOPS)"),
+        comparisons=comparisons,
+    )

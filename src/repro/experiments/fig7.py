@@ -1,0 +1,56 @@
+"""Fig. 7: power usage with overlapped transfer and compute (lower better).
+
+Power capture in the paper: RAPL (CPU), NVIDIA-SMI (GPU), XRT (U280),
+``aocl_mmd_card_info_fn`` (Stratix 10).  The model equivalents report the
+active board draw of each run from the Fig. 6 sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import MULTI_KERNEL_SIZES
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.report import text_table
+from repro.experiments.sweeps import SWEEP_DEVICE_LABELS, sweep
+from repro.perf.calibration import paper_value
+from repro.perf.metrics import compare_to_paper
+
+__all__ = ["run_fig7"]
+
+
+@register("fig7")
+def run_fig7() -> ExperimentResult:
+    results = sweep(overlapped=True)
+    headers = ("grid cells",) + tuple(SWEEP_DEVICE_LABELS.values())
+    rows: list[tuple] = []
+    for label in MULTI_KERNEL_SIZES:
+        row: list = [label]
+        for key in SWEEP_DEVICE_LABELS:
+            result = results[(key, label)]
+            row.append(None if result is None else result.average_watts)
+        rows.append(tuple(row))
+
+    u280_small = results[("u280", "16M")]
+    u280_large = results[("u280", "268M")]
+    stratix_small = results[("stratix10", "16M")]
+    assert u280_small and u280_large and stratix_small
+    comparisons = [
+        compare_to_paper(
+            "Stratix/U280 power ratio @16M",
+            stratix_small.average_watts / u280_small.average_watts,
+            paper_value("fig7.stratix_over_alveo_power"),
+        ),
+        compare_to_paper(
+            "U280 DDR power delta (W)",
+            u280_large.average_watts - u280_small.average_watts,
+            paper_value("fig7.u280_ddr_power_delta"),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Fig. 7: power usage with overlap (Watts)",
+        headers=headers,
+        rows=rows,
+        text=text_table(headers, rows, precision=1,
+                        title="Fig. 7 (power in Watts; lower is better)"),
+        comparisons=comparisons,
+    )

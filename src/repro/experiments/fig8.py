@@ -1,0 +1,62 @@
+"""Fig. 8: power efficiency (GFLOPS/Watt) with overlap (higher better).
+
+Derived from the Fig. 6 performance and Fig. 7 power of the same runs.
+Checked claims: the CPU is worst everywhere; the U280 is ~2x the Stratix
+10 until its DDR fallback; the Stratix 10 beats the V100 at small sizes
+with the V100 slightly ahead at the largest size it fits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import MULTI_KERNEL_SIZES
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.report import text_table
+from repro.experiments.sweeps import SWEEP_DEVICE_LABELS, sweep
+from repro.perf.metrics import compare_to_paper
+
+__all__ = ["run_fig8"]
+
+
+@register("fig8")
+def run_fig8() -> ExperimentResult:
+    results = sweep(overlapped=True)
+    headers = ("grid cells",) + tuple(SWEEP_DEVICE_LABELS.values())
+    rows: list[tuple] = []
+    for label in MULTI_KERNEL_SIZES:
+        row: list = [label]
+        for key in SWEEP_DEVICE_LABELS:
+            result = results[(key, label)]
+            row.append(None if result is None else result.gflops_per_watt)
+        rows.append(tuple(row))
+
+    u280 = results[("u280", "16M")]
+    stratix = results[("stratix10", "16M")]
+    gpu_small = results[("v100", "16M")]
+    gpu_large = results[("v100", "268M")]
+    stratix_large = results[("stratix10", "268M")]
+    assert u280 and stratix and gpu_small and gpu_large and stratix_large
+    comparisons = [
+        compare_to_paper(
+            "U280/Stratix efficiency @16M (paper: ~2x)",
+            u280.gflops_per_watt / stratix.gflops_per_watt, 2.0,
+        ),
+        compare_to_paper(
+            "Stratix/V100 efficiency @16M (paper: >1)",
+            stratix.gflops_per_watt / gpu_small.gflops_per_watt, 1.0,
+            kind="ordering",
+        ),
+        compare_to_paper(
+            "V100/Stratix efficiency @268M (paper: slightly >1)",
+            gpu_large.gflops_per_watt / stratix_large.gflops_per_watt, 1.0,
+            kind="ordering",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Fig. 8: power efficiency with overlap (GFLOPS/W)",
+        headers=headers,
+        rows=rows,
+        text=text_table(headers, rows, precision=3,
+                        title="Fig. 8 (GFLOPS per Watt; higher is better)"),
+        comparisons=comparisons,
+    )

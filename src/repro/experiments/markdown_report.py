@@ -1,0 +1,86 @@
+"""Generate a fresh markdown reproduction report from live model runs.
+
+``python -m repro.experiments.markdown_report [path]`` re-derives every
+table/figure and the scorecard and renders them as markdown — the
+regenerable core of EXPERIMENTS.md, so the committed record can always be
+diffed against what the models currently produce.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.experiments.registry import all_experiment_ids, run_experiment
+from repro.experiments.summary import build_scorecard, build_summary
+
+__all__ = ["render_markdown_report", "write_markdown_report"]
+
+
+def _markdown_table(headers, rows, *, precision: int = 2) -> str:
+    def fmt(value):
+        if value is None:
+            return "—"
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "---|" * len(headers)]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report() -> str:
+    """Run all experiments; return the full markdown report."""
+    summary = build_summary()
+    scorecard = build_scorecard(summary)
+
+    parts = [
+        "# Reproduction report (generated)",
+        "",
+        "Regenerate with `python -m repro.experiments.markdown_report`.",
+        "",
+        f"**Scorecard:** {scorecard.summary_line()}",
+        "",
+    ]
+    for experiment_id in all_experiment_ids():
+        result = run_experiment(experiment_id)
+        parts.append(f"## {result.title}")
+        parts.append("")
+        parts.append(_markdown_table(result.headers, result.rows))
+        parts.append("")
+        if result.comparisons:
+            comparison_rows = [
+                (c.label,
+                 f"{c.measured:.3f}",
+                 f"{c.paper:.3f}",
+                 ("holds" if c.holds else "VIOLATED")
+                 if c.kind == "ordering" else f"{c.percent_error:+.1f}%")
+                for c in result.comparisons
+            ]
+            parts.append(_markdown_table(
+                ("claim", "measured", "paper", "status"), comparison_rows))
+            parts.append("")
+    return "\n".join(parts)
+
+
+def write_markdown_report(path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(render_markdown_report() + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        path = write_markdown_report(argv[0])
+        print(f"wrote {path}")
+    else:
+        print(render_markdown_report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.perf.metrics import PaperComparison
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "register", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+    text: str
+    comparisons: list[PaperComparison] = field(default_factory=list)
+
+    def row_dict(self) -> list[dict]:
+        """Rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+#: experiment id -> zero-argument runner.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding a runner to the registry."""
+
+    def deco(fn: Callable[[], ExperimentResult]):
+        if experiment_id in EXPERIMENTS:
+            raise ExperimentError(
+                f"duplicate experiment id {experiment_id!r}"
+            )
+        EXPERIMENTS[experiment_id] = fn
+        return fn
+
+    return deco
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered experiment by id (importing runners lazily)."""
+    _ensure_loaded()
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def all_experiment_ids() -> Sequence[str]:
+    _ensure_loaded()
+    return sorted(EXPERIMENTS)
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their @register decorators run."""
+    from repro.experiments import fig5, fig6, fig7, fig8, table1, table2  # noqa: F401

@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment results.
+
+Experiments produce rows of (label, value...) data; these helpers format
+them as aligned text tables (what the benchmark harness prints, and what
+EXPERIMENTS.md quotes) and as CSV for further processing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.perf.metrics import PaperComparison
+
+__all__ = ["text_table", "csv_table", "comparison_table"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    if value is None:
+        return "--"
+    return str(value)
+
+
+def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
+               precision: int = 2, title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    formatted = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[col])),
+            *(len(row[col]) for row in formatted)) if formatted
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def csv_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
+              precision: int = 6) -> str:
+    """Render rows as CSV (no quoting: labels here never contain commas)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_format_cell(cell, precision) for cell in row))
+    return "\n".join(lines)
+
+
+def comparison_table(comparisons: Sequence[PaperComparison], *,
+                     title: str | None = None) -> str:
+    """Render measured-vs-paper comparisons.
+
+    Quantitative rows show the percentage deviation; ordering rows (the
+    paper only asserted a direction) show whether the claim holds.
+    """
+    rows = [
+        (c.label, c.measured, c.paper,
+         ("holds" if c.holds else "VIOLATED") if c.kind == "ordering"
+         else f"{c.percent_error:+.1f}%")
+        for c in comparisons
+    ]
+    return text_table(
+        ["quantity", "measured", "paper", "status"], rows,
+        precision=3, title=title,
+    )

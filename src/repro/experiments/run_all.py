@@ -1,0 +1,29 @@
+"""Print every reproduced table and figure: ``python -m repro.experiments.run_all``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import all_experiment_ids, run_experiment
+from repro.experiments.report import comparison_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    ids = argv if argv else list(all_experiment_ids())
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print("=" * 72)
+        print(result.title)
+        print("=" * 72)
+        print(result.text)
+        if result.comparisons:
+            print()
+            print(comparison_table(result.comparisons,
+                                   title="paper-vs-measured:"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

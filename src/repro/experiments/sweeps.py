@@ -1,0 +1,43 @@
+"""The multi-kernel device/size sweep shared by Figs. 5-8."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import CapacityError
+from repro.experiments.common import (
+    MULTI_KERNEL_SIZES,
+    SWEEP_DEVICES,
+    paper_grid,
+    standard_config,
+)
+from repro.runtime.session import RunResult, AdvectionSession
+
+__all__ = ["sweep", "SWEEP_DEVICE_LABELS"]
+
+SWEEP_DEVICE_LABELS: dict[str, str] = {
+    "cpu": "24-core Xeon",
+    "v100": "V100 GPU",
+    "u280": "Alveo U280",
+    "stratix10": "Stratix 10",
+}
+
+
+@lru_cache(maxsize=4)
+def sweep(overlapped: bool) -> dict[tuple[str, str], RunResult | None]:
+    """Run every (device, size) point of the Figs. 5-8 sweep.
+
+    Returns a mapping ``(device_key, size_label) -> RunResult``, with
+    ``None`` where the problem does not fit the device (the V100 at 536M).
+    """
+    config = standard_config()
+    results: dict[tuple[str, str], RunResult | None] = {}
+    for key, device in SWEEP_DEVICES:
+        for label in MULTI_KERNEL_SIZES:
+            grid = paper_grid(label)
+            session = AdvectionSession(device, config.for_grid(grid))
+            try:
+                results[(key, label)] = session.run(grid, overlapped=overlapped)
+            except CapacityError:
+                results[(key, label)] = None
+    return results

@@ -1,0 +1,45 @@
+"""Hardware models: FPGAs, memory systems, PCIe links, clocks and power.
+
+The paper's evaluation hardware (Xilinx Alveo U280, Bittware 520N / Intel
+Stratix 10 GX 2800, 24-core Xeon Platinum 8260M, NVIDIA Tesla V100) is not
+available to a Python reproduction, so this subpackage models each device
+from its published specifications plus a small set of effective-throughput
+calibration constants derived from the paper's own measurements (see
+:mod:`repro.perf.calibration`).  All performance arithmetic in the
+experiment harness flows through these models — nothing is a hard-coded
+result.
+"""
+
+from repro.hardware.clock import ClockModel
+from repro.hardware.cpu import CPUModel
+from repro.hardware.device import FPGADevice
+from repro.hardware.devices import (
+    ALVEO_U280,
+    STRATIX10_GX2800,
+    TESLA_V100,
+    XEON_8260M,
+    device_by_name,
+)
+from repro.hardware.gpu import GPUModel
+from repro.hardware.memory import MemorySpec, StreamingMemoryModel
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.power import PowerModel
+from repro.hardware.resources import ResourceVector, estimate_kernel_resources
+
+__all__ = [
+    "ClockModel",
+    "CPUModel",
+    "GPUModel",
+    "FPGADevice",
+    "MemorySpec",
+    "StreamingMemoryModel",
+    "PCIeLink",
+    "PowerModel",
+    "ResourceVector",
+    "estimate_kernel_resources",
+    "ALVEO_U280",
+    "STRATIX10_GX2800",
+    "XEON_8260M",
+    "TESLA_V100",
+    "device_by_name",
+]

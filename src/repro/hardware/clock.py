@@ -1,0 +1,59 @@
+"""Kernel clock frequency models.
+
+The Alveo U280 held 300 MHz regardless of kernel count; the Stratix 10
+achieved 398 MHz for a single kernel but degraded to 250 MHz at five as
+placement and routing pressure grew (Section IV).  :class:`ClockModel`
+captures a per-kernel-count frequency table with linear interpolation, so
+experiments at intermediate counts behave sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ClockModel"]
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Achieved kernel clock as a function of replicated kernel count.
+
+    Parameters
+    ----------
+    table_mhz:
+        ``table_mhz[i]`` is the clock in MHz with ``i + 1`` kernels.
+        Counts past the end of the table reuse the last entry.
+    """
+
+    table_mhz: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.table_mhz:
+            raise ConfigurationError("clock table must not be empty")
+        if any(f <= 0 for f in self.table_mhz):
+            raise ConfigurationError("clock frequencies must be positive")
+        # Frequencies must be non-increasing: more kernels never clock faster.
+        for a, b in zip(self.table_mhz, self.table_mhz[1:]):
+            if b > a:
+                raise ConfigurationError(
+                    "clock table must be non-increasing in kernel count"
+                )
+
+    @classmethod
+    def constant(cls, mhz: float) -> "ClockModel":
+        """A clock unaffected by kernel count (the Alveo's 300 MHz)."""
+        return cls(table_mhz=(mhz,))
+
+    def frequency_hz(self, num_kernels: int) -> float:
+        """Achieved clock in Hz for ``num_kernels`` replicas."""
+        if num_kernels < 1:
+            raise ConfigurationError(
+                f"num_kernels must be >= 1, got {num_kernels}"
+            )
+        index = min(num_kernels - 1, len(self.table_mhz) - 1)
+        return self.table_mhz[index] * 1e6
+
+    def frequency_mhz(self, num_kernels: int) -> float:
+        return self.frequency_hz(num_kernels) / 1e6

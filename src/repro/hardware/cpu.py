@@ -1,0 +1,104 @@
+"""The Xeon Platinum CPU baseline.
+
+Two modes:
+
+* **modelled** — the paper's 24-core Cascade Lake 8260M, calibrated to its
+  measured figures (2.09 GFLOPS on one core, 15.2 on 24: the kernel is
+  stream-bound, so scaling saturates at the memory system's roofline);
+* **measured** — actually run the vectorised NumPy reference on this host
+  and time it, giving a live CPU data point for the benchmark harness.
+
+The CPU needs no PCIe transfers: its data already lives in host memory,
+which is exactly why it is competitive in the no-overlap comparison of
+Fig. 5 and falls behind once the accelerators hide their transfers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet, SourceSet
+from repro.core.flops import grid_flops
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.errors import ConfigurationError
+from repro.hardware.power import PowerModel
+
+__all__ = ["CPUModel"]
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Roofline model of a multi-core CPU running the PW kernel.
+
+    Parameters
+    ----------
+    name:
+        Device label used in reports.
+    cores:
+        Physical cores available.
+    gflops_per_core:
+        Single-core achieved GFLOPS on this kernel (paper: 2.09).
+    memory_roofline_gflops:
+        Saturation point of the socket's memory system on this kernel
+        (paper: 15.2 at 24 cores — reached well before 24x the single
+        core figure, the signature of a bandwidth-bound stencil).
+    power:
+        Package power model (RAPL-style).
+    """
+
+    name: str
+    cores: int
+    gflops_per_core: float
+    memory_roofline_gflops: float
+    power: PowerModel
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {self.cores}")
+        if self.gflops_per_core <= 0 or self.memory_roofline_gflops <= 0:
+            raise ConfigurationError("GFLOPS figures must be positive")
+
+    def gflops(self, cores: int | None = None) -> float:
+        """Achieved GFLOPS with ``cores`` threads (default: all)."""
+        cores = self.cores if cores is None else cores
+        if not 1 <= cores <= self.cores:
+            raise ConfigurationError(
+                f"cores must be in [1, {self.cores}], got {cores}"
+            )
+        return min(cores * self.gflops_per_core, self.memory_roofline_gflops)
+
+    def kernel_time(self, grid: Grid, cores: int | None = None) -> float:
+        """Seconds for one advection invocation over ``grid``."""
+        return grid_flops(grid) / (self.gflops(cores) * 1e9)
+
+    def run_power_watts(self, cores: int | None = None) -> float:
+        """Package power while running with ``cores`` busy."""
+        cores = self.cores if cores is None else cores
+        return self.power.active_watts(cores, "dram")
+
+    # -- live measurement --------------------------------------------------------
+
+    @staticmethod
+    def measure_host(fields: FieldSet,
+                     coeffs: AdvectionCoefficients | None = None, *,
+                     repeats: int = 3) -> tuple[float, SourceSet]:
+        """Time the NumPy reference on the current host.
+
+        Returns (best seconds per invocation, the computed sources).  Used
+        by ``benchmarks/bench_reference.py`` to put a real measured number
+        next to the modelled ones.
+        """
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        if coeffs is None:
+            coeffs = AdvectionCoefficients.uniform(fields.grid)
+        out = SourceSet.zeros(fields.grid)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            advect_reference(fields, coeffs, out=out)
+            best = min(best, time.perf_counter() - start)
+        return best, out

@@ -1,0 +1,185 @@
+"""The device catalog: the four platforms of the paper's evaluation.
+
+Capacities and structural figures come from the paper's Section II-B
+(hardware setup).  Effective-throughput constants (sustained memory
+bandwidth per kernel, PCIe regimes, power terms) are *calibrated to the
+paper's own measurements* — see the derivations in
+:mod:`repro.perf.calibration`, which records which published number pins
+down each constant.  The experiment harness regenerates every table and
+figure through these models; none of the outputs are hard-coded.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.hardware.clock import ClockModel
+from repro.hardware.cpu import CPUModel
+from repro.hardware.device import FPGADevice
+from repro.hardware.gpu import GPUModel
+from repro.hardware.memory import MemorySpec, StreamingMemoryModel
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.power import PowerModel
+from repro.hardware.resources import ResourceVector
+
+__all__ = [
+    "ALVEO_U280",
+    "STRATIX10_GX2800",
+    "XEON_8260M",
+    "TESLA_V100",
+    "device_by_name",
+]
+
+# ---------------------------------------------------------------------------
+# Xilinx Alveo U280 (Vitis 2020.2).
+# Fabric: 1.08M LUTs, 4.5 MB BRAM, 30 MB URAM, 9024 DSP; 8 GB HBM2 + 32 GB
+# DDR on board; kernels hold 300 MHz at any replica count.
+# ---------------------------------------------------------------------------
+
+ALVEO_U280 = FPGADevice(
+    name="Xilinx Alveo U280",
+    family="xilinx",
+    capacity=ResourceVector(
+        luts=1_080_000,
+        registers=2_400_000,
+        bram_bytes=int(4.5 * constants.MIB),
+        uram_bytes=30 * constants.MIB,
+        dsp=9024,
+    ),
+    # Static shell region (PCIe/DMA/HBM controllers) of the Vitis target
+    # platform.
+    shell=ResourceVector(luts=150_000, registers=200_000,
+                         bram_bytes=512 * 1024),
+    memories={
+        # Per-kernel sustained rate calibrated to Table I: 14.50 GFLOPS at
+        # 16M cells from HBM2 (77% of the 18.86 theoretical).
+        "hbm2": StreamingMemoryModel(MemorySpec(
+            name="hbm2",
+            capacity_bytes=constants.ALVEO_HBM2_BYTES,
+            per_kernel_bandwidth=11.43e9,
+            aggregate_bandwidth=80e9,
+        )),
+        # Calibrated to Table II: 10.43 GFLOPS at 16M from DDR (55% of
+        # theoretical); two DDR4 banks saturate with several kernels.
+        "ddr": StreamingMemoryModel(MemorySpec(
+            name="ddr",
+            capacity_bytes=constants.ALVEO_DDR_BYTES,
+            per_kernel_bandwidth=8.22e9,
+            aggregate_bandwidth=12e9,
+        )),
+    },
+    # Bulk-registered streaming approaches the PCIe3 x16 link rate; the
+    # synchronous path is dominated by XRT per-transfer overheads and is the
+    # "transfers take ~2x longer than the Stratix 10" regime of Fig. 5.
+    pcie=PCIeLink(streamed_bandwidth=13e9, synchronous_bandwidth=2.8e9),
+    clock=ClockModel.constant(constants.ALVEO_CLOCK_MHZ),
+    # XRT-reported board power; the +12 W HBM->DDR delta is the paper's own
+    # measurement.
+    power=PowerModel(
+        static_watts=30.0,
+        dynamic_watts_per_kernel=4.5,
+        memory_watts={"hbm2": 6.0, "ddr": 18.0},
+        transfer_watts=4.0,
+    ),
+    memory_preference=("hbm2", "ddr"),
+)
+
+# ---------------------------------------------------------------------------
+# Intel Stratix 10 GX 2800 on a Bittware 520N (Quartus Prime Pro 20.4).
+# Fabric: 933,120 ALMs, 1.87 MB MLAB, 28.6 MB M20K, 5760 DSP; 32 GB DDR;
+# 398 MHz with one kernel degrading to 250 MHz at five.
+# ---------------------------------------------------------------------------
+
+STRATIX10_GX2800 = FPGADevice(
+    name="Intel Stratix 10 GX2800 (520N)",
+    family="intel",
+    capacity=ResourceVector(
+        alms=933_120,
+        m20k_bytes=int(28.6 * constants.MIB),
+        mlab_bytes=int(1.87 * constants.MIB),
+        dsp=5760,
+    ),
+    shell=ResourceVector(alms=60_000, m20k_bytes=2 * constants.MIB),
+    memories={
+        # Calibrated to Table I: 20.8 GFLOPS at 16M from DDR (83% of the
+        # 25.02 theoretical) — the Intel load-store units' automatic
+        # bursting/prefetching sustain far more of DDR than the U280 does.
+        "ddr": StreamingMemoryModel(MemorySpec(
+            name="ddr",
+            capacity_bytes=constants.STRATIX_DDR_BYTES,
+            per_kernel_bandwidth=16.4e9,
+            aggregate_bandwidth=40e9,
+        )),
+    },
+    pcie=PCIeLink(streamed_bandwidth=12e9, synchronous_bandwidth=5.6e9),
+    clock=ClockModel(table_mhz=(
+        constants.STRATIX_SINGLE_KERNEL_CLOCK_MHZ,  # 398 with one kernel
+        360.0, 325.0, 285.0,
+        constants.STRATIX_MULTI_KERNEL_CLOCK_MHZ,   # 250 at five
+    )),
+    # aocl_mmd_card_info_fn-reported board power: ~1.5x the Alveo.
+    power=PowerModel(
+        static_watts=55.0,
+        dynamic_watts_per_kernel=7.0,
+        memory_watts={"ddr": 12.0},
+        transfer_watts=4.0,
+    ),
+    memory_preference=("ddr",),
+)
+
+# ---------------------------------------------------------------------------
+# 24-core Xeon Platinum 8260M (Cascade Lake).
+# Table I: 2.09 GFLOPS on one core, 15.2 on 24 — stream-bound saturation.
+# ---------------------------------------------------------------------------
+
+XEON_8260M = CPUModel(
+    name="Xeon Platinum 8260M (24-core Cascade Lake)",
+    cores=24,
+    gflops_per_core=2.09,
+    memory_roofline_gflops=15.2,
+    power=PowerModel(
+        static_watts=85.0,
+        dynamic_watts_per_kernel=2.4,  # per busy core
+        memory_watts={"dram": 8.0},
+        transfer_watts=0.0,  # no PCIe hop for host-resident data
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# NVIDIA Tesla V100 (OpenACC port of [13], PGI 20.9).
+# Table I: 367.2 GFLOPS kernel-only; 16 GB HBM2 (excludes the 536M case).
+# ---------------------------------------------------------------------------
+
+TESLA_V100 = GPUModel(
+    name="NVIDIA Tesla V100",
+    kernel_gflops=367.2,
+    memory_capacity_bytes=constants.V100_HBM2_BYTES,
+    pcie=PCIeLink(streamed_bandwidth=15e9, synchronous_bandwidth=6.5e9),
+    power=PowerModel(
+        static_watts=40.0,
+        dynamic_watts_per_kernel=80.0,  # whole-GPU dynamic draw
+        memory_watts={"hbm2": 10.0},
+        transfer_watts=5.0,
+    ),
+)
+
+_CATALOG = {
+    "u280": ALVEO_U280,
+    "alveo": ALVEO_U280,
+    "stratix10": STRATIX10_GX2800,
+    "stratix": STRATIX10_GX2800,
+    "xeon": XEON_8260M,
+    "cpu": XEON_8260M,
+    "v100": TESLA_V100,
+    "gpu": TESLA_V100,
+}
+
+
+def device_by_name(name: str):
+    """Look up a catalog device by a short alias (case-insensitive)."""
+    try:
+        return _CATALOG[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device {name!r}; known: {sorted(set(_CATALOG))}"
+        ) from None

@@ -1,0 +1,63 @@
+"""The NVIDIA Tesla V100 baseline.
+
+The paper's GPU implementation is the OpenACC port of MONC [13], using the
+whole GPU (so there is no "number of kernels" axis) and CUDA streams for
+the overlapped comparison.  The model is a kernel-rate roofline (the
+measured 367.2 GFLOPS of Table I), an on-board HBM2 capacity limit (16 GB
+— which is why the 536M-cell / 25.8 GB configuration has no GPU result),
+and the shared PCIe transfer model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.flops import grid_flops
+from repro.core.grid import Grid
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.power import PowerModel
+
+__all__ = ["GPUModel"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Performance/power model of a data-centre GPU on the PW kernel."""
+
+    name: str
+    kernel_gflops: float
+    memory_capacity_bytes: int
+    pcie: PCIeLink
+    power: PowerModel
+    #: Per-run stream/data-region setup cost (CUDA streams, OpenACC data
+    #: construct creation); amortised away on the FPGAs whose buffers are
+    #: bulk-registered once.
+    setup_seconds: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.kernel_gflops <= 0:
+            raise ConfigurationError("kernel_gflops must be positive")
+        if self.memory_capacity_bytes <= 0:
+            raise ConfigurationError("memory capacity must be positive")
+
+    def fits(self, grid: Grid, *, word_bytes: int = 8) -> bool:
+        """True if the six working arrays fit in device memory."""
+        return 6 * word_bytes * grid.num_cells <= self.memory_capacity_bytes
+
+    def require_fits(self, grid: Grid, *, word_bytes: int = 8) -> None:
+        if not self.fits(grid, word_bytes=word_bytes):
+            needed = 6 * word_bytes * grid.num_cells
+            raise CapacityError(
+                f"{self.name}: problem needs {needed / 2**30:.1f} GiB but "
+                f"device has {self.memory_capacity_bytes / 2**30:.1f} GiB"
+            )
+
+    def kernel_time(self, grid: Grid) -> float:
+        """Kernel-only seconds for one invocation (data already resident)."""
+        self.require_fits(grid)
+        return grid_flops(grid) / (self.kernel_gflops * 1e9)
+
+    def run_power_watts(self) -> float:
+        """Board power while the kernel and DMA engines are busy."""
+        return self.power.active_watts(1, "hbm2", transferring=True)

@@ -1,0 +1,145 @@
+"""FPGA resource vectors and kernel resource estimation.
+
+Xilinx and Intel count fabric differently (LUT+FF+BRAM+URAM+DSP slices
+versus ALM+MLAB+M20K+variable-precision DSP blocks), so the resource
+vector keeps both families' axes and a device simply leaves the other
+family's axes at zero capacity.
+
+The kernel estimate reproduces the paper's placement outcome — a single
+kernel occupies ~15% of either chip; six fit on the U280 and five on the
+Stratix 10 — from first-principles component counts (shift-buffer RAM,
+double-precision operator DSP costs, control logic) rather than from the
+final answer, so changing e.g. the chunk width or going single-precision
+moves the fit the way it would in the tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ResourceError
+from repro.kernel.config import KernelConfig
+
+__all__ = ["ResourceVector", "estimate_kernel_resources", "fit_kernels"]
+
+#: Fraction of raw fabric usable before routing congestion defeats timing
+#: closure; both vendors' tools struggle past ~80-85% utilisation.
+ROUTABLE_FRACTION: float = 0.85
+
+# Double-precision floating point operator costs.
+# Xilinx UltraScale+ (DSP48E2, logic-assisted):
+_XILINX_DSP_PER_DP_MUL: int = 10
+_XILINX_DSP_PER_DP_ADD: int = 3
+_XILINX_LUT_PER_DP_OP: int = 800
+# Intel Stratix 10 (DSP blocks are single-precision native; DP is
+# ALM-heavy):
+_INTEL_DSP_PER_DP_MUL: int = 8
+_INTEL_DSP_PER_DP_ADD: int = 4
+_INTEL_ALM_PER_DP_OP: int = 2000
+
+#: Multiplies / adds per advection stage (of the 21 ops: products dominate
+#: the v*(w+w) patterns).
+_DP_MULS_PER_STAGE: int = 10
+_DP_ADDS_PER_STAGE: int = 11
+
+#: BRAM18 block bytes (Xilinx) and M20K block bytes (Intel).
+BRAM18_BYTES: int = 18 * 1024 // 8 * 8  # 18 kbit
+M20K_BYTES: int = 20 * 1024 // 8 * 8    # 20 kbit
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A quantity of FPGA fabric, on both vendors' axes."""
+
+    luts: int = 0
+    registers: int = 0
+    bram_bytes: int = 0
+    uram_bytes: int = 0
+    dsp: int = 0
+    alms: int = 0
+    m20k_bytes: int = 0
+    mlab_bytes: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def scaled(self, factor: int) -> "ResourceVector":
+        """This vector replicated ``factor`` times (``factor`` kernels)."""
+        if factor < 0:
+            raise ResourceError(f"scale factor must be >= 0, got {factor}")
+        return ResourceVector(**{
+            f.name: getattr(self, f.name) * factor for f in fields(self)
+        })
+
+    def fits_in(self, capacity: "ResourceVector", *,
+                routable: float = ROUTABLE_FRACTION) -> bool:
+        """True if this usage fits in ``capacity`` after routing derate."""
+        for f in fields(self):
+            need = getattr(self, f.name)
+            have = getattr(capacity, f.name)
+            if need > 0 and need > have * routable:
+                return False
+        return True
+
+    def utilisation(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Fractional use of each non-zero capacity axis."""
+        out: dict[str, float] = {}
+        for f in fields(self):
+            have = getattr(capacity, f.name)
+            if have > 0:
+                out[f.name] = getattr(self, f.name) / have
+        return out
+
+
+def estimate_kernel_resources(config: KernelConfig, family: str) -> ResourceVector:
+    """Estimate the fabric one advection kernel instance consumes.
+
+    Parameters
+    ----------
+    config:
+        Kernel design (the shift-buffer footprint follows the chunk width
+        and column height).
+    family:
+        ``"xilinx"`` or ``"intel"``.
+    """
+    muls = 3 * _DP_MULS_PER_STAGE
+    adds = 3 * _DP_ADDS_PER_STAGE
+    ops = muls + adds
+
+    # Shift buffers (three fields) in on-chip RAM; FIFO streams add ~10%.
+    buffer_bytes = int(config.buffer_bytes * 1.10)
+
+    if family == "xilinx":
+        return ResourceVector(
+            luts=ops * _XILINX_LUT_PER_DP_OP + 60_000,  # + control/infrastructure
+            registers=ops * 1_600 + 80_000,
+            bram_bytes=buffer_bytes,
+            dsp=muls * _XILINX_DSP_PER_DP_MUL + adds * _XILINX_DSP_PER_DP_ADD,
+        )
+    if family == "intel":
+        return ResourceVector(
+            alms=ops * _INTEL_ALM_PER_DP_OP + 18_000,
+            m20k_bytes=buffer_bytes,
+            dsp=muls * _INTEL_DSP_PER_DP_MUL + adds * _INTEL_DSP_PER_DP_ADD,
+        )
+    raise ResourceError(f"unknown FPGA family {family!r}")
+
+
+def fit_kernels(kernel: ResourceVector, capacity: ResourceVector,
+                shell: ResourceVector | None = None, *,
+                routable: float = ROUTABLE_FRACTION) -> int:
+    """Largest number of kernel replicas that fit alongside the shell.
+
+    The shell (PCIe/DMA/memory controllers) is placed first; kernels then
+    replicate until some axis exceeds the routable fraction of capacity.
+    """
+    shell = shell or ResourceVector()
+    count = 0
+    while (shell + kernel.scaled(count + 1)).fits_in(capacity, routable=routable):
+        count += 1
+        if count > 1024:  # pragma: no cover - misconfiguration guard
+            raise ResourceError("fit_kernels runaway; capacity looks unbounded")
+    return count

@@ -1,0 +1,43 @@
+"""The PW advection FPGA kernel, assembled per Fig. 2 of the paper.
+
+This subpackage turns the generic dataflow machinery and the shift buffer
+into the paper's actual kernel:
+
+* :mod:`repro.kernel.config` — kernel configuration (grid, chunking, stream
+  depths, pipeline latencies),
+* :mod:`repro.kernel.compute` — the per-cell source-term arithmetic
+  evaluated on 27-point stencil windows (identical expression trees to the
+  golden scalar code),
+* :mod:`repro.kernel.stages` — the dataflow stages of Fig. 2 (read data,
+  shift buffer, replicate, advect U/V/W, write data),
+* :mod:`repro.kernel.builder` — wires the stages into a
+  :class:`~repro.dataflow.graph.DataflowGraph`,
+* :mod:`repro.kernel.functional` — fast functional execution (chunked,
+  vectorised) and full-fidelity shift-buffer execution,
+* :mod:`repro.kernel.cycle_model` — the closed-form cycle count validated
+  against the cycle simulator, used for paper-scale problem sizes,
+* :mod:`repro.kernel.multi` — multi-kernel domain decomposition
+  (Section IV).
+"""
+
+from repro.kernel.builder import build_advection_graph
+from repro.kernel.config import KernelConfig
+from repro.kernel.cycle_model import CycleBreakdown, KernelCycleModel
+from repro.kernel.functional import execute_chunked, execute_shiftbuffer
+from repro.kernel.multi import MultiKernel
+from repro.kernel.multi_simulate import simulate_multi_kernel
+from repro.kernel.report import synthesis_report
+from repro.kernel.simulate import simulate_kernel
+
+__all__ = [
+    "KernelConfig",
+    "build_advection_graph",
+    "simulate_kernel",
+    "simulate_multi_kernel",
+    "execute_chunked",
+    "execute_shiftbuffer",
+    "KernelCycleModel",
+    "CycleBreakdown",
+    "MultiKernel",
+    "synthesis_report",
+]

@@ -1,0 +1,120 @@
+"""Wires the Fig. 2 dataflow graph for one chunk pass of the kernel."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet, SourceSet
+from repro.dataflow.graph import DataflowGraph
+from repro.kernel.config import KernelConfig
+from repro.kernel.stages import (
+    AdvectStage,
+    CellInput,
+    ReadDataStage,
+    ReplicateStage,
+    ShiftBufferStage,
+    WriteDataStage,
+)
+from repro.shiftbuffer.chunking import Chunk
+from repro.shiftbuffer.ports import MemoryPortTracker
+
+__all__ = ["build_advection_graph", "chunk_cell_stream"]
+
+
+def chunk_cell_stream(fields: FieldSet, chunk: Chunk) -> Iterator[CellInput]:
+    """Yield the chunk's cells in kernel streaming order (Z, then Y, then X).
+
+    The streamed block spans the full (halo-extended) X axis and the
+    chunk's read range in Y — what the *read data* stage fetches from
+    external memory for this chunk.
+    """
+    u = fields.u[:, chunk.read_start:chunk.read_stop, :]
+    v = fields.v[:, chunk.read_start:chunk.read_stop, :]
+    w = fields.w[:, chunk.read_start:chunk.read_stop, :]
+    nx, ny, nz = u.shape
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                yield CellInput(float(u[i, j, k]), float(v[i, j, k]),
+                                float(w[i, j, k]))
+
+
+def build_advection_graph(config: KernelConfig, fields: FieldSet,
+                          chunk: Chunk, coeffs: AdvectionCoefficients,
+                          out: SourceSet, *, read_ii: int = 1,
+                          tracker: MemoryPortTracker | None = None,
+                          x_offset: int = 0, name_prefix: str = "",
+                          read_stage_cls: type[ReadDataStage] | None = None,
+                          ) -> DataflowGraph:
+    """Build the dataflow graph of Fig. 2 for one chunk.
+
+    Parameters
+    ----------
+    config:
+        Kernel design parameters (latencies, FIFO depths, II).
+    fields:
+        Input wind fields (halo coordinates).
+    chunk:
+        The Y chunk to process.
+    coeffs:
+        Advection coefficients.
+    out:
+        Source set the write stage scatters results into (interior
+        coordinates of the full grid).
+    read_ii:
+        Initiation interval of the read stage; >1 models a
+        bandwidth-limited external memory.
+    tracker:
+        Optional port tracker shared with the caller for port-pressure
+        assertions.
+    x_offset:
+        Global X offset of this (sub)grid's results — non-zero when the
+        kernel is one instance of a multi-kernel decomposition.
+    name_prefix:
+        Prefix for stage names (multi-kernel co-simulation merges several
+        kernels' stages into one graph and needs unique names).
+    read_stage_cls:
+        Alternative read-stage class (e.g. an arbitrated one modelling a
+        shared external memory).
+    """
+    grid = config.grid
+    nx_buf = grid.nx + 2  # full halo-extended X extent
+    ny_buf = chunk.read_width
+    nz = grid.nz
+
+    graph = DataflowGraph(f"{name_prefix}advection[chunk={chunk.index}]")
+    read_cls = read_stage_cls or ReadDataStage
+
+    read = graph.add(read_cls(
+        f"{name_prefix}read_data", chunk_cell_stream(fields, chunk),
+        ii=read_ii, latency=config.memory_latency,
+    ))
+    shift = graph.add(ShiftBufferStage(
+        f"{name_prefix}shift_buffer", nx_buf, ny_buf, nz,
+        ii=config.shift_buffer_ii,
+        latency=2, partitioned=config.partitioned, tracker=tracker,
+    ))
+    replicate = graph.add(ReplicateStage(f"{name_prefix}replicate"))
+    advects = {
+        field: graph.add(AdvectStage(
+            f"{name_prefix}advect_{field}", field, coeffs, nz,
+            latency=config.advect_latency,
+        ))
+        for field in ("u", "v", "w")
+    }
+    write = graph.add(WriteDataStage(
+        f"{name_prefix}write_data", out.su, out.sv, out.sw,
+        x_offset=x_offset, y_offset=chunk.write_start - 1,
+        latency=config.memory_latency,
+    ))
+
+    depth = config.stream_depth
+    graph.connect(read, "out", shift, "in", depth=depth)
+    graph.connect(shift, "out", replicate, "in", depth=depth)
+    for field in ("u", "v", "w"):
+        graph.connect(replicate, field, advects[field], "in", depth=depth)
+        graph.connect(advects[field], "out", write, f"s{field}", depth=depth)
+    return graph

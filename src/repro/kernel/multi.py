@@ -1,0 +1,73 @@
+"""Multi-kernel decomposition (Section IV of the paper).
+
+A single kernel occupies ~15% of either FPGA, so the paper scales up to
+six kernels on the Alveo U280 and five on the Stratix 10, splitting the
+domain between identical kernel instances.  :class:`MultiKernel` models
+that: an X-axis decomposition into near-equal parts, each processed by one
+kernel instance; the invocation finishes when the largest part finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.grid import Grid, GridDecomposition
+from repro.errors import ConfigurationError
+from repro.kernel.config import KernelConfig
+from repro.kernel.cycle_model import KernelCycleModel
+
+__all__ = ["MultiKernel"]
+
+
+@dataclass(frozen=True)
+class MultiKernel:
+    """A bank of identical advection kernels sharing one device.
+
+    Parameters
+    ----------
+    config:
+        The per-kernel design (applied to each part's sub-grid).
+    num_kernels:
+        Kernel instances on the device (paper: 6 on U280, 5 on Stratix 10).
+    """
+
+    config: KernelConfig
+    num_kernels: int
+
+    def __post_init__(self) -> None:
+        if self.num_kernels < 1:
+            raise ConfigurationError(
+                f"num_kernels must be >= 1, got {self.num_kernels}"
+            )
+
+    def decomposition(self, grid: Grid | None = None) -> GridDecomposition:
+        grid = grid or self.config.grid
+        parts = min(self.num_kernels, grid.nx)
+        return GridDecomposition(grid, parts)
+
+    def cycles(self, grid: Grid | None = None, *, read_ii: int = 1) -> int:
+        """Cycles until the slowest kernel instance finishes."""
+        grid = grid or self.config.grid
+        decomp = self.decomposition(grid)
+        worst = 0
+        for part in range(decomp.parts):
+            sub = decomp.subgrid(part)
+            model = KernelCycleModel(self.config.for_grid(sub), read_ii=read_ii)
+            worst = max(worst, model.cycles())
+        return worst
+
+    def runtime_seconds(self, clock_hz: float, grid: Grid | None = None, *,
+                        read_ii: int = 1) -> float:
+        if clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_hz}")
+        return self.cycles(grid, read_ii=read_ii) / clock_hz
+
+    def speedup_over_single(self, grid: Grid | None = None) -> float:
+        """Parallel speedup versus one kernel instance on the same grid.
+
+        Sub-linear: each part re-reads its own halos and refills its own
+        pipelines, so six kernels deliver a bit less than 6x.
+        """
+        grid = grid or self.config.grid
+        single = KernelCycleModel(self.config.for_grid(grid)).cycles()
+        return single / self.cycles(grid)

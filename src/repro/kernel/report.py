@@ -1,0 +1,120 @@
+"""HLS-style synthesis report for a kernel configuration.
+
+Section III-C of the paper contrasts the insight the two tool chains
+give: loop initiation intervals, scheduled latencies, resource tables,
+and memory-dependency warnings.  :func:`synthesis_report` produces the
+same kind of report from the models — including the two issues the paper
+hit (URAM access latency forcing II=2; unpartitioned dimension-3 arrays
+breaking the dual-port budget on Intel) — so a developer can sanity-check
+a configuration before "building" it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.cycle_model import KernelCycleModel
+from repro.perf.theoretical import theoretical_gflops
+from repro.shiftbuffer.chunking import MIN_EFFICIENT_CHUNK
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.device import FPGADevice
+
+__all__ = ["SynthesisReport", "synthesis_report"]
+
+
+@dataclass
+class SynthesisReport:
+    """A tool-style summary of one kernel design on one device."""
+
+    device: str
+    achieved_ii: int
+    pipeline_depth: int
+    kernels_fit: int
+    clock_mhz: float
+    theoretical_gflops: float
+    buffer_bytes: int
+    utilisation: dict[str, float]
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def timing_met(self) -> bool:
+        """II = 1 with no blocking warnings."""
+        return self.achieved_ii == 1
+
+    def render(self) -> str:
+        lines = [
+            f"== synthesis report: {self.device} ==",
+            f"  loop initiation interval (II) : {self.achieved_ii}",
+            f"  pipeline depth                : {self.pipeline_depth} cycles",
+            f"  kernel clock                  : {self.clock_mhz:.0f} MHz",
+            f"  theoretical peak              : "
+            f"{self.theoretical_gflops:.2f} GFLOPS",
+            f"  shift-buffer footprint        : "
+            f"{self.buffer_bytes / 1024:.1f} KiB on-chip",
+            f"  replicas that fit             : {self.kernels_fit}",
+            "  resource utilisation (one kernel):",
+        ]
+        for axis, fraction in sorted(self.utilisation.items()):
+            lines.append(f"    {axis:<12} {100 * fraction:5.1f}%")
+        if self.warnings:
+            lines.append("  warnings:")
+            for warning in self.warnings:
+                lines.append(f"    ! {warning}")
+        else:
+            lines.append("  warnings: none")
+        return "\n".join(lines)
+
+
+def synthesis_report(config: KernelConfig,
+                     device: "FPGADevice") -> SynthesisReport:
+    """Analyse ``config`` as the vendor tooling would."""
+    warnings: list[str] = []
+
+    achieved_ii = config.shift_buffer_ii
+    if not config.partitioned:
+        # The §III-B Intel finding: the dimension-3 arrays must be split
+        # or the dual-ported memory limits the II.  Five accesses per
+        # cycle against two ports -> II 3.
+        achieved_ii = max(achieved_ii, 3)
+        warnings.append(
+            "shift-buffer arrays are not partitioned: 5 accesses/cycle on "
+            "a dual-ported memory limits II to 3 (split the dimension-3 "
+            "arrays / apply array_partition)"
+        )
+    if config.shift_buffer_ii > 1:
+        warnings.append(
+            f"shift buffer declares II={config.shift_buffer_ii} (e.g. "
+            f"URAM's 2-cycle access, section III-A): throughput divided "
+            f"by {config.shift_buffer_ii}"
+        )
+    if config.chunk_width <= MIN_EFFICIENT_CHUNK:
+        warnings.append(
+            f"chunk width {config.chunk_width} <= {MIN_EFFICIENT_CHUNK}: "
+            f"short external-memory bursts will degrade bandwidth "
+            f"(section III)"
+        )
+    if config.stream_depth < 2:  # pragma: no cover - config already rejects
+        warnings.append("stream depth < 2 cannot absorb column-top bursts")
+
+    resources = device.kernel_resources(config)
+    kernels_fit = device.max_kernels(config)
+    if kernels_fit == 0:
+        warnings.append("design does not fit the device at all")
+    clock_mhz = device.clock.frequency_mhz(max(1, kernels_fit))
+    model = KernelCycleModel(config)
+
+    return SynthesisReport(
+        device=device.name,
+        achieved_ii=achieved_ii,
+        pipeline_depth=model.pipeline_depth,
+        kernels_fit=kernels_fit,
+        clock_mhz=clock_mhz,
+        theoretical_gflops=theoretical_gflops(
+            clock_mhz, column_height=config.grid.nz) / achieved_ii,
+        buffer_bytes=config.buffer_bytes,
+        utilisation=resources.utilisation(device.capacity),
+        warnings=warnings,
+    )

@@ -1,0 +1,202 @@
+"""The dataflow stages of the advection kernel (the boxes of Fig. 2).
+
+``read data -> shift buffer -> replicate -> advect U/V/W -> write data``
+
+Each stage is a :class:`~repro.dataflow.stage.Stage`, so the cycle engine
+gives us the machine behaviour (II, pipeline fill, backpressure) while the
+functional behaviour lives in :mod:`repro.kernel.compute` and
+:mod:`repro.shiftbuffer.buffer3d` — the same separation the HLS code keeps
+between pragmas and arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.dataflow.stage import SourceStage, Stage
+from repro.errors import DataflowError
+from repro.shiftbuffer.buffer3d import ShiftBuffer3D
+from repro.shiftbuffer.ports import MemoryPortTracker
+from repro.shiftbuffer.window import StencilWindow
+
+__all__ = [
+    "CellInput",
+    "StencilBundle",
+    "ReadDataStage",
+    "ShiftBufferStage",
+    "ReplicateStage",
+    "AdvectStage",
+    "WriteDataStage",
+]
+
+
+@dataclass(frozen=True)
+class CellInput:
+    """One grid cell's worth of input data (a 3-field packed word)."""
+
+    u: float
+    v: float
+    w: float
+
+
+@dataclass(frozen=True)
+class StencilBundle:
+    """The three 27-point windows for one output cell."""
+
+    u: StencilWindow
+    v: StencilWindow
+    w: StencilWindow
+    center: tuple[int, int, int]
+    top: bool
+
+
+class ReadDataStage(SourceStage):
+    """Streams `CellInput` values for one chunk from "external memory".
+
+    The memory system's sustained throughput is modelled by the ``ii``
+    parameter: an external memory that can only supply a cell every other
+    cycle is a read stage with II = 2 (the device model computes this from
+    bandwidth; see :mod:`repro.hardware.memory`).
+    """
+
+    def __init__(self, name: str, cells: Iterator[CellInput], *, ii: int = 1,
+                 latency: int = 16) -> None:
+        super().__init__(name, items=cells, ii=ii, latency=latency)
+
+
+class ShiftBufferStage(Stage):
+    """Feeds the three per-field shift buffers; emits stencil bundles.
+
+    One :class:`CellInput` is consumed per firing; zero, one, or two
+    bundles are produced (two at column tops — the burst the downstream
+    FIFO absorbs, see the shift-buffer docs).
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def __init__(self, name: str, nx: int, ny: int, nz: int, *,
+                 ii: int = 1, latency: int = 2, partitioned: bool = True,
+                 tracker: MemoryPortTracker | None = None) -> None:
+        super().__init__(name, ii=ii, latency=latency)
+        self.tracker = tracker if tracker is not None else MemoryPortTracker(
+            enforce=False
+        )
+        self._buffers = {
+            field: ShiftBuffer3D(
+                nx, ny, nz, partitioned=partitioned, tracker=self.tracker,
+                name=f"{name}.{field}",
+            )
+            for field in ("u", "v", "w")
+        }
+        self.nz = nz
+
+    def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
+        (cell,) = inputs["in"]
+        wins_u = self._buffers["u"].feed(cell.u)
+        wins_v = self._buffers["v"].feed(cell.v)
+        wins_w = self._buffers["w"].feed(cell.w)
+        if not (len(wins_u) == len(wins_v) == len(wins_w)):
+            raise DataflowError(
+                f"shift buffers desynchronised: emitted "
+                f"{len(wins_u)}/{len(wins_v)}/{len(wins_w)} windows"
+            )
+        bundles = [
+            StencilBundle(u=wu, v=wv, w=ww, center=wu.center, top=wu.top)
+            for wu, wv, ww in zip(wins_u, wins_v, wins_w)
+        ]
+        return {"out": bundles} if bundles else {}
+
+    def reset(self) -> None:
+        super().reset()
+        for buffer in self._buffers.values():
+            buffer.reset()
+
+
+class ReplicateStage(Stage):
+    """Replicates each stencil bundle to the three advection stages.
+
+    Advection of every field needs all three input fields (the paper's
+    motivation for the replicate stages in Fig. 2).
+    """
+
+    input_ports = ("in",)
+    output_ports = ("u", "v", "w")
+
+    def __init__(self, name: str, *, ii: int = 1, latency: int = 1) -> None:
+        super().__init__(name, ii=ii, latency=latency)
+
+    def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
+        (bundle,) = inputs["in"]
+        return {"u": [bundle], "v": [bundle], "w": [bundle]}
+
+
+class AdvectStage(Stage):
+    """Computes one field's source term per cycle from a stencil bundle.
+
+    This stage is where the 21 double-precision operations per cycle live;
+    ``latency`` models the depth of the scheduled floating-point pipeline.
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def __init__(self, name: str, field: str,
+                 coeffs: AdvectionCoefficients, nz: int, *, ii: int = 1,
+                 latency: int = 28) -> None:
+        super().__init__(name, ii=ii, latency=latency)
+        if field not in ("u", "v", "w"):
+            raise DataflowError(f"unknown field {field!r}")
+        self.field = field
+        self.coeffs = coeffs
+        self.nz = nz
+        # Import here to avoid a cycle at package import time.
+        from repro.kernel import compute
+
+        self._fn = {
+            "u": compute.advect_u,
+            "v": compute.advect_v,
+            "w": compute.advect_w,
+        }[field]
+
+    def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
+        (bundle,) = inputs["in"]
+        k = bundle.center[2]
+        value = self._fn(bundle.u, bundle.v, bundle.w, self.coeffs, k, self.nz)
+        return {"out": [(bundle.center, value)]}
+
+
+class WriteDataStage(Stage):
+    """Collects the three source streams and writes them to "external memory".
+
+    Results for one cell arrive on the three ports in lock step (the
+    advect stages share II and latency); the stage consumes one result per
+    port per firing and scatters them into the output arrays at the
+    chunk's global offset.
+    """
+
+    input_ports = ("su", "sv", "sw")
+    output_ports: tuple[str, ...] = ()
+
+    def __init__(self, name: str, su: np.ndarray, sv: np.ndarray,
+                 sw: np.ndarray, *, x_offset: int = 0, y_offset: int = 0,
+                 ii: int = 1, latency: int = 16) -> None:
+        super().__init__(name, ii=ii, latency=latency)
+        self._arrays = {"su": su, "sv": sv, "sw": sw}
+        self.x_offset = x_offset
+        self.y_offset = y_offset
+        self.cells_written = 0
+
+    def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
+        for port in ("su", "sv", "sw"):
+            ((center, value),) = inputs[port]
+            cx, cy, cz = center
+            self._arrays[port][
+                cx - 1 + self.x_offset, cy - 1 + self.y_offset, cz
+            ] = value
+        self.cells_written += 1
+        return {}

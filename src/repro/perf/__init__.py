@@ -1,0 +1,30 @@
+"""Performance metrics, theoretical peaks, rooflines and calibration.
+
+The paper's central methodological tool is the *theoretical performance*
+of a dataflow design — operations per cycle times clock frequency — used
+as the yardstick every implementation is measured against
+(:mod:`repro.perf.theoretical`).  :mod:`repro.perf.calibration` documents
+how each effective-throughput constant in the device catalog was derived
+from the paper's published measurements, and verifies the derivations
+numerically.
+"""
+
+from repro.perf.calibration import CALIBRATION, CalibrationEntry
+from repro.perf.metrics import KernelMetrics, compare_to_paper
+from repro.perf.roofline import RooflinePoint, arithmetic_intensity, roofline_gflops
+from repro.perf.theoretical import (
+    percent_of_theoretical,
+    theoretical_gflops,
+)
+
+__all__ = [
+    "theoretical_gflops",
+    "percent_of_theoretical",
+    "KernelMetrics",
+    "compare_to_paper",
+    "CALIBRATION",
+    "CalibrationEntry",
+    "arithmetic_intensity",
+    "roofline_gflops",
+    "RooflinePoint",
+]

@@ -1,0 +1,150 @@
+"""Calibration registry: which paper measurement pins down which constant.
+
+Every effective-throughput constant in :mod:`repro.hardware.devices` is
+derived from a published number in the paper; this module records those
+derivations as data so that (a) readers can audit them and (b) the test
+suite can re-verify that the models still land on the paper's figures.
+
+Derivation sketch for the memory constants (the non-obvious ones):
+
+    Table I gives the single-kernel Alveo U280 HBM2 figure: 14.50 GFLOPS
+    at 16M cells.  One invocation executes 1.0549 GFLOP (paper FLOP
+    convention), so the invocation takes 72.75 ms.  The cycle model puts
+    the pipeline itself at 57.9 ms (II=1 at 300 MHz including halo and
+    chunk overheads), so the kernel is memory-bound; the invocation
+    streams 818.6 MB against HBM2 (24 B/cell read including halo re-reads
+    + 24 B/cell written), giving a sustained per-kernel HBM2 rate of
+    ~11.4 GB/s.  The DDR rate (8.2 GB/s) follows identically from Table
+    II's 10.43 GFLOPS, and the Stratix 10 rate (16.4 GB/s) from Table I's
+    20.8 GFLOPS at 398 MHz.
+
+The PCIe and power constants are pinned by the qualitative measurements
+of Section IV (synchronous transfers 2x slower on the U280; Stratix power
+~1.5x the Alveo; +12 W moving the U280 from HBM2 to DDR; the Fig. 6/8
+orderings) — see DESIGN.md section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CalibrationEntry", "CALIBRATION", "paper_value"]
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """One published measurement used to pin model constants."""
+
+    key: str
+    paper_value: float
+    unit: str
+    source: str
+    pins: str  # which model constant(s) this measurement determines
+
+
+#: The paper's published measurements, keyed for the experiments/tests.
+CALIBRATION: dict[str, CalibrationEntry] = {
+    entry.key: entry
+    for entry in [
+        # ---- Table I: kernel-only performance, 16M cells ----------------
+        CalibrationEntry(
+            "table1.cpu_1core_gflops", 2.09, "GFLOPS", "Table I",
+            pins="CPUModel.gflops_per_core",
+        ),
+        CalibrationEntry(
+            "table1.cpu_24core_gflops", 15.2, "GFLOPS", "Table I",
+            pins="CPUModel.memory_roofline_gflops",
+        ),
+        CalibrationEntry(
+            "table1.v100_gflops", 367.2, "GFLOPS", "Table I",
+            pins="GPUModel.kernel_gflops",
+        ),
+        CalibrationEntry(
+            "table1.u280_gflops", 14.50, "GFLOPS", "Table I",
+            pins="ALVEO_U280 hbm2 per_kernel_bandwidth (11.43 GB/s)",
+        ),
+        CalibrationEntry(
+            "table1.stratix_gflops", 20.8, "GFLOPS", "Table I",
+            pins="STRATIX10 ddr per_kernel_bandwidth (16.4 GB/s)",
+        ),
+        CalibrationEntry(
+            "table1.u280_pct_theoretical", 77.0, "%", "Table I",
+            pins="consistency check of the 18.86 GFLOPS peak",
+        ),
+        CalibrationEntry(
+            "table1.stratix_pct_theoretical", 83.0, "%", "Table I",
+            pins="consistency check of the 25.02 GFLOPS peak",
+        ),
+        # ---- Theoretical peaks (Section III) -----------------------------
+        CalibrationEntry(
+            "theory.u280_peak_gflops", 18.86, "GFLOPS", "Section III",
+            pins="constants.average_ops_per_cycle x 300 MHz",
+        ),
+        CalibrationEntry(
+            "theory.stratix_peak_gflops", 25.02, "GFLOPS", "Section III",
+            pins="constants.average_ops_per_cycle x 398 MHz",
+        ),
+        # ---- Table II: HBM2 vs DDR on the U280 ---------------------------
+        CalibrationEntry(
+            "table2.hbm2_16m_gflops", 14.52, "GFLOPS", "Table II",
+            pins="same constant as table1.u280_gflops",
+        ),
+        CalibrationEntry(
+            "table2.ddr_16m_gflops", 10.43, "GFLOPS", "Table II",
+            pins="ALVEO_U280 ddr per_kernel_bandwidth (8.22 GB/s)",
+        ),
+        CalibrationEntry(
+            "table2.hbm2_1m_gflops", 12.98, "GFLOPS", "Table II",
+            pins="FPGADevice.launch_overhead_s",
+        ),
+        CalibrationEntry(
+            "table2.ddr_overhead_16m_pct", 39.0, "%", "Table II",
+            pins="HBM2/DDR bandwidth ratio",
+        ),
+        # ---- Section IV: multi-kernel structure ---------------------------
+        CalibrationEntry(
+            "multi.u280_kernels", 6, "kernels", "Section IV",
+            pins="resources.estimate_kernel_resources (xilinx) + shell",
+        ),
+        CalibrationEntry(
+            "multi.stratix_kernels", 5, "kernels", "Section IV",
+            pins="resources.estimate_kernel_resources (intel) + shell",
+        ),
+        CalibrationEntry(
+            "multi.stratix_multi_clock_mhz", 250.0, "MHz", "Section IV",
+            pins="STRATIX10 ClockModel table",
+        ),
+        CalibrationEntry(
+            "multi.u280_clock_mhz", 300.0, "MHz", "Sections III-IV",
+            pins="ALVEO_U280 ClockModel (constant)",
+        ),
+        # ---- Fig. 5: transfers without overlap -----------------------------
+        CalibrationEntry(
+            "fig5.u280_transfer_slowdown", 2.0, "x", "Fig. 5 discussion",
+            pins="PCIe synchronous_bandwidth ratio (2.8 vs 5.6 GB/s)",
+        ),
+        CalibrationEntry(
+            "fig5.transfer_16m_bytes", 800e6, "bytes", "Section IV",
+            pins="6 fields x 8 B x 16M cells sanity check",
+        ),
+        # ---- Fig. 7: power ---------------------------------------------------
+        CalibrationEntry(
+            "fig7.stratix_over_alveo_power", 1.5, "x", "Fig. 7 discussion",
+            pins="PowerModel static/dynamic terms of both FPGAs",
+        ),
+        CalibrationEntry(
+            "fig7.u280_ddr_power_delta", 12.0, "W", "Fig. 7 discussion",
+            pins="ALVEO_U280 memory_watts (ddr - hbm2)",
+        ),
+    ]
+}
+
+
+def paper_value(key: str) -> float:
+    """The paper's published value for a calibration key."""
+    try:
+        return CALIBRATION[key].paper_value
+    except KeyError:
+        raise KeyError(
+            f"unknown calibration key {key!r}; known: {sorted(CALIBRATION)}"
+        ) from None

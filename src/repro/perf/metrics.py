@@ -1,0 +1,107 @@
+"""Metric containers and paper-comparison helpers.
+
+:class:`KernelMetrics` is the row type every experiment produces;
+:func:`compare_to_paper` annotates a measured value with its deviation
+from the paper's published figure, which EXPERIMENTS.md records for every
+table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["KernelMetrics", "PaperComparison", "compare_to_paper"]
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """One measured (simulated) performance point."""
+
+    device: str
+    grid_cells: int
+    gflops: float
+    runtime_seconds: float
+    watts: float | None = None
+    memory: str | None = None
+    num_kernels: int | None = None
+    percent_theoretical: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.gflops < 0 or self.runtime_seconds < 0:
+            raise ConfigurationError("metrics must be non-negative")
+
+    @property
+    def gflops_per_watt(self) -> float | None:
+        if self.watts is None or self.watts <= 0:
+            return None
+        return self.gflops / self.watts
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """A measured value next to the paper's published figure.
+
+    ``kind`` distinguishes *quantitative* comparisons (the paper printed
+    a number; deviation is meaningful) from *ordering* claims (the paper
+    only asserts a direction, e.g. "the Stratix outperforms the U280
+    here": the reference value is a threshold and any measured value at
+    or beyond it reproduces the claim).
+    """
+
+    label: str
+    measured: float
+    paper: float
+    kind: str = "quantitative"  # "quantitative" | "ordering"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("quantitative", "ordering"):
+            raise ConfigurationError(f"unknown comparison kind {self.kind!r}")
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (1.0 = exact reproduction)."""
+        if self.paper == 0:
+            raise ConfigurationError(
+                f"{self.label}: paper value is zero; ratio undefined"
+            )
+        return self.measured / self.paper
+
+    @property
+    def percent_error(self) -> float:
+        return 100.0 * (self.ratio - 1.0)
+
+    @property
+    def holds(self) -> bool:
+        """For ordering claims: is the threshold met?"""
+        return self.measured >= self.paper
+
+    def within(self, tolerance_percent: float) -> bool:
+        """True if the claim reproduces.
+
+        Quantitative: deviation inside ``tolerance_percent``.  Ordering:
+        the threshold is met (exceeding it is success, not error).
+        """
+        if self.kind == "ordering":
+            return self.holds
+        return abs(self.percent_error) <= tolerance_percent
+
+    def __str__(self) -> str:
+        if self.kind == "ordering":
+            status = "holds" if self.holds else "VIOLATED"
+            return (
+                f"{self.label}: measured {self.measured:.3g} vs threshold "
+                f"{self.paper:.3g} ({status})"
+            )
+        return (
+            f"{self.label}: measured {self.measured:.3g} vs paper "
+            f"{self.paper:.3g} ({self.percent_error:+.1f}%)"
+        )
+
+
+def compare_to_paper(label: str, measured: float, paper: float, *,
+                     kind: str = "quantitative") -> PaperComparison:
+    """Pair a measured value with the paper's published one."""
+    return PaperComparison(label=label, measured=measured, paper=paper,
+                           kind=kind)

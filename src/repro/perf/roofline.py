@@ -1,0 +1,62 @@
+"""Roofline helpers for the advection kernel.
+
+The PW kernel moves 48 bytes per cell over PCIe (24 in, 24 out) and
+executes ~63 double-precision operations per cell, so its end-to-end
+arithmetic intensity is ~1.31 FLOP/byte — low enough that every
+accelerator in the study is transfer-bound end to end, which is the whole
+story of Figs. 5 and 6.  These helpers make that reasoning executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["arithmetic_intensity", "roofline_gflops", "RooflinePoint"]
+
+
+def arithmetic_intensity(*, column_height: int = constants.DEFAULT_COLUMN_HEIGHT,
+                         bytes_per_cell: float = 48.0) -> float:
+    """FLOPs per byte of traffic for the advection kernel.
+
+    ``bytes_per_cell`` defaults to the PCIe round trip (six float64 values
+    per cell); pass 24 for a one-directional (duplex-overlapped) view or
+    the device-memory traffic of interest.
+    """
+    if bytes_per_cell <= 0:
+        raise ConfigurationError(
+            f"bytes_per_cell must be positive, got {bytes_per_cell}"
+        )
+    return constants.average_ops_per_cycle(column_height) / bytes_per_cell
+
+
+def roofline_gflops(*, compute_peak_gflops: float, bandwidth_gbs: float,
+                    intensity: float) -> float:
+    """Attainable GFLOPS under the classic roofline model."""
+    if compute_peak_gflops <= 0 or bandwidth_gbs <= 0 or intensity <= 0:
+        raise ConfigurationError("roofline inputs must be positive")
+    return min(compute_peak_gflops, bandwidth_gbs * intensity)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A device placed on the advection kernel's roofline."""
+
+    device: str
+    compute_peak_gflops: float
+    bandwidth_gbs: float
+    intensity: float
+
+    @property
+    def attainable_gflops(self) -> float:
+        return roofline_gflops(
+            compute_peak_gflops=self.compute_peak_gflops,
+            bandwidth_gbs=self.bandwidth_gbs,
+            intensity=self.intensity,
+        )
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        return self.attainable_gflops < self.compute_peak_gflops

@@ -1,0 +1,53 @@
+"""Theoretical peak performance of the dataflow design.
+
+Section III: "Each advection stage usually contains twenty one floating
+point operations.  Given an initiation interval of one, our design means
+that per cycle there are usually 63 floating point operations that can run
+concurrently (but for the column top grid cell this reduces to 55
+operations).  Multiplying the clock frequency by this number provides a
+theoretical best performance."
+
+With the MONC default column height of 64 this gives 18.86 GFLOPS at the
+Alveo's 300 MHz and 25.02 at the Stratix 10's single-kernel 398 MHz — the
+two numbers the paper quotes, which these functions reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["theoretical_gflops", "percent_of_theoretical"]
+
+
+def theoretical_gflops(clock_mhz: float, *,
+                       column_height: int = constants.DEFAULT_COLUMN_HEIGHT,
+                       num_kernels: int = 1) -> float:
+    """Best-case GFLOPS of ``num_kernels`` II=1 kernels at ``clock_mhz``."""
+    if clock_mhz <= 0:
+        raise ConfigurationError(f"clock must be positive, got {clock_mhz}")
+    if num_kernels < 1:
+        raise ConfigurationError(
+            f"num_kernels must be >= 1, got {num_kernels}"
+        )
+    ops_per_cycle = constants.average_ops_per_cycle(column_height)
+    return num_kernels * ops_per_cycle * clock_mhz * 1e6 / 1e9
+
+
+def percent_of_theoretical(achieved_gflops: float, clock_mhz: float, *,
+                           column_height: int = constants.DEFAULT_COLUMN_HEIGHT,
+                           num_kernels: int = 1) -> float:
+    """Achieved performance as a percentage of the theoretical peak.
+
+    The paper reports 77% for the single Alveo kernel on HBM2 and 83% for
+    the Stratix 10; "quantifying how far kernels fall short of this figure
+    can determine how much more opportunity there is for further kernel
+    level optimisation".
+    """
+    if achieved_gflops < 0:
+        raise ConfigurationError(
+            f"achieved GFLOPS must be >= 0, got {achieved_gflops}"
+        )
+    peak = theoretical_gflops(clock_mhz, column_height=column_height,
+                              num_kernels=num_kernels)
+    return 100.0 * achieved_gflops / peak

@@ -1,0 +1,102 @@
+"""Numerical-error studies for reduced-precision advection.
+
+Quantifies what §V's proposal would cost in accuracy: run the quantised
+datapath next to the float64 reference over representative wind fields
+and report absolute/relative error statistics, plus drift over a short
+time integration (errors compound across timesteps — the quantity an
+atmospheric modeller actually cares about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.timestepping import AdvectionIntegrator
+from repro.precision.formats import NumberFormat
+from repro.precision.kernel import advect_quantised
+
+__all__ = ["PrecisionErrorReport", "precision_error_study",
+           "integration_drift"]
+
+
+@dataclass(frozen=True)
+class PrecisionErrorReport:
+    """Error of one format against the float64 reference."""
+
+    format_name: str
+    bits: int
+    max_abs_error: float
+    rms_error: float
+    max_rel_error: float
+    reference_scale: float
+
+    @property
+    def significant_digits(self) -> float:
+        """Approximate decimal digits retained relative to the field scale."""
+        if self.max_abs_error == 0.0:
+            return 16.0
+        return float(np.log10(self.reference_scale
+                              / self.max_abs_error))
+
+
+def precision_error_study(fields: FieldSet, fmt: NumberFormat,
+                          coeffs: AdvectionCoefficients | None = None,
+                          ) -> PrecisionErrorReport:
+    """One-invocation error of ``fmt`` against the float64 reference."""
+    grid = fields.grid
+    if coeffs is None:
+        coeffs = AdvectionCoefficients.uniform(grid)
+    reference = advect_reference(fields, coeffs)
+    quantised = advect_quantised(fields, fmt, coeffs)
+
+    errors = []
+    scales = []
+    rels = []
+    for ref, qnt in zip(reference.as_tuple(), quantised.as_tuple()):
+        diff = np.abs(ref - qnt)
+        errors.append(diff)
+        scales.append(np.abs(ref).max(initial=0.0))
+        nonzero = np.abs(ref) > 1e-300
+        if np.any(nonzero):
+            rels.append((diff[nonzero] / np.abs(ref[nonzero])).max())
+    all_errors = np.concatenate([e.ravel() for e in errors])
+    scale = max(scales) if scales else 0.0
+    return PrecisionErrorReport(
+        format_name=fmt.name,
+        bits=fmt.bits,
+        max_abs_error=float(all_errors.max(initial=0.0)),
+        rms_error=float(np.sqrt(np.mean(all_errors**2))),
+        max_rel_error=float(max(rels)) if rels else 0.0,
+        reference_scale=float(scale),
+    )
+
+
+def integration_drift(grid: Grid, fields: FieldSet, fmt: NumberFormat,
+                      *, steps: int, dt: float,
+                      coeffs: AdvectionCoefficients | None = None) -> float:
+    """Max-norm state divergence after ``steps`` of quantised integration.
+
+    Runs two identical integrations — one with the float64 reference, one
+    with the quantised datapath — and returns the final max-abs difference
+    of the wind state, the compounded cost of the narrow datapath.
+    """
+    if coeffs is None:
+        coeffs = AdvectionCoefficients.uniform(grid)
+    ref = AdvectionIntegrator(fields=fields.copy(), dt=dt, coeffs=coeffs)
+    qnt = AdvectionIntegrator(
+        fields=fields.copy(), dt=dt, coeffs=coeffs,
+        advect=lambda f: advect_quantised(f, fmt, coeffs),
+    )
+    ref.run(steps)
+    qnt.run(steps)
+    return max(
+        float(np.abs(getattr(ref.fields, name)
+                     - getattr(qnt.fields, name)).max(initial=0.0))
+        for name in ("u", "v", "w")
+    )

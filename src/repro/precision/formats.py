@@ -1,0 +1,166 @@
+"""Number formats: IEEE-like floats and Q-format fixed point.
+
+A :class:`NumberFormat` quantises float64 values to what a narrower
+datapath would hold.  Float formats round the mantissa to ``n`` bits
+(round-to-nearest-even via the float32 path where possible, bit masking
+otherwise); fixed-point formats scale, round and saturate.
+
+The quantisers are vectorised over NumPy arrays so whole fields can be
+pushed through a simulated narrow datapath cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NumberFormat",
+    "FloatFormat",
+    "FixedPointFormat",
+    "FLOAT64",
+    "FLOAT32",
+    "BFLOAT16",
+]
+
+
+class NumberFormat:
+    """Base class: a way of storing real numbers in ``bits`` bits.
+
+    Concrete formats provide a ``name`` attribute and a ``bits`` property.
+    """
+
+    name: str
+    bits: int
+
+    def quantise(self, values: np.ndarray | float) -> np.ndarray | float:
+        """Round ``values`` to this format (returned as float64 carriers)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, bits={self.bits})"
+
+
+@dataclass(frozen=True)
+class FloatFormat(NumberFormat):
+    """A binary floating-point format with a reduced mantissa.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    mantissa_bits:
+        Explicit mantissa bits (52 = float64, 23 = float32, 7 = bfloat16).
+    exponent_bits:
+        Exponent width; only used for the storage-bit count (overflow of
+        narrow exponents is not modelled — atmospheric winds are far from
+        any float32/bfloat16 range limit).
+    """
+
+    name: str
+    mantissa_bits: int
+    exponent_bits: int = 11
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.mantissa_bits <= 52:
+            raise ConfigurationError(
+                f"mantissa_bits must be in [1, 52], got {self.mantissa_bits}"
+            )
+        if not 2 <= self.exponent_bits <= 11:
+            raise ConfigurationError(
+                f"exponent_bits must be in [2, 11], got {self.exponent_bits}"
+            )
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    def quantise(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        if self.mantissa_bits >= 52:
+            result = values.copy()
+        elif self.mantissa_bits == 23 and self.exponent_bits == 8:
+            result = values.astype(np.float32).astype(np.float64)
+        else:
+            # Mask away the low mantissa bits with round-to-nearest: add
+            # half an ulp of the target precision, then truncate.
+            drop = 52 - self.mantissa_bits
+            bits = values.view(np.uint64) if values.flags["C_CONTIGUOUS"] \
+                else np.ascontiguousarray(values).view(np.uint64)
+            half = np.uint64(1) << np.uint64(drop - 1)
+            mask = ~((np.uint64(1) << np.uint64(drop)) - np.uint64(1))
+            rounded = ((bits + half) & mask)
+            result = rounded.view(np.float64).copy()
+            # Preserve exact zeros and non-finite values.
+            result = np.where(np.isfinite(values), result, values)
+            result = np.where(values == 0.0, 0.0, result)
+        if np.isscalar(values) or values.ndim == 0:
+            return float(result)
+        return result
+
+
+@dataclass(frozen=True)
+class FixedPointFormat(NumberFormat):
+    """Qm.n two's-complement fixed point with saturation.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    integer_bits:
+        Bits left of the binary point (excluding sign).
+    fraction_bits:
+        Bits right of the binary point.
+    """
+
+    name: str
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ConfigurationError("bit fields must be >= 0")
+        if self.integer_bits + self.fraction_bits == 0:
+            raise ConfigurationError("format must have at least one bit")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        return (2.0 ** self.integer_bits) - self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2.0 ** self.integer_bits)
+
+    def quantise(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        ticks = np.round(values / self.scale)
+        result = np.clip(ticks * self.scale, self.min_value, self.max_value)
+        if np.isscalar(values) or values.ndim == 0:
+            return float(result)
+        return result
+
+    def representable(self, values: np.ndarray | float) -> bool:
+        """True if ``values`` quantise without saturating."""
+        values = np.asarray(values, dtype=np.float64)
+        return bool(np.all(values <= self.max_value)
+                    and np.all(values >= self.min_value))
+
+
+#: The double precision the paper's kernels use.
+FLOAT64 = FloatFormat("float64", mantissa_bits=52, exponent_bits=11)
+#: IEEE single precision (what Versal AI engines execute natively, §V).
+FLOAT32 = FloatFormat("float32", mantissa_bits=23, exponent_bits=8)
+#: bfloat16: float32 range with an 8-bit mantissa.
+BFLOAT16 = FloatFormat("bfloat16", mantissa_bits=7, exponent_bits=8)

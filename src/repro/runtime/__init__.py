@@ -1,0 +1,40 @@
+"""Host-side runtime simulation: command queues, events and overlap.
+
+Section IV of the paper hides PCIe transfer behind compute by chunking the
+X dimension, bulk-registering all transfers, and chaining kernel
+executions to their chunk's transfers with OpenCL events.  This subpackage
+reproduces that machinery as a discrete-event simulation:
+
+* :mod:`repro.runtime.event` / :mod:`repro.runtime.queue` — commands,
+  dependencies, and in-order resources (the DMA engines and the kernel
+  bank),
+* :mod:`repro.runtime.simulator` — list-scheduling executor producing a
+  timeline,
+* :mod:`repro.runtime.overlap` — builders for the Fig. 5 (sequential) and
+  Fig. 6 (overlapped) schedules,
+* :mod:`repro.runtime.buffer` — device-buffer allocation against memory
+  capacities (the V100's 16 GB limit falls out here),
+* :mod:`repro.runtime.session` — end-to-end runs on a device model,
+  returning time, power, and energy.
+"""
+
+from repro.runtime.buffer import BufferAllocator, DeviceBuffer
+from repro.runtime.event import Command, Event
+from repro.runtime.overlap import build_overlapped_schedule, build_sequential_schedule
+from repro.runtime.queue import CommandQueue
+from repro.runtime.session import AdvectionSession, RunResult
+from repro.runtime.simulator import ScheduleResult, simulate_schedule
+
+__all__ = [
+    "Event",
+    "Command",
+    "CommandQueue",
+    "DeviceBuffer",
+    "BufferAllocator",
+    "simulate_schedule",
+    "ScheduleResult",
+    "build_sequential_schedule",
+    "build_overlapped_schedule",
+    "AdvectionSession",
+    "RunResult",
+]

@@ -1,0 +1,82 @@
+"""Device buffer allocation against a memory space's capacity.
+
+The experiments need exactly one capacity behaviour from buffers: a
+problem whose working set exceeds the space must fail to allocate (so the
+Alveo falls back from HBM2 to DDR at 268M cells, and the V100 simply has
+no 536M result).  :class:`BufferAllocator` provides that, plus the usual
+bookkeeping a host runtime would do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, ScheduleError
+from repro.hardware.memory import StreamingMemoryModel
+
+__all__ = ["DeviceBuffer", "BufferAllocator"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class DeviceBuffer:
+    """A live allocation in one device memory space."""
+
+    name: str
+    nbytes: int
+    memory: str
+    uid: int = field(default_factory=lambda: next(_ids))
+
+
+class BufferAllocator:
+    """Tracks allocations in one memory space."""
+
+    def __init__(self, memory: StreamingMemoryModel) -> None:
+        self.memory = memory
+        self._live: dict[int, DeviceBuffer] = {}
+        self.used_bytes = 0
+        self.peak_bytes = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.memory.spec.capacity_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._live)
+
+    def allocate(self, name: str, nbytes: int) -> DeviceBuffer:
+        """Allocate ``nbytes``; raises :class:`CapacityError` if it won't fit."""
+        if nbytes < 0:
+            raise ScheduleError(f"buffer {name!r}: nbytes must be >= 0")
+        if nbytes > self.free_bytes:
+            raise CapacityError(
+                f"buffer {name!r} needs {nbytes} bytes but only "
+                f"{self.free_bytes} of {self.capacity_bytes} remain in "
+                f"{self.memory.spec.name!r}"
+            )
+        buffer = DeviceBuffer(name=name, nbytes=nbytes,
+                              memory=self.memory.spec.name)
+        self._live[buffer.uid] = buffer
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return buffer
+
+    def release(self, buffer: DeviceBuffer) -> None:
+        """Free an allocation; double-free raises."""
+        if buffer.uid not in self._live:
+            raise ScheduleError(
+                f"buffer {buffer.name!r} is not live (double free?)"
+            )
+        del self._live[buffer.uid]
+        self.used_bytes -= buffer.nbytes
+
+    def reset(self) -> None:
+        self._live.clear()
+        self.used_bytes = 0

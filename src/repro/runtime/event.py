@@ -1,0 +1,73 @@
+"""Commands and completion events for the host runtime simulation.
+
+Mirrors the OpenCL host model the paper uses on both vendors: every
+enqueued operation (transfer or kernel execution) returns an event, and
+operations can name events they must wait for — that event chaining is
+what expresses "kernel for chunk i depends on the input transfer of chunk
+i" in the overlapped schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+
+__all__ = ["Event", "Command"]
+
+_ids = itertools.count()
+
+
+@dataclass
+class Event:
+    """Completion marker of one command."""
+
+    name: str
+    #: Set by the simulator when the owning command finishes.
+    time: float | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.time is not None
+
+
+@dataclass
+class Command:
+    """One enqueued operation.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (e.g. ``"h2d[chunk=3]"``).
+    resource:
+        The serial engine this command occupies (``"pcie_h2d"``,
+        ``"pcie_d2h"``, ``"pcie"``, ``"kernel"``).  Commands on the same
+        resource execute one at a time, in enqueue order — OpenCL in-order
+        queue semantics per engine.
+    duration:
+        Seconds of resource occupancy.
+    wait_for:
+        Events that must complete before this command may start.
+    """
+
+    name: str
+    resource: str
+    duration: float
+    wait_for: list[Event] = field(default_factory=list)
+    uid: int = field(default_factory=lambda: next(_ids))
+    event: Event = field(init=False)
+    start: float | None = None
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ScheduleError(
+                f"command {self.name!r}: duration must be >= 0, got "
+                f"{self.duration}"
+            )
+        self.event = Event(name=f"{self.name}.done")
+
+    @property
+    def scheduled(self) -> bool:
+        return self.end is not None

@@ -1,0 +1,223 @@
+"""End-to-end advection runs on a device model.
+
+:class:`AdvectionSession` is the top of the performance stack: give it a
+device (FPGA, GPU, or CPU model), a kernel configuration and a grid, and
+it allocates buffers, builds the sequential or overlapped schedule, runs
+the discrete-event simulator, and reports overall performance, power and
+energy — the quantities plotted in Figs. 5-8.
+
+It can also *functionally execute* the kernel on real data (through the
+chunked functional path), which is what the examples use to integrate
+time steps "on the device".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet, SourceSet
+from repro.core.flops import grid_flops
+from repro.core.grid import Grid, GridDecomposition
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CPUModel
+from repro.hardware.device import FPGADevice
+from repro.hardware.gpu import GPUModel
+from repro.kernel.config import KernelConfig
+from repro.kernel.functional import execute_chunked
+from repro.runtime.buffer import BufferAllocator
+from repro.runtime.overlap import (
+    ChunkWork,
+    build_overlapped_schedule,
+    build_sequential_schedule,
+)
+from repro.runtime.simulator import ScheduleResult, simulate_schedule
+
+__all__ = ["AdvectionSession", "RunResult"]
+
+#: Default number of X chunks for the overlapped schedule.
+DEFAULT_X_CHUNKS: int = 16
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Performance summary of one simulated end-to-end run."""
+
+    device: str
+    grid_cells: int
+    runtime_seconds: float
+    kernel_seconds: float
+    transfer_seconds: float
+    gflops: float
+    average_watts: float
+    energy_joules: float
+    num_kernels: int
+    memory: str
+    overlapped: bool
+    schedule: ScheduleResult | None = None
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Power efficiency, the Fig. 8 metric."""
+        return self.gflops / self.average_watts
+
+
+class AdvectionSession:
+    """One device + configuration, ready to run grids through it."""
+
+    def __init__(self, device: FPGADevice | GPUModel | CPUModel,
+                 config: KernelConfig, *, num_kernels: int | None = None,
+                 memory: str | None = None,
+                 x_chunks: int = DEFAULT_X_CHUNKS) -> None:
+        if x_chunks < 1:
+            raise ConfigurationError(f"x_chunks must be >= 1, got {x_chunks}")
+        self.device = device
+        self.config = config
+        self.x_chunks = x_chunks
+        self._memory_override = memory
+        if isinstance(device, FPGADevice):
+            self.num_kernels = (device.max_kernels(config)
+                                if num_kernels is None else num_kernels)
+            if self.num_kernels < 1:
+                raise ConfigurationError(
+                    f"{device.name}: no kernels fit this configuration"
+                )
+        else:
+            self.num_kernels = 1
+
+    # -- memory selection ---------------------------------------------------
+
+    def memory_for(self, grid: Grid) -> str:
+        """Memory space the working set lands in (may fall back to DDR)."""
+        data_bytes = self.config.bytes_per_cell_cycle * grid.num_cells
+        if isinstance(self.device, FPGADevice):
+            if self._memory_override is not None:
+                return self._memory_override
+            return self.device.select_memory(data_bytes)
+        if isinstance(self.device, GPUModel):
+            self.device.require_fits(grid, word_bytes=self.config.word_bytes)
+            return "hbm2"
+        return "dram"
+
+    def allocate_buffers(self, grid: Grid) -> BufferAllocator:
+        """Allocate the six working buffers; raises CapacityError if too big."""
+        if isinstance(self.device, FPGADevice):
+            memory = self.device.memory_model(self.memory_for(grid))
+        elif isinstance(self.device, GPUModel):
+            self.device.require_fits(grid, word_bytes=self.config.word_bytes)
+            from repro.hardware.memory import MemorySpec, StreamingMemoryModel
+
+            memory = StreamingMemoryModel(MemorySpec(
+                name="hbm2",
+                capacity_bytes=self.device.memory_capacity_bytes,
+                per_kernel_bandwidth=1.0, aggregate_bandwidth=1.0,
+            ))
+        else:
+            raise ConfigurationError("CPU sessions do not use device buffers")
+        allocator = BufferAllocator(memory)
+        per_field = self.config.word_bytes * grid.num_cells
+        for name in ("u", "v", "w", "su", "sv", "sw"):
+            allocator.allocate(name, per_field)
+        return allocator
+
+    # -- timing -----------------------------------------------------------------
+
+    def _x_chunk_grids(self, grid: Grid) -> list[Grid]:
+        parts = max(1, min(self.x_chunks, grid.nx // 2))
+        decomp = GridDecomposition(grid, parts)
+        return [decomp.subgrid(p) for p in range(decomp.parts)]
+
+    def _chunk_kernel_seconds(self, chunk_grid: Grid, memory: str) -> float:
+        if isinstance(self.device, FPGADevice):
+            return self.device.invocation(
+                self.config.for_grid(chunk_grid), chunk_grid,
+                num_kernels=self.num_kernels, memory=memory,
+            ).seconds
+        if isinstance(self.device, GPUModel):
+            return self.device.kernel_time(chunk_grid)
+        raise ConfigurationError("CPU has no kernel-invocation path")
+
+    def run(self, grid: Grid, *, overlapped: bool) -> RunResult:
+        """Simulate one end-to-end advection invocation over ``grid``."""
+        flops = grid_flops(grid)
+
+        # ---- CPU: host-resident data, no transfers ------------------------
+        if isinstance(self.device, CPUModel):
+            seconds = self.device.kernel_time(grid)
+            watts = self.device.run_power_watts()
+            return RunResult(
+                device=self.device.name,
+                grid_cells=grid.num_cells,
+                runtime_seconds=seconds,
+                kernel_seconds=seconds,
+                transfer_seconds=0.0,
+                gflops=flops / seconds / 1e9,
+                average_watts=watts,
+                energy_joules=watts * seconds,
+                num_kernels=self.device.cores,
+                memory="dram",
+                overlapped=overlapped,
+            )
+
+        memory = self.memory_for(grid)
+        self.allocate_buffers(grid)  # capacity check (raises if too large)
+        pcie = self.device.pcie
+
+        if overlapped:
+            chunk_grids = self._x_chunk_grids(grid)
+            chunks = []
+            for index, cg in enumerate(chunk_grids):
+                # Each X chunk re-reads a one-cell halo plane on each side.
+                in_cells = (cg.nx + 2) * cg.ny * cg.nz
+                chunks.append(ChunkWork(
+                    index=index,
+                    in_bytes=self.config.in_bytes_per_cell * in_cells,
+                    out_bytes=self.config.out_bytes_per_cell * cg.num_cells,
+                    kernel_seconds=self._chunk_kernel_seconds(cg, memory),
+                ))
+            queue = build_overlapped_schedule(chunks, pcie)
+        else:
+            in_bytes = (self.config.in_bytes_per_cell
+                        * (grid.nx + 2) * grid.ny * grid.nz)
+            out_bytes = self.config.out_bytes_per_cell * grid.num_cells
+            queue = build_sequential_schedule(
+                in_bytes, out_bytes,
+                self._chunk_kernel_seconds(grid, memory), pcie,
+            )
+
+        schedule = simulate_schedule(queue)
+        kernel_busy = schedule.busy.get("kernel", 0.0)
+        transfer_busy = sum(
+            seconds for resource, seconds in schedule.busy.items()
+            if resource.startswith("pcie")
+        )
+        # Per-run setup cost (CUDA stream / OpenACC data region creation on
+        # the GPU; zero for the FPGAs whose buffers are registered once).
+        runtime = schedule.makespan + getattr(self.device, "setup_seconds", 0.0)
+        # Board telemetry reports *active* power: accelerator clocks and
+        # memory systems do not drop to idle between back-to-back chunks.
+        watts = self.device.power.active_watts(
+            self.num_kernels, memory, transferring=transfer_busy > 0.0,
+        )
+        return RunResult(
+            device=self.device.name,
+            grid_cells=grid.num_cells,
+            runtime_seconds=runtime,
+            kernel_seconds=kernel_busy,
+            transfer_seconds=transfer_busy,
+            gflops=flops / runtime / 1e9,
+            average_watts=watts,
+            energy_joules=watts * runtime,
+            num_kernels=self.num_kernels,
+            memory=memory,
+            overlapped=overlapped,
+            schedule=schedule,
+        )
+
+    # -- functional execution -----------------------------------------------------
+
+    def execute(self, fields: FieldSet,
+                coeffs: AdvectionCoefficients | None = None) -> SourceSet:
+        """Functionally execute the kernel on real data (chunked path)."""
+        config = self.config.for_grid(fields.grid)
+        return execute_chunked(config, fields, coeffs)

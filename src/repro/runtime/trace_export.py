@@ -1,0 +1,72 @@
+"""Export schedule timelines as Chrome trace-event JSON.
+
+``chrome://tracing`` / Perfetto read the Trace Event Format; exporting
+the host-runtime timelines there gives the same engine-occupancy view the
+vendor profilers (Vitis Analyzer, Intel VTune) provide for real runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ConfigurationError
+from repro.runtime.simulator import ScheduleResult
+
+__all__ = ["to_trace_events", "write_chrome_trace"]
+
+#: Stable thread ids per engine so rows keep a fixed order in the viewer.
+_ROW_ORDER = ("pcie_h2d", "kernel", "pcie_d2h", "pcie")
+
+
+def _row_id(resource: str) -> int:
+    try:
+        return _ROW_ORDER.index(resource)
+    except ValueError:
+        return len(_ROW_ORDER) + hash(resource) % 1000
+
+
+def to_trace_events(schedule: ScheduleResult, *,
+                    process_name: str = "advection") -> list[dict]:
+    """Convert a schedule to a list of Trace Event Format dicts."""
+    if not schedule.timeline:
+        raise ConfigurationError("cannot export an empty schedule")
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    seen_resources: set[str] = set()
+    for name, resource, start, end in schedule.timeline:
+        if resource not in seen_resources:
+            seen_resources.add(resource)
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": _row_id(resource),
+                "args": {"name": resource},
+            })
+        events.append({
+            "name": name,
+            "cat": resource,
+            "ph": "X",  # complete event
+            "pid": 1,
+            "tid": _row_id(resource),
+            "ts": start * 1e6,          # microseconds
+            "dur": (end - start) * 1e6,
+        })
+    return events
+
+
+def write_chrome_trace(schedule: ScheduleResult, path: str | pathlib.Path,
+                       *, process_name: str = "advection") -> pathlib.Path:
+    """Write a ``.json`` trace loadable by chrome://tracing / Perfetto."""
+    path = pathlib.Path(path)
+    events = to_trace_events(schedule, process_name=process_name)
+    path.write_text(json.dumps({"traceEvents": events,
+                                "displayTimeUnit": "ms"}))
+    return path

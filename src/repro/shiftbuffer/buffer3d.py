@@ -1,0 +1,244 @@
+"""The 3D shift buffer (Fig. 3 of the paper), one instance per field.
+
+Data structures, exactly as the paper describes:
+
+* ``slab`` — a ``3 x Y x Z`` array.  Streaming one value per cycle in the
+  kernel's order (Z fastest, then Y, then X), the new value displaces the
+  value at the current ``(y, z)`` position of slice 0, which displaces the
+  corresponding value in slice 1, which displaces slice 2.  After feeding
+  position ``(x, y, z)``, slice ``s`` holds plane ``x - s`` at all
+  positions already passed.
+* ``lines`` — per slab slice, a ``3 x Z`` rectangular buffer sliding in Y:
+  the value entering slice ``s`` also enters line 0 at height ``z``,
+  shifting lines 0→1→2 at that height, so line ``dy`` holds Y-column
+  ``y - dy`` of plane ``x - s``.
+* ``windows`` — per slab slice, a ``3 x 3`` register array shifting in Z:
+  each cycle the three line values at the current height load into column
+  0 and the columns shift 0→1→2, so ``windows[s][dy][dz]`` holds
+  ``field[x - s, y - dy, z - dz]``.
+
+Together the windows are the 27-point stencil.  Stencil emission rules
+(documented in :meth:`ShiftBuffer3D.feed`) cover every interior cell of the
+fed block at one input value per cycle, with a double emission at each
+column top that downstream FIFOs absorb — total emissions per interior
+column are ``nz - 1``, matching the paper's 63-results-per-64-cycle column
+arithmetic.
+
+Port accounting reproduces the paper's dual-port claims: with the arrays
+partitioned (slab on its X dimension, lines on their Y dimension — the
+``array_partition`` pragma on Xilinx, a manual split on Intel) no memory
+sees more than two accesses per cycle; unpartitioned, the slab sees five,
+which is what forced the Intel initiation interval above 1 until the
+arrays were split (section III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShiftBufferError
+from repro.shiftbuffer.ports import MemoryPortTracker
+from repro.shiftbuffer.window import StencilWindow
+
+__all__ = ["ShiftBuffer3D"]
+
+
+class ShiftBuffer3D:
+    """A shift buffer for one field over a ``(nx, ny, nz)`` block.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Extent of the block that will be streamed through the buffer
+        (including any halo).  Only ``ny`` and ``nz`` bound on-chip memory —
+        the paper's motivation for chunking Y.
+    partitioned:
+        Model the arrays as partitioned into independent banks (the
+        correct, II=1 configuration).  ``False`` models the naive layout
+        and will report port conflicts.
+    tracker:
+        Optional shared :class:`MemoryPortTracker`; a non-enforcing private
+        one is created otherwise.
+    name:
+        Prefix for memory names in port reports (e.g. the field name).
+    """
+
+    def __init__(self, nx: int, ny: int, nz: int, *, partitioned: bool = True,
+                 tracker: MemoryPortTracker | None = None,
+                 name: str = "field") -> None:
+        if nx < 3 or ny < 3 or nz < 3:
+            raise ShiftBufferError(
+                f"block must be at least 3 in every dimension for a depth-1 "
+                f"stencil, got ({nx}, {ny}, {nz})"
+            )
+        self.nx = nx
+        self.ny = ny
+        self.nz = nz
+        self.partitioned = partitioned
+        self.name = name
+        self.tracker = tracker if tracker is not None else MemoryPortTracker(
+            enforce=False
+        )
+
+        self._slab = np.zeros((3, ny, nz))
+        self._lines = np.zeros((3, 3, nz))  # [slice, dy, z]
+        self._windows = np.zeros((3, 3, 3))  # [slice, dy, dz]
+
+        # Streaming position of the NEXT value to be fed.
+        self._x = 0
+        self._y = 0
+        self._z = 0
+        self._fed = 0
+
+    # -- sizing ---------------------------------------------------------------
+
+    @property
+    def memory_words(self) -> int:
+        """On-chip RAM words (slab + line buffers); windows are registers."""
+        return 3 * self.ny * self.nz + 3 * 3 * self.nz
+
+    @property
+    def register_words(self) -> int:
+        """Register words (the three 3x3 windows)."""
+        return 27
+
+    @property
+    def fed(self) -> int:
+        """Values consumed so far."""
+        return self._fed
+
+    @property
+    def position(self) -> tuple[int, int, int]:
+        """``(x, y, z)`` of the next value to be fed."""
+        return (self._x, self._y, self._z)
+
+    @property
+    def expected_feeds(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def expected_emissions(self) -> int:
+        """Stencils a full streaming pass emits: interior columns x (nz-1)."""
+        return (self.nx - 2) * (self.ny - 2) * (self.nz - 1)
+
+    # -- the update ---------------------------------------------------------------
+
+    def feed(self, value: float) -> list[StencilWindow]:
+        """Consume one value; return the stencils that became complete.
+
+        Values must arrive in streaming order (Z fastest, then Y, then X).
+        Returns zero, one, or two windows:
+
+        * feeding ``(x, y, z)`` with ``x, y, z >= 2`` completes the full
+          window centred on ``(x-1, y-1, z-1)``;
+        * feeding a column top ``(x, y, nz-1)`` with ``x, y >= 2``
+          *additionally* completes the one-sided top window centred on
+          ``(x-1, y-1, nz-1)`` — the burst a downstream FIFO absorbs during
+          the two emission-free cycles at the start of the next column.
+        """
+        if self._fed >= self.expected_feeds:
+            raise ShiftBufferError(
+                f"buffer {self.name!r} already consumed its full block of "
+                f"{self.expected_feeds} values"
+            )
+        x, y, z = self._x, self._y, self._z
+        t = self.tracker
+        t.begin_cycle()
+
+        # --- slab: shift in X at position (y, z) ---------------------------
+        displaced0 = self._slab[0, y, z]
+        displaced1 = self._slab[1, y, z]
+        self._slab[0, y, z] = value
+        self._slab[1, y, z] = displaced0
+        self._slab[2, y, z] = displaced1
+        if self.partitioned:
+            t.access(f"{self.name}.slab[0]", 2)  # read displaced + write new
+            t.access(f"{self.name}.slab[1]", 2)  # read displaced + write
+            t.access(f"{self.name}.slab[2]", 1)  # write only
+        else:
+            t.access(f"{self.name}.slab", 5)
+
+        # --- line buffers: shift in Y at height z ---------------------------
+        # The value entering each slice is forwarded from the slab update
+        # (no extra slab read), as the paper's dual-port budget requires.
+        entering = (value, displaced0, displaced1)
+        for s in range(3):
+            old0 = self._lines[s, 0, z]
+            old1 = self._lines[s, 1, z]
+            self._lines[s, 2, z] = old1
+            self._lines[s, 1, z] = old0
+            self._lines[s, 0, z] = entering[s]
+            if self.partitioned:
+                t.access(f"{self.name}.lines[{s}][0]", 2)  # read old + write
+                t.access(f"{self.name}.lines[{s}][1]", 2)
+                t.access(f"{self.name}.lines[{s}][2]", 1)
+            else:
+                t.access(f"{self.name}.lines[{s}]", 5)
+
+        # --- register windows: shift in Z -----------------------------------
+        # Values are forwarded from the line-buffer shift, costing no ports;
+        # both tool chains implement 3x3 arrays as registers (section III).
+        self._windows[:, :, 2] = self._windows[:, :, 1]
+        self._windows[:, :, 1] = self._windows[:, :, 0]
+        for s in range(3):
+            self._windows[s, :, 0] = self._lines[s, :, z]
+
+        t.end_cycle()
+
+        # --- emission --------------------------------------------------------
+        emitted: list[StencilWindow] = []
+        if x >= 2 and y >= 2:
+            if z >= 2:
+                emitted.append(
+                    StencilWindow(
+                        raw=self._windows.copy(),
+                        center=(x - 1, y - 1, z - 1),
+                        top=False,
+                    )
+                )
+            if z == self.nz - 1:
+                emitted.append(
+                    StencilWindow(
+                        raw=self._windows.copy(),
+                        center=(x - 1, y - 1, self.nz - 1),
+                        top=True,
+                    )
+                )
+
+        # --- advance streaming position ---------------------------------------
+        self._fed += 1
+        self._z += 1
+        if self._z == self.nz:
+            self._z = 0
+            self._y += 1
+            if self._y == self.ny:
+                self._y = 0
+                self._x += 1
+        return emitted
+
+    def feed_block(self, block: np.ndarray) -> list[StencilWindow]:
+        """Stream an entire ``(nx, ny, nz)`` block; return all stencils."""
+        if block.shape != (self.nx, self.ny, self.nz):
+            raise ShiftBufferError(
+                f"block shape {block.shape} does not match buffer extents "
+                f"({self.nx}, {self.ny}, {self.nz})"
+            )
+        emitted: list[StencilWindow] = []
+        flat = block.reshape(-1)  # C order == streaming order (z fastest)
+        for value in flat:
+            emitted.extend(self.feed(float(value)))
+        return emitted
+
+    def reset(self) -> None:
+        """Clear all state for a new block."""
+        self._slab.fill(0.0)
+        self._lines.fill(0.0)
+        self._windows.fill(0.0)
+        self._x = self._y = self._z = 0
+        self._fed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShiftBuffer3D({self.name!r}, nx={self.nx}, ny={self.ny}, "
+            f"nz={self.nz}, fed={self._fed}/{self.expected_feeds})"
+        )

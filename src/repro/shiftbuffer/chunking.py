@@ -1,0 +1,158 @@
+"""Chunking with halo overlap (Fig. 4 of the paper).
+
+The shift buffer's on-chip memory is bounded by the Y and Z extents only,
+so the kernel decouples domain size from FPGA resources by processing the
+Y dimension in fixed-width chunks.  Because the stencil is depth 1, two
+neighbouring chunks overlap by two grid points — "one for the right halo of
+the left chunk and the other for the left halo of the right chunk".
+
+The same planner serves the host-side X chunking that the overlapped
+PCIe-transfer schedule of Section IV uses (each X chunk is a smaller
+data-set and a shorter kernel execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChunkingError
+
+__all__ = ["Chunk", "ChunkPlan", "plan_chunks"]
+
+#: Stencil halo depth; fixed by the PW scheme.
+HALO: int = 1
+
+#: Below this chunk width the paper observed external-memory efficiency
+#: degrading (short non-contiguous bursts); at or above, impact is
+#: negligible.  Used by the memory model, recorded here with the planner.
+MIN_EFFICIENT_CHUNK: int = 8
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of a 1-D decomposition in *extended* (halo) coordinates.
+
+    ``read_start:read_stop`` is the slab the kernel streams in (interior
+    plus one halo cell each side); ``write_start:write_stop`` is the
+    interior slab whose results this chunk owns.  All coordinates index the
+    halo-extended axis (so 0 is the left halo cell of the full domain).
+    """
+
+    index: int
+    read_start: int
+    read_stop: int
+    write_start: int
+    write_stop: int
+
+    @property
+    def read_width(self) -> int:
+        return self.read_stop - self.read_start
+
+    @property
+    def write_width(self) -> int:
+        return self.write_stop - self.write_start
+
+    def __post_init__(self) -> None:
+        if self.read_width < 3:
+            raise ChunkingError(
+                f"chunk {self.index} reads only {self.read_width} cells; a "
+                f"depth-1 stencil needs at least 3"
+            )
+        if not (self.read_start <= self.write_start
+                and self.write_stop <= self.read_stop):
+            raise ChunkingError(
+                f"chunk {self.index}: write range [{self.write_start}, "
+                f"{self.write_stop}) outside read range [{self.read_start}, "
+                f"{self.read_stop})"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """A full 1-D chunking of an axis of ``interior`` cells."""
+
+    interior: int
+    chunk_width: int
+    chunks: tuple[Chunk, ...]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def total_read_cells(self) -> int:
+        """Cells streamed in across all chunks (counts the overlap twice)."""
+        return sum(c.read_width for c in self.chunks)
+
+    @property
+    def overlap_cells(self) -> int:
+        """Extra cells read due to chunking, relative to one big chunk."""
+        return self.total_read_cells - (self.interior + 2 * HALO)
+
+    @property
+    def redundancy(self) -> float:
+        """Read amplification factor (1.0 = no overlap overhead)."""
+        return self.total_read_cells / (self.interior + 2 * HALO)
+
+    def validate_coverage(self) -> None:
+        """Check the chunks tile the interior exactly once, in order."""
+        cursor = HALO
+        for chunk in self.chunks:
+            if chunk.write_start != cursor:
+                raise ChunkingError(
+                    f"chunk {chunk.index} writes from {chunk.write_start}, "
+                    f"expected {cursor}: gap or overlap in coverage"
+                )
+            cursor = chunk.write_stop
+        if cursor != self.interior + HALO:
+            raise ChunkingError(
+                f"chunks cover interior up to {cursor - HALO}, expected "
+                f"{self.interior}"
+            )
+
+
+def plan_chunks(interior: int, chunk_width: int) -> ChunkPlan:
+    """Split an axis of ``interior`` cells into chunks of ``chunk_width``.
+
+    Parameters
+    ----------
+    interior:
+        Number of computational cells along the axis (halo excluded).
+    chunk_width:
+        Interior cells per chunk (the on-chip buffer must hold
+        ``chunk_width + 2`` cells).  The final chunk may be narrower.
+
+    Returns
+    -------
+    ChunkPlan
+        Chunks in ascending order; neighbouring chunks' *read* ranges
+        overlap by exactly ``2 * HALO`` cells, as in Fig. 4.
+    """
+    if interior < 1:
+        raise ChunkingError(f"interior must be >= 1, got {interior}")
+    if chunk_width < 1:
+        raise ChunkingError(f"chunk_width must be >= 1, got {chunk_width}")
+
+    chunks: list[Chunk] = []
+    start = 0  # interior coordinate
+    index = 0
+    while start < interior:
+        width = min(chunk_width, interior - start)
+        write_start = HALO + start
+        write_stop = write_start + width
+        chunks.append(
+            Chunk(
+                index=index,
+                read_start=write_start - HALO,
+                read_stop=write_stop + HALO,
+                write_start=write_start,
+                write_stop=write_stop,
+            )
+        )
+        start += width
+        index += 1
+
+    plan = ChunkPlan(interior=interior, chunk_width=chunk_width,
+                     chunks=tuple(chunks))
+    plan.validate_coverage()
+    return plan

@@ -1,0 +1,176 @@
+"""A radius-``r`` generalisation of the paper's 3D shift buffer.
+
+The paper calls its structure a "general purpose 3D shift buffer"; this
+module makes that literal.  :class:`GeneralShiftBuffer` supports any
+stencil radius: a ``(2r+1) x Y x Z`` slab, per-slice ``(2r+1) x Z`` line
+buffers, and per-slice ``(2r+1) x (2r+1)`` register windows — collapsing
+exactly to the Fig. 3 structure at ``r = 1``.
+
+Unlike :class:`~repro.shiftbuffer.buffer3d.ShiftBuffer3D` (which carries
+the PW kernel's column-top double-emission protocol) this class emits
+only *full* windows — the clean building block for other stencil codes
+(e.g. a deeper advection scheme, or the diffusion stencils MONC also
+runs).  Port accounting shows the dual-port property is radius-
+independent: per partitioned bank the update costs at most one read plus
+one write per cycle at any radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShiftBufferError
+from repro.shiftbuffer.ports import MemoryPortTracker
+
+__all__ = ["GeneralShiftBuffer", "GeneralWindow"]
+
+
+class GeneralWindow:
+    """A ``(2r+1)^3`` stencil snapshot centred on ``center``."""
+
+    __slots__ = ("raw", "center", "radius")
+
+    def __init__(self, raw: np.ndarray, center: tuple[int, int, int],
+                 radius: int) -> None:
+        side = 2 * radius + 1
+        if raw.shape != (side, side, side):
+            raise ShiftBufferError(
+                f"window must be {side}^3 for radius {radius}, got "
+                f"{raw.shape}"
+            )
+        self.raw = raw
+        self.center = center
+        self.radius = radius
+
+    def at(self, di: int, dj: int, dk: int) -> float:
+        """Value at stencil offset ``(di, dj, dk)``, each in ``[-r, r]``.
+
+        ``raw[s, dy, dz]`` holds ``field[x - s, y - dy, z - dz]`` for feed
+        position ``(x, y, z)``; the centre sits at age ``r`` on each axis.
+        """
+        r = self.radius
+        if not (-r <= di <= r and -r <= dj <= r and -r <= dk <= r):
+            raise ShiftBufferError(
+                f"offset ({di}, {dj}, {dk}) outside radius {r}"
+            )
+        return float(self.raw[r - di, r - dj, r - dk])
+
+    def as_array(self) -> np.ndarray:
+        """Stencil as ``a[di+r, dj+r, dk+r]``."""
+        return self.raw[::-1, ::-1, ::-1].copy()
+
+
+class GeneralShiftBuffer:
+    """A shift buffer producing ``(2r+1)^3`` stencils at one value/cycle.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Extents of the streamed block (halo included).
+    radius:
+        Stencil radius; 1 reproduces the paper's 27-point design.
+    tracker, name:
+        As for :class:`~repro.shiftbuffer.buffer3d.ShiftBuffer3D`.
+    """
+
+    def __init__(self, nx: int, ny: int, nz: int, *, radius: int = 1,
+                 tracker: MemoryPortTracker | None = None,
+                 name: str = "field") -> None:
+        if radius < 1:
+            raise ShiftBufferError(f"radius must be >= 1, got {radius}")
+        side = 2 * radius + 1
+        if nx < side or ny < side or nz < side:
+            raise ShiftBufferError(
+                f"block must be at least {side} in every dimension for "
+                f"radius {radius}, got ({nx}, {ny}, {nz})"
+            )
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.radius = radius
+        self.side = side
+        self.name = name
+        self.tracker = tracker if tracker is not None else MemoryPortTracker(
+            enforce=False)
+
+        self._slab = np.zeros((side, ny, nz))
+        self._lines = np.zeros((side, side, nz))   # [slice, dy, z]
+        self._windows = np.zeros((side, side, side))  # [slice, dy, dz]
+        self._x = self._y = self._z = 0
+        self._fed = 0
+
+    @property
+    def memory_words(self) -> int:
+        return self.side * self.ny * self.nz + self.side * self.side * self.nz
+
+    @property
+    def expected_feeds(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def expected_emissions(self) -> int:
+        span = 2 * self.radius
+        return ((self.nx - span) * (self.ny - span) * (self.nz - span))
+
+    def feed(self, value: float) -> list[GeneralWindow]:
+        """Consume one value (streaming order: Z, then Y, then X)."""
+        if self._fed >= self.expected_feeds:
+            raise ShiftBufferError(
+                f"buffer {self.name!r} already consumed its block"
+            )
+        x, y, z = self._x, self._y, self._z
+        side, r = self.side, self.radius
+        t = self.tracker
+        t.begin_cycle()
+
+        # Slab: shift the X history at (y, z); each partitioned slice is
+        # one read (the displaced value) plus one write.
+        displaced = value
+        for s in range(side):
+            displaced, self._slab[s, y, z] = self._slab[s, y, z], displaced
+            t.access(f"{self.name}.slab[{s}]",
+                     2 if s < side - 1 else 1)
+
+        # Line buffers: shift the Y history at height z per slice; the
+        # entering value is forwarded from the slab write (no extra port).
+        for s in range(side):
+            entering = self._slab[s, y, z]
+            for dy in range(side):
+                entering, self._lines[s, dy, z] = (
+                    self._lines[s, dy, z], entering)
+                t.access(f"{self.name}.lines[{s}][{dy}]",
+                         2 if dy < side - 1 else 1)
+
+        # Register windows: shift the Z history (registers, no ports).
+        self._windows[:, :, 1:] = self._windows[:, :, :-1]
+        for s in range(side):
+            self._windows[s, :, 0] = self._lines[s, :, z]
+        t.end_cycle()
+
+        emitted: list[GeneralWindow] = []
+        if x >= 2 * r and y >= 2 * r and z >= 2 * r:
+            emitted.append(GeneralWindow(
+                raw=self._windows.copy(),
+                center=(x - r, y - r, z - r),
+                radius=r,
+            ))
+
+        self._fed += 1
+        self._z += 1
+        if self._z == self.nz:
+            self._z = 0
+            self._y += 1
+            if self._y == self.ny:
+                self._y = 0
+                self._x += 1
+        return emitted
+
+    def feed_block(self, block: np.ndarray) -> list[GeneralWindow]:
+        """Stream a whole block; return every full window."""
+        if block.shape != (self.nx, self.ny, self.nz):
+            raise ShiftBufferError(
+                f"block shape {block.shape} does not match extents "
+                f"({self.nx}, {self.ny}, {self.nz})"
+            )
+        emitted: list[GeneralWindow] = []
+        for value in block.reshape(-1):
+            emitted.extend(self.feed(float(value)))
+        return emitted

@@ -1,0 +1,59 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.grid import Grid
+from repro.core.wind import random_wind, thermal_bubble
+from repro.kernel.config import KernelConfig
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """A grid small enough for scalar/cycle-accurate paths."""
+    return Grid(nx=6, ny=7, nz=5)
+
+
+@pytest.fixture
+def tiny_grid() -> Grid:
+    """The smallest legal grid for a depth-1 stencil everywhere."""
+    return Grid(nx=1, ny=1, nz=2)
+
+
+@pytest.fixture
+def column_grid() -> Grid:
+    """A single tall column (stresses vertical boundary handling)."""
+    return Grid(nx=3, ny=3, nz=16)
+
+
+@pytest.fixture
+def small_fields(small_grid):
+    return random_wind(small_grid, seed=7, magnitude=2.5)
+
+
+@pytest.fixture
+def bubble_fields(small_grid):
+    return thermal_bubble(small_grid)
+
+
+@pytest.fixture
+def uniform_coeffs(small_grid) -> AdvectionCoefficients:
+    return AdvectionCoefficients.uniform(small_grid)
+
+
+@pytest.fixture
+def isothermal_coeffs(small_grid) -> AdvectionCoefficients:
+    return AdvectionCoefficients.isothermal(small_grid)
+
+
+@pytest.fixture
+def small_config(small_grid) -> KernelConfig:
+    return KernelConfig(grid=small_grid, chunk_width=4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

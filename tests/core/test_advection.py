@@ -1,0 +1,166 @@
+"""Correctness of the PW advection numerics: golden vs reference, known
+values, boundary behaviour, and conservation."""
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet
+from repro.core.golden import advect_cell, advect_golden
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.wind import constant_wind, random_wind, shear_layer
+
+
+@pytest.mark.parametrize("shape", [(3, 3, 3), (6, 7, 5), (4, 9, 8), (1, 1, 4)])
+@pytest.mark.parametrize("coeffs_kind", ["uniform", "isothermal"])
+def test_golden_equals_reference_bitwise(shape, coeffs_kind):
+    """The vectorised kernel is the scalar specification, exactly."""
+    g = Grid(nx=shape[0], ny=shape[1], nz=shape[2])
+    f = random_wind(g, seed=hash(shape) % 2**32, magnitude=3.0)
+    coeffs = (AdvectionCoefficients.uniform(g) if coeffs_kind == "uniform"
+              else AdvectionCoefficients.isothermal(g))
+    golden = advect_golden(f, coeffs)
+    reference = advect_reference(f, coeffs)
+    assert golden.max_abs_difference(reference) == 0.0
+
+
+def test_bottom_level_sources_are_zero(small_fields):
+    s = advect_reference(small_fields)
+    assert np.all(s.su[:, :, 0] == 0.0)
+    assert np.all(s.sv[:, :, 0] == 0.0)
+    assert np.all(s.sw[:, :, 0] == 0.0)
+
+
+def test_top_level_w_source_is_zero(small_fields):
+    s = advect_reference(small_fields)
+    assert np.all(s.sw[:, :, -1] == 0.0)
+
+
+def test_constant_wind_horizontal_terms_vanish():
+    """With u,v,w constant, the x/y flux differences cancel exactly."""
+    g = Grid(nx=5, ny=5, nz=6)
+    f = constant_wind(g, u0=3.0, v0=-2.0, w0=0.0)  # w=0: no vertical terms
+    s = advect_reference(f, AdvectionCoefficients.uniform(g))
+    assert s.max_abs_difference(type(s).zeros(g)) == 0.0
+
+
+def test_constant_wind_with_w_only_top_asymmetry():
+    """With w != 0 the interior still cancels; only the one-sided top
+    level of U/V picks up a non-zero source."""
+    g = Grid(nx=5, ny=5, nz=6)
+    f = constant_wind(g, u0=3.0, v0=-2.0, w0=0.5)
+    s = advect_reference(f, AdvectionCoefficients.uniform(g))
+    assert np.all(s.su[:, :, 1:-1] == 0.0)
+    assert np.all(s.sw == 0.0)
+    assert np.all(s.su[:, :, -1] != 0.0)  # one-sided vertical term remains
+
+
+def test_quadratic_scaling():
+    """PW source terms are quadratic in the wind: advect(a*f) == a^2 advect(f)."""
+    g = Grid(nx=4, ny=5, nz=6)
+    f = random_wind(g, seed=3)
+    s1 = advect_reference(f)
+    f2 = FieldSet(g, 2.0 * f.u, 2.0 * f.v, 2.0 * f.w)
+    s2 = advect_reference(f2)
+    np.testing.assert_allclose(s2.su, 4.0 * s1.su, rtol=1e-12, atol=1e-15)
+    np.testing.assert_allclose(s2.sw, 4.0 * s1.sw, rtol=1e-12, atol=1e-15)
+
+
+def test_known_value_single_cell():
+    """Hand-computed U source for a tiny configuration."""
+    g = Grid(nx=1, ny=1, nz=3, dx=4.0, dy=4.0, dz=4.0)
+    c = AdvectionCoefficients.uniform(g)  # all coefficients = 1/16
+    f = FieldSet.zeros(g)
+    # Fill u with 1 everywhere (periodic halos), v = w = 0.
+    f.interior("u")[...] = 1.0
+    f.fill_halos()
+    su, sv, sw = advect_cell(f.u, f.v, f.w, c, 1, 1, 1, g.nz)
+    # x-line: tcx*(1*(1+1) - 1*(1+1)) = 0; y-line: 0 (v=0);
+    # z-line: tzc1*1*(0+0) - tzc2*1*(0+0) = 0.
+    assert su == 0.0 and sv == 0.0 and sw == 0.0
+
+
+def test_known_value_sheared_u():
+    """U source from a pure x-gradient in u matches the hand expansion."""
+    g = Grid(nx=3, ny=1, nz=3, dx=1.0, dy=1.0, dz=1.0)
+    c = AdvectionCoefficients.uniform(g)  # tcx = 0.25
+    f = FieldSet.zeros(g)
+    f.interior("u")[:, 0, :] = np.array([[1.0], [2.0], [3.0]])  # u = 1,2,3 in x
+    f.fill_halos()
+    # Cell (i=2 halo coord -> interior x=1, u=2), k=1:
+    # su = 0.25 * (u[i-1]*(u[i]+u[i-1]) - u[i+1]*(u[i]+u[i+1]))
+    #    = 0.25 * (1*(2+1) - 3*(2+3)) = 0.25 * (3 - 15) = -3.0
+    su, _, _ = advect_cell(f.u, f.v, f.w, c, 2, 1, 1, g.nz)
+    assert su == pytest.approx(-3.0)
+
+
+def test_momentum_conservation_periodic():
+    """Piacsek-Williams conserves the domain sum of each horizontal
+    momentum component under periodic boundaries with no vertical flow."""
+    g = Grid(nx=8, ny=8, nz=6)
+    f = shear_layer(g)
+    f.interior("w")[...] = 0.0  # keep the open vertical boundary inert
+    f.fill_halos()
+    s = advect_reference(f, AdvectionCoefficients.uniform(g))
+    # Horizontal flux-form differences telescope around the torus: the
+    # domain-summed tendencies vanish (to rounding) on each level.
+    for k in range(1, g.nz - 1):
+        assert abs(s.su[:, :, k].sum()) < 1e-10
+        assert abs(s.sv[:, :, k].sum()) < 1e-10
+
+
+def test_output_reuse_buffer():
+    g = Grid(nx=4, ny=4, nz=4)
+    f = random_wind(g, seed=5)
+    out = advect_reference(f)
+    out2 = advect_reference(f, out=out)
+    assert out2 is out
+    fresh = advect_reference(f)
+    assert out.max_abs_difference(fresh) == 0.0
+
+
+def test_output_buffer_is_overwritten_not_accumulated():
+    g = Grid(nx=4, ny=4, nz=4)
+    f = random_wind(g, seed=5)
+    out = advect_reference(f)
+    first = out.copy()
+    advect_reference(f, out=out)
+    assert out.max_abs_difference(first) == 0.0
+
+
+def test_mismatched_coefficients_rejected():
+    g = Grid(nx=4, ny=4, nz=4)
+    other = AdvectionCoefficients.uniform(Grid(nx=4, ny=4, nz=8))
+    f = random_wind(g, seed=1)
+    with pytest.raises(ValueError):
+        advect_reference(f, other)
+    with pytest.raises(ValueError):
+        advect_golden(f, other)
+
+
+def test_wrong_out_grid_rejected():
+    from repro.core.fields import SourceSet
+
+    g = Grid(nx=4, ny=4, nz=4)
+    f = random_wind(g, seed=1)
+    with pytest.raises(ValueError):
+        advect_reference(f, out=SourceSet.zeros(Grid(nx=5, ny=4, nz=4)))
+
+
+def test_translation_equivariance_x():
+    """Rolling the periodic wind field in x rolls the sources in x."""
+    g = Grid(nx=6, ny=5, nz=4)
+    f = random_wind(g, seed=11)
+    s = advect_reference(f)
+    rolled = FieldSet.from_interior(
+        g,
+        np.roll(f.interior("u"), 2, axis=0),
+        np.roll(f.interior("v"), 2, axis=0),
+        np.roll(f.interior("w"), 2, axis=0),
+    )
+    s_rolled = advect_reference(rolled)
+    np.testing.assert_allclose(s_rolled.su, np.roll(s.su, 2, axis=0),
+                               rtol=0, atol=1e-15)
+    np.testing.assert_allclose(s_rolled.sw, np.roll(s.sw, 2, axis=0),
+                               rtol=0, atol=1e-15)

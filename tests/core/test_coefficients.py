@@ -1,0 +1,112 @@
+"""Tests for the PW advection coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.grid import Grid
+from repro.errors import ConfigurationError
+
+
+class TestUniform:
+    def test_horizontal_quarter_over_spacing(self):
+        g = Grid(nx=4, ny=4, nz=8, dx=100.0, dy=50.0)
+        c = AdvectionCoefficients.uniform(g)
+        assert c.tcx == pytest.approx(0.25 / 100.0)
+        assert c.tcy == pytest.approx(0.25 / 50.0)
+
+    def test_vertical_collapse_to_quarter_over_dz(self):
+        g = Grid(nx=4, ny=4, nz=8, dz=40.0)
+        c = AdvectionCoefficients.uniform(g)
+        expected = 0.25 / 40.0
+        np.testing.assert_allclose(c.tzc1[1:], expected)
+        np.testing.assert_allclose(c.tzc2[1:], expected)
+        np.testing.assert_allclose(c.tzd1[1:-1], expected)
+        np.testing.assert_allclose(c.tzd2[1:-1], expected)
+
+    def test_boundary_levels_zero(self):
+        g = Grid(nx=4, ny=4, nz=8)
+        c = AdvectionCoefficients.uniform(g)
+        assert c.tzc1[0] == 0.0 and c.tzc2[0] == 0.0
+        assert c.tzd1[0] == 0.0 and c.tzd2[0] == 0.0
+        assert c.tzd1[-1] == 0.0 and c.tzd2[-1] == 0.0
+
+    def test_length_matches_grid(self):
+        g = Grid(nx=4, ny=4, nz=13)
+        assert AdvectionCoefficients.uniform(g).nz == 13
+
+
+class TestIsothermal:
+    def test_density_weighting_below_one_above_level(self):
+        g = Grid(nx=4, ny=4, nz=32, dz=100.0)
+        c = AdvectionCoefficients.isothermal(g)
+        # rho decreases with height, so tzc1 (weighted by rho below) exceeds
+        # tzc2 (weighted by rho at the level) at every interior level.
+        assert np.all(c.tzc1[1:] > c.tzc2[1:] * 0.999)
+
+    def test_reduces_to_uniform_with_huge_scale_height(self):
+        g = Grid(nx=4, ny=4, nz=8)
+        iso = AdvectionCoefficients.isothermal(g, scale_height=1e12)
+        uni = AdvectionCoefficients.uniform(g)
+        np.testing.assert_allclose(iso.tzc1, uni.tzc1, rtol=1e-6)
+        np.testing.assert_allclose(iso.tzd2, uni.tzd2, rtol=1e-6)
+
+    def test_rejects_bad_parameters(self):
+        g = Grid(nx=4, ny=4, nz=8)
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients.isothermal(g, surface_density=0.0)
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients.isothermal(g, scale_height=-1.0)
+
+
+class TestFromDensity:
+    def test_rejects_wrong_profile_length(self):
+        g = Grid(nx=4, ny=4, nz=8)
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients.from_density(
+                g, rho_w=np.ones(8), rho_n=np.ones(9)
+            )
+
+    def test_rejects_nonpositive_density(self):
+        g = Grid(nx=4, ny=4, nz=8)
+        rho = np.ones(9)
+        rho[3] = -1.0
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients.from_density(g, rho_w=rho, rho_n=np.ones(9))
+
+    def test_density_ratio_enters_tzc(self):
+        g = Grid(nx=4, ny=4, nz=4, dz=1.0)
+        rho_w = np.array([2.0, 1.0, 0.5, 0.25, 0.125])
+        rho_n = np.ones(5)
+        c = AdvectionCoefficients.from_density(g, rho_w=rho_w, rho_n=rho_n)
+        # tzc1[k] = 0.25 * rho_w[k-1] / rho_n[k]
+        assert c.tzc1[1] == pytest.approx(0.25 * 2.0)
+        assert c.tzc2[1] == pytest.approx(0.25 * 1.0)
+
+
+class TestValidation:
+    def test_mismatched_array_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients(
+                tcx=1.0, tcy=1.0,
+                tzc1=np.zeros(4), tzc2=np.zeros(4),
+                tzd1=np.zeros(5), tzd2=np.zeros(4),
+            )
+
+    def test_non_finite_rejected(self):
+        arr = np.zeros(4)
+        bad = arr.copy()
+        bad[2] = np.inf
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients(tcx=1.0, tcy=1.0, tzc1=bad, tzc2=arr,
+                                  tzd1=arr, tzd2=arr)
+        with pytest.raises(ConfigurationError):
+            AdvectionCoefficients(tcx=float("nan"), tcy=1.0, tzc1=arr,
+                                  tzc2=arr, tzd1=arr, tzd2=arr)
+
+    def test_as_dict_returns_copies(self):
+        g = Grid(nx=4, ny=4, nz=8)
+        c = AdvectionCoefficients.uniform(g)
+        d = c.as_dict()
+        d["tzc1"][1] = 99.0
+        assert c.tzc1[1] != 99.0

@@ -1,0 +1,115 @@
+"""Tests for FieldSet and SourceSet containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.fields import FieldSet, SourceSet
+from repro.core.grid import Grid
+from repro.errors import GridError
+
+
+class TestFieldSet:
+    def test_zeros_shapes(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        f = FieldSet.zeros(g)
+        for name in ("u", "v", "w"):
+            assert getattr(f, name).shape == g.halo_shape
+
+    def test_rejects_wrong_shape(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        with pytest.raises(GridError):
+            FieldSet(g, np.zeros((3, 4, 5)), g.allocate(), g.allocate())
+
+    def test_rejects_wrong_dtype(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        with pytest.raises(GridError):
+            FieldSet(g, g.allocate().astype(np.float32), g.allocate(),
+                     g.allocate())
+
+    def test_from_interior_periodic(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        u = np.arange(18, dtype=float).reshape(3, 3, 2)
+        f = FieldSet.from_interior(g, u, u, u)
+        # Left x halo equals right-most interior plane.
+        np.testing.assert_array_equal(f.u[0, 1:-1, :], u[-1])
+
+    def test_from_interior_open_boundaries(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        u = np.ones((3, 3, 2))
+        f = FieldSet.from_interior(g, u, u, u, periodic=False)
+        assert np.all(f.u[0, :, :] == 0.0)
+
+    def test_from_interior_rejects_wrong_shape(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        with pytest.raises(GridError):
+            FieldSet.from_interior(g, np.ones((2, 3, 2)), np.ones((3, 3, 2)),
+                                   np.ones((3, 3, 2)))
+
+    def test_interior_accessor(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        f = FieldSet.zeros(g)
+        f.interior("u")[...] = 5.0
+        assert f.u[1, 1, 0] == 5.0
+        assert f.u[0, 0, 0] == 0.0
+
+    def test_interior_rejects_unknown_name(self):
+        f = FieldSet.zeros(Grid(nx=3, ny=3, nz=2))
+        with pytest.raises(KeyError):
+            f.interior("q")
+
+    def test_momentum_sums_interior_only(self):
+        g = Grid(nx=2, ny=2, nz=2)
+        f = FieldSet.zeros(g)
+        f.interior("u")[...] = 1.0
+        f.u[0, 0, 0] = 100.0  # halo junk must not count
+        assert f.momentum()[0] == pytest.approx(8.0)
+
+    def test_max_speed(self):
+        g = Grid(nx=2, ny=2, nz=2)
+        f = FieldSet.zeros(g)
+        f.interior("u")[0, 0, 0] = 3.0
+        f.interior("v")[0, 0, 0] = 4.0
+        assert f.max_speed() == pytest.approx(5.0)
+
+    def test_copy_is_deep(self):
+        f = FieldSet.zeros(Grid(nx=2, ny=2, nz=2))
+        g = f.copy()
+        g.u[1, 1, 0] = 9.0
+        assert f.u[1, 1, 0] == 0.0
+
+    def test_nbytes_interior(self):
+        g = Grid(nx=2, ny=3, nz=4)
+        assert FieldSet.zeros(g).nbytes_interior == 3 * 2 * 3 * 4 * 8
+
+
+class TestSourceSet:
+    def test_zeros_shapes(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        s = SourceSet.zeros(g)
+        assert s.su.shape == g.interior_shape
+
+    def test_rejects_wrong_shape(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        with pytest.raises(GridError):
+            SourceSet(g, np.zeros(g.halo_shape),
+                      np.zeros(g.interior_shape), np.zeros(g.interior_shape))
+
+    def test_allclose_and_max_diff(self):
+        g = Grid(nx=2, ny=2, nz=2)
+        a = SourceSet.zeros(g)
+        b = a.copy()
+        assert a.allclose(b)
+        assert a.max_abs_difference(b) == 0.0
+        b.sv[1, 1, 1] = 1e-3
+        assert not a.allclose(b)
+        assert a.max_abs_difference(b) == pytest.approx(1e-3)
+
+    def test_as_tuple_order(self):
+        g = Grid(nx=2, ny=2, nz=2)
+        s = SourceSet.zeros(g)
+        su, sv, sw = s.as_tuple()
+        assert su is s.su and sv is s.sv and sw is s.sw
+
+    def test_nbytes(self):
+        g = Grid(nx=2, ny=3, nz=4)
+        assert SourceSet.zeros(g).nbytes == 3 * 24 * 8

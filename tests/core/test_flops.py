@@ -1,0 +1,94 @@
+"""FLOP accounting: must reproduce the paper's arithmetic exactly."""
+
+import pytest
+
+from repro import constants
+from repro.core.flops import (
+    cell_flops,
+    column_flops,
+    field_flops,
+    grid_flops,
+    strict_cell_flops,
+    strict_grid_flops,
+)
+from repro.core.grid import Grid
+
+
+class TestPaperNumbers:
+    def test_21_ops_per_field(self):
+        assert field_flops(field="u") == 21
+        assert field_flops(field="v") == 21
+        assert field_flops(field="w") == 21
+
+    def test_63_ops_per_cell(self):
+        assert cell_flops() == 63
+
+    def test_55_ops_at_column_top(self):
+        assert cell_flops(top=True) == 55
+
+    def test_top_saving_only_u_and_v(self):
+        assert field_flops(top=True, field="u") == 17
+        assert field_flops(top=True, field="v") == 17
+        assert field_flops(top=True, field="w") == 21
+
+    def test_line_breakdown_sums_to_21(self):
+        assert (constants.OPS_X_LINE + constants.OPS_Y_LINE
+                + constants.OPS_Z_LINE) == constants.OPS_PER_FIELD
+
+    def test_average_ops_per_cycle_default_column(self):
+        # (63*63 + 55) / 64 = 62.875 -> the paper's 18.86/25.02 GFLOPS.
+        assert constants.average_ops_per_cycle(64) == pytest.approx(62.875)
+
+    def test_theoretical_gflops_alveo(self):
+        assert constants.average_ops_per_cycle() * 300e6 / 1e9 == pytest.approx(
+            18.86, abs=0.005
+        )
+
+    def test_theoretical_gflops_stratix(self):
+        assert constants.average_ops_per_cycle() * 398e6 / 1e9 == pytest.approx(
+            25.02, abs=0.005
+        )
+
+
+class TestColumnAndGrid:
+    def test_column_flops(self):
+        assert column_flops(64) == 63 * 63 + 55
+
+    def test_column_rejects_short(self):
+        with pytest.raises(ValueError):
+            column_flops(1)
+
+    def test_grid_flops(self):
+        g = Grid(nx=2, ny=3, nz=4)
+        assert grid_flops(g) == 6 * (3 * 63 + 55)
+
+    def test_field_flops_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            field_flops(field="t")
+
+
+class TestStrictConvention:
+    def test_bottom_level_zero(self):
+        assert strict_cell_flops(0, 8) == 0
+
+    def test_interior_full(self):
+        assert strict_cell_flops(3, 8) == 63
+
+    def test_top_drops_w_entirely(self):
+        # U and V one-sided (17 each), no W -> 34.
+        assert strict_cell_flops(7, 8) == 34
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            strict_cell_flops(8, 8)
+        with pytest.raises(ValueError):
+            strict_cell_flops(-1, 8)
+
+    def test_strict_below_paper_convention(self):
+        g = Grid(nx=4, ny=4, nz=16)
+        assert strict_grid_flops(g) < grid_flops(g)
+
+    def test_strict_grid_value(self):
+        g = Grid(nx=1, ny=1, nz=4)
+        # k=0: 0; k=1,2: 63 each; k=3 (top): 34.
+        assert strict_grid_flops(g) == 63 * 2 + 34

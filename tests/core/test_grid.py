@@ -1,0 +1,185 @@
+"""Tests for the grid geometry and decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid, GridDecomposition, HALO_DEPTH
+from repro.errors import GridError
+
+
+class TestGridConstruction:
+    def test_basic_sizes(self):
+        g = Grid(nx=4, ny=5, nz=6)
+        assert g.num_cells == 4 * 5 * 6
+        assert g.interior_shape == (4, 5, 6)
+        assert g.halo_shape == (6, 7, 6)
+        assert g.num_columns == 20
+
+    def test_halo_depth_is_one(self):
+        assert HALO_DEPTH == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    @pytest.mark.parametrize("dim", ["nx", "ny"])
+    def test_rejects_nonpositive_dims(self, bad, dim):
+        kwargs = dict(nx=4, ny=4, nz=4)
+        kwargs[dim] = bad
+        with pytest.raises(GridError):
+            Grid(**kwargs)
+
+    def test_rejects_nz_below_two(self):
+        with pytest.raises(GridError):
+            Grid(nx=4, ny=4, nz=1)
+
+    def test_rejects_non_integer_dims(self):
+        with pytest.raises(GridError):
+            Grid(nx=4.5, ny=4, nz=4)
+
+    def test_rejects_bool_dims(self):
+        with pytest.raises(GridError):
+            Grid(nx=True, ny=4, nz=4)
+
+    @pytest.mark.parametrize("spacing", ["dx", "dy", "dz"])
+    def test_rejects_nonpositive_spacing(self, spacing):
+        kwargs = dict(nx=4, ny=4, nz=4)
+        kwargs[spacing] = 0.0
+        with pytest.raises(GridError):
+            Grid(**kwargs)
+
+    def test_rejects_nan_spacing(self):
+        with pytest.raises(GridError):
+            Grid(nx=4, ny=4, nz=4, dx=float("nan"))
+
+    def test_field_bytes(self):
+        g = Grid(nx=2, ny=3, nz=4)
+        assert g.field_bytes() == 2 * 3 * 4 * 8
+        assert g.field_bytes(itemsize=4) == 2 * 3 * 4 * 4
+
+    def test_with_size_replaces_only_given(self):
+        g = Grid(nx=4, ny=5, nz=6, dx=50.0)
+        g2 = g.with_size(ny=10)
+        assert (g2.nx, g2.ny, g2.nz) == (4, 10, 6)
+        assert g2.dx == 50.0
+
+
+class TestGridAllocation:
+    def test_allocate_with_halo(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        a = g.allocate()
+        assert a.shape == g.halo_shape
+        assert a.dtype == np.float64
+        assert np.all(a == 0.0)
+
+    def test_allocate_interior(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        assert g.allocate(halo=False).shape == g.interior_shape
+
+    def test_interior_view_is_view(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        a = g.allocate()
+        view = g.interior(a)
+        view[...] = 7.0
+        assert a[1, 1, 0] == 7.0
+        assert a[0, 0, 0] == 0.0  # halo untouched
+
+    def test_interior_rejects_wrong_shape(self):
+        g = Grid(nx=3, ny=4, nz=5)
+        with pytest.raises(GridError):
+            g.interior(np.zeros((3, 4, 5)))
+
+
+class TestPeriodicHalo:
+    def test_wraps_x(self):
+        g = Grid(nx=4, ny=3, nz=2)
+        a = g.allocate()
+        g.interior(a)[...] = np.arange(4 * 3 * 2).reshape(4, 3, 2)
+        g.fill_periodic_halo(a)
+        np.testing.assert_array_equal(a[0, 1:-1, :], a[-2, 1:-1, :])
+        np.testing.assert_array_equal(a[-1, 1:-1, :], a[1, 1:-1, :])
+
+    def test_wraps_y(self):
+        g = Grid(nx=4, ny=3, nz=2)
+        a = g.allocate()
+        g.interior(a)[...] = np.arange(4 * 3 * 2).reshape(4, 3, 2)
+        g.fill_periodic_halo(a)
+        np.testing.assert_array_equal(a[:, 0, :], a[:, -2, :])
+        np.testing.assert_array_equal(a[:, -1, :], a[:, 1, :])
+
+    def test_corners_consistent(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        a = g.allocate()
+        g.interior(a)[...] = np.random.default_rng(0).normal(size=(3, 3, 2))
+        g.fill_periodic_halo(a)
+        # Corner equals the diagonally-opposite interior corner.
+        np.testing.assert_array_equal(a[0, 0, :], a[3, 3, :])
+
+    def test_check_halo_consistent(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        a = g.allocate()
+        g.interior(a)[...] = 1.5
+        g.fill_periodic_halo(a)
+        assert g.check_halo_consistent(a)
+        a[0, 0, 0] = 99.0
+        assert not g.check_halo_consistent(a)
+
+    def test_rejects_wrong_shape(self):
+        g = Grid(nx=3, ny=3, nz=2)
+        with pytest.raises(GridError):
+            g.fill_periodic_halo(np.zeros((3, 3, 2)))
+
+
+class TestFromCells:
+    def test_square_horizontal(self):
+        g = Grid.from_cells(16 * 1024 * 1024)
+        assert g.nx == g.ny == 512
+        assert g.nz == 64
+
+    def test_paper_sizes(self):
+        from repro.constants import PAPER_GRID_LABELS
+
+        for label, cells in PAPER_GRID_LABELS.items():
+            g = Grid.from_cells(cells)
+            # Within 1% of the intended cell count.
+            assert abs(g.num_cells - cells) / cells < 0.01, label
+
+    def test_rejects_too_small(self):
+        with pytest.raises(GridError):
+            Grid.from_cells(10, nz=64)
+
+
+class TestGridDecomposition:
+    def test_even_split(self):
+        d = GridDecomposition(Grid(nx=12, ny=4, nz=4), parts=4)
+        assert d.bounds == ((0, 3), (3, 6), (6, 9), (9, 12))
+        assert all(d.cells(p) == 3 * 4 * 4 for p in range(4))
+
+    def test_uneven_split_front_loaded(self):
+        d = GridDecomposition(Grid(nx=10, ny=2, nz=2), parts=4)
+        widths = [b - a for a, b in d.bounds]
+        assert widths == [3, 3, 2, 2]
+        assert sum(widths) == 10
+
+    def test_covers_domain_without_overlap(self):
+        d = GridDecomposition(Grid(nx=17, ny=2, nz=2), parts=5)
+        stops = [b for _, b in d.bounds]
+        starts = [a for a, _ in d.bounds]
+        assert starts[0] == 0 and stops[-1] == 17
+        assert starts[1:] == stops[:-1]
+
+    def test_subgrid_shapes(self):
+        g = Grid(nx=10, ny=6, nz=4, dx=25.0)
+        d = GridDecomposition(g, parts=3)
+        sub = d.subgrid(0)
+        assert sub.ny == 6 and sub.nz == 4 and sub.dx == 25.0
+        assert sum(d.subgrid(p).nx for p in range(3)) == 10
+
+    def test_max_cells(self):
+        d = GridDecomposition(Grid(nx=10, ny=2, nz=2), parts=3)
+        assert d.max_cells == 4 * 2 * 2
+
+    def test_rejects_too_many_parts(self):
+        with pytest.raises(GridError):
+            GridDecomposition(Grid(nx=3, ny=2, nz=2), parts=4)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(GridError):
+            GridDecomposition(Grid(nx=3, ny=2, nz=2), parts=0)

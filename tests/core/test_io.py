@@ -1,0 +1,86 @@
+"""Checkpoint I/O and MONC layout conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.io import (
+    from_monc_layout,
+    load_fields,
+    save_fields,
+    to_monc_layout,
+)
+from repro.core.reference import advect_reference
+from repro.core.wind import random_wind
+from repro.errors import ConfigurationError
+
+
+class TestMoncLayout:
+    def test_roundtrip_bitwise(self):
+        arr = np.random.default_rng(0).normal(size=(5, 6, 7))
+        np.testing.assert_array_equal(from_monc_layout(to_monc_layout(arr)),
+                                      arr)
+
+    def test_monc_is_kji_fortran_order(self):
+        arr = np.arange(24, dtype=float).reshape(2, 3, 4)  # (i, j, k)
+        monc = to_monc_layout(arr)
+        assert monc.shape == (4, 3, 2)  # (k, j, i)
+        assert monc.flags["F_CONTIGUOUS"]
+        assert monc[1, 2, 0] == arr[0, 2, 1]
+
+    def test_k_contiguity_preserved(self):
+        """Both layouts keep k fastest in memory — the kernel streaming
+        order survives the conversion."""
+        arr = np.zeros((3, 4, 5))
+        monc = to_monc_layout(arr)
+        # F-order (k, j, i): first axis (k) has the smallest stride.
+        assert monc.strides[0] == min(monc.strides)
+        assert arr.strides[2] == min(arr.strides)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ConfigurationError):
+            to_monc_layout(np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            from_monc_layout(np.zeros(5))
+
+
+class TestCheckpoints:
+    def test_roundtrip_interior_bitwise(self, tmp_path):
+        grid = Grid(nx=5, ny=6, nz=7, dx=33.0, dz=12.5)
+        fields = random_wind(grid, seed=9)
+        path = tmp_path / "state.npz"
+        save_fields(path, fields)
+        loaded = load_fields(path)
+        assert loaded.grid == grid
+        for name in ("u", "v", "w"):
+            np.testing.assert_array_equal(loaded.interior(name),
+                                          fields.interior(name))
+
+    def test_loaded_fields_ready_for_advection(self, tmp_path):
+        grid = Grid(nx=4, ny=5, nz=6)
+        fields = random_wind(grid, seed=10)
+        path = tmp_path / "state.npz"
+        save_fields(path, fields)
+        loaded = load_fields(path)
+        # Same periodic halos -> identical sources.
+        assert advect_reference(loaded).max_abs_difference(
+            advect_reference(fields)) == 0.0
+
+    def test_open_boundary_load(self, tmp_path):
+        grid = Grid(nx=3, ny=3, nz=3)
+        fields = random_wind(grid, seed=11)
+        path = tmp_path / "state.npz"
+        save_fields(path, fields)
+        loaded = load_fields(path, periodic=False)
+        assert np.all(loaded.u[0, :, :] == 0.0)
+
+    def test_version_check(self, tmp_path):
+        grid = Grid(nx=3, ny=3, nz=3)
+        path = tmp_path / "state.npz"
+        save_fields(path, random_wind(grid, seed=0))
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.int64(99)
+        np.savez(path, **payload)
+        with pytest.raises(ConfigurationError):
+            load_fields(path)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) on the advection numerics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import FieldSet
+from repro.core.golden import advect_golden
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+
+# Small dimensions keep the scalar golden path fast.
+dims = st.tuples(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=2, max_value=6),
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+scales = st.floats(min_value=0.125, max_value=8.0, allow_nan=False)
+
+
+def random_fields(grid: Grid, seed: int, magnitude: float = 2.0) -> FieldSet:
+    rng = np.random.default_rng(seed)
+    shape = grid.interior_shape
+    return FieldSet.from_interior(
+        grid,
+        rng.uniform(-magnitude, magnitude, shape),
+        rng.uniform(-magnitude, magnitude, shape),
+        rng.uniform(-magnitude, magnitude, shape),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims, seed=seeds)
+def test_reference_equals_golden(dims, seed):
+    """The vectorised kernel matches the scalar specification bit for bit
+    on arbitrary grids and random data."""
+    grid = Grid(nx=dims[0], ny=dims[1], nz=dims[2])
+    fields = random_fields(grid, seed)
+    coeffs = AdvectionCoefficients.isothermal(grid)
+    assert advect_golden(fields, coeffs).max_abs_difference(
+        advect_reference(fields, coeffs)
+    ) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=dims, seed=seeds, scale=scales)
+def test_quadratic_homogeneity(dims, seed, scale):
+    """advect(a * fields) == a^2 * advect(fields), a structural property of
+    the flux-form products (exact for power-of-two scales)."""
+    grid = Grid(nx=dims[0], ny=dims[1], nz=dims[2])
+    fields = random_fields(grid, seed)
+    base = advect_reference(fields)
+    scaled = FieldSet(grid, scale * fields.u, scale * fields.v,
+                      scale * fields.w)
+    result = advect_reference(scaled)
+    np.testing.assert_allclose(result.su, scale**2 * base.su,
+                               rtol=1e-12, atol=1e-13)
+    np.testing.assert_allclose(result.sv, scale**2 * base.sv,
+                               rtol=1e-12, atol=1e-13)
+    np.testing.assert_allclose(result.sw, scale**2 * base.sw,
+                               rtol=1e-12, atol=1e-13)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims=dims, seed=seeds)
+def test_sources_finite_and_bounded(dims, seed):
+    """Sources stay finite and bounded by the analytic worst case
+    (3 flux pairs, each |coef| * 2 * max|field|^2)."""
+    grid = Grid(nx=dims[0], ny=dims[1], nz=dims[2])
+    fields = random_fields(grid, seed, magnitude=4.0)
+    coeffs = AdvectionCoefficients.uniform(grid)
+    sources = advect_reference(fields, coeffs)
+    bound = 3 * max(coeffs.tcx, coeffs.tcy, 0.25 / grid.dz) * 4 * 4.0**2
+    for arr in sources.as_tuple():
+        assert np.all(np.isfinite(arr))
+        assert np.abs(arr).max(initial=0.0) <= bound + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, shift=st.integers(min_value=0, max_value=7))
+def test_translation_equivariance_y(seed, shift):
+    """Periodic roll in y commutes with the kernel."""
+    grid = Grid(nx=3, ny=8, nz=4)
+    fields = random_fields(grid, seed)
+    base = advect_reference(fields)
+    rolled = FieldSet.from_interior(
+        grid,
+        np.roll(fields.interior("u"), shift, axis=1),
+        np.roll(fields.interior("v"), shift, axis=1),
+        np.roll(fields.interior("w"), shift, axis=1),
+    )
+    result = advect_reference(rolled)
+    np.testing.assert_allclose(result.su, np.roll(base.su, shift, axis=1),
+                               rtol=0, atol=1e-15)
+    np.testing.assert_allclose(result.sv, np.roll(base.sv, shift, axis=1),
+                               rtol=0, atol=1e-15)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_zero_wind_zero_sources(seed):
+    """The zero state is a fixed point regardless of coefficients."""
+    grid = Grid(nx=4, ny=4, nz=5)
+    fields = FieldSet.zeros(grid)
+    coeffs = AdvectionCoefficients.isothermal(grid)
+    sources = advect_reference(fields, coeffs)
+    for arr in sources.as_tuple():
+        assert np.all(arr == 0.0)

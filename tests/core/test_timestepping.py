@@ -1,0 +1,129 @@
+"""Tests for the forward-in-time integrator."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.timestepping import AdvectionIntegrator
+from repro.core.wind import constant_wind, random_wind, thermal_bubble
+from repro.errors import ConfigurationError
+
+
+def make_integrator(dt=0.01, magnitude=0.5, grid=None):
+    grid = grid or Grid(nx=6, ny=6, nz=6)
+    return AdvectionIntegrator(
+        fields=random_wind(grid, seed=2, magnitude=magnitude), dt=dt
+    )
+
+
+class TestStepping:
+    def test_step_advances_time_and_count(self):
+        integ = make_integrator()
+        rec = integ.step()
+        assert integ.steps_taken == 1
+        assert integ.time == pytest.approx(0.01)
+        assert rec.step == 1
+
+    def test_run_many_steps(self):
+        integ = make_integrator()
+        records = integ.run(5)
+        assert len(records) == 5
+        assert integ.steps_taken == 5
+        assert [r.step for r in records] == [1, 2, 3, 4, 5]
+
+    def test_run_zero_steps(self):
+        assert make_integrator().run(0) == []
+
+    def test_run_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_integrator().run(-1)
+
+    def test_history_accumulates(self):
+        integ = make_integrator()
+        integ.run(3)
+        assert len(integ.history) == 3
+
+    def test_state_changes(self):
+        integ = make_integrator()
+        before = integ.fields.u.copy()
+        integ.step()
+        assert not np.array_equal(before, integ.fields.u)
+
+    def test_halos_valid_after_step(self):
+        integ = make_integrator()
+        integ.step()
+        assert integ.fields.grid.check_halo_consistent(integ.fields.u)
+
+    def test_constant_wind_nearly_steady(self):
+        """Constant wind with w=0 has zero tendency; state is unchanged."""
+        g = Grid(nx=5, ny=5, nz=5)
+        integ = AdvectionIntegrator(
+            fields=constant_wind(g, u0=1.0, v0=1.0, w0=0.0), dt=0.1
+        )
+        before = integ.fields.u.copy()
+        integ.step()
+        np.testing.assert_array_equal(before, integ.fields.u)
+
+
+class TestCFL:
+    def test_cfl_number_scales_with_dt(self):
+        a = make_integrator(dt=0.01)
+        b = make_integrator(dt=0.02)
+        assert b.cfl_number() == pytest.approx(2 * a.cfl_number())
+
+    def test_cfl_guard_rejects_wild_step(self):
+        integ = make_integrator(dt=1e6, magnitude=10.0)
+        with pytest.raises(ConfigurationError):
+            integ.step()
+
+    def test_cfl_guard_can_be_disabled(self):
+        g = Grid(nx=4, ny=4, nz=4)
+        integ = AdvectionIntegrator(
+            fields=random_wind(g, seed=1, magnitude=10.0), dt=1e5,
+            enforce_cfl=False,
+        )
+        integ.step()  # allowed to blow up
+        assert integ.steps_taken == 1
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ConfigurationError):
+            make_integrator(dt=0.0)
+
+
+class TestPluggableBackend:
+    def test_custom_advect_backend_used(self):
+        g = Grid(nx=4, ny=4, nz=4)
+        calls = []
+
+        def fake_advect(fields):
+            from repro.core.fields import SourceSet
+
+            calls.append(1)
+            return SourceSet.zeros(g)
+
+        integ = AdvectionIntegrator(
+            fields=thermal_bubble(g), dt=0.01, advect=fake_advect
+        )
+        before = integ.fields.u.copy()
+        integ.step()
+        assert calls == [1]
+        np.testing.assert_array_equal(before, integ.fields.u)
+
+    def test_device_backend_matches_reference(self):
+        """Integrating via the chunked functional kernel equals the
+        reference integrator step for step."""
+        from repro.kernel.config import KernelConfig
+        from repro.kernel.functional import execute_chunked
+
+        g = Grid(nx=6, ny=9, nz=5)
+        config = KernelConfig(grid=g, chunk_width=3)
+        ref = AdvectionIntegrator(fields=random_wind(g, seed=4), dt=0.01)
+        dev = AdvectionIntegrator(
+            fields=random_wind(g, seed=4), dt=0.01,
+            advect=lambda f: execute_chunked(config, f),
+        )
+        for _ in range(3):
+            ref.step()
+            dev.step()
+        np.testing.assert_array_equal(ref.fields.u, dev.fields.u)
+        np.testing.assert_array_equal(ref.fields.w, dev.fields.w)

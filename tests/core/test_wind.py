@@ -1,0 +1,84 @@
+"""Tests for the analytic wind-field generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.wind import (
+    constant_wind,
+    gravity_current,
+    random_wind,
+    shear_layer,
+    thermal_bubble,
+)
+
+GENERATORS = [constant_wind, shear_layer, thermal_bubble, gravity_current,
+              random_wind]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_shapes_and_halos(generator):
+    g = Grid(nx=6, ny=5, nz=4)
+    f = generator(g)
+    assert f.u.shape == g.halo_shape
+    assert g.check_halo_consistent(f.u)
+    assert g.check_halo_consistent(f.w)
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_finite_everywhere(generator):
+    f = generator(Grid(nx=5, ny=6, nz=7))
+    for name in ("u", "v", "w"):
+        assert np.all(np.isfinite(getattr(f, name)))
+
+
+def test_constant_wind_values():
+    f = constant_wind(Grid(nx=3, ny=3, nz=3), u0=1.5, v0=-2.5, w0=0.25)
+    assert np.all(f.interior("u") == 1.5)
+    assert np.all(f.interior("v") == -2.5)
+    assert np.all(f.interior("w") == 0.25)
+
+
+def test_shear_layer_flips_sign_across_midline():
+    g = Grid(nx=4, ny=16, nz=4)
+    f = shear_layer(g, magnitude=10.0)
+    u = f.interior("u")
+    assert np.all(u[:, 0, :] < 0)
+    assert np.all(u[:, -1, :] > 0)
+
+
+def test_thermal_bubble_updraft_at_centre():
+    g = Grid(nx=16, ny=16, nz=8)
+    f = thermal_bubble(g, updraft=2.0)
+    w = f.interior("w")
+    centre = w[8, 8, 4]
+    corner = w[0, 0, 4]
+    assert centre > 10 * abs(corner)
+    assert centre > 0
+
+
+def test_thermal_bubble_horizontally_convergent_low_down():
+    g = Grid(nx=16, ny=16, nz=8)
+    f = thermal_bubble(g, updraft=2.0)
+    u = f.interior("u")
+    # Left of centre at low level: flow toward centre (positive u).
+    assert u[4, 8, 0] > 0
+    assert u[12, 8, 0] < 0
+
+
+def test_gravity_current_jet_reverses_aloft():
+    g = Grid(nx=8, ny=4, nz=16)
+    f = gravity_current(g, head_speed=8.0, depth=0.2)
+    u = f.interior("u")
+    assert np.all(u[:, :, 0] > 0)   # low-level jet
+    assert np.all(u[:, :, -1] < 0)  # return flow aloft
+
+
+def test_random_wind_reproducible_and_bounded():
+    g = Grid(nx=5, ny=5, nz=5)
+    a = random_wind(g, seed=42, magnitude=3.0)
+    b = random_wind(g, seed=42, magnitude=3.0)
+    c = random_wind(g, seed=43, magnitude=3.0)
+    np.testing.assert_array_equal(a.u, b.u)
+    assert not np.array_equal(a.u, c.u)
+    assert np.abs(a.interior("u")).max() <= 3.0

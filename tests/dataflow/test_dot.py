@@ -1,0 +1,57 @@
+"""DOT export of dataflow graphs."""
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.fields import SourceSet
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.dataflow.dot import to_dot, write_dot
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage
+from repro.kernel.builder import build_advection_graph
+from repro.kernel.config import KernelConfig
+
+
+def small_graph():
+    g = DataflowGraph("demo")
+    g.add(SourceStage("src", [1, 2]))
+    g.add(FunctionStage("f", lambda x: x, ii=2, latency=7))
+    g.add(SinkStage("sink"))
+    g.connect("src", "out", "f", "in", depth=4)
+    g.connect("f", "out", "sink", "in", depth=4)
+    return g
+
+
+class TestDot:
+    def test_contains_all_stages_and_edges(self):
+        dot = to_dot(small_graph())
+        assert dot.startswith('digraph "demo"')
+        for name in ("src", "f", "sink"):
+            assert f'"{name}"' in dot
+        assert '"src" -> "f"' in dot
+        assert '"f" -> "sink"' in dot
+
+    def test_labels_carry_ii_latency_and_depth(self):
+        dot = to_dot(small_graph())
+        assert "II=2 L=7" in dot
+        assert "depth 4" in dot
+
+    def test_rankdir(self):
+        assert "rankdir=TB" in to_dot(small_graph(), rankdir="TB")
+
+    def test_write_to_file(self, tmp_path):
+        path = write_dot(small_graph(), tmp_path / "g.dot")
+        assert path.read_text().rstrip().endswith("}")
+
+    def test_fig2_kernel_graph_renders(self):
+        grid = Grid(nx=4, ny=4, nz=4)
+        config = KernelConfig(grid=grid, chunk_width=4)
+        chunk = config.chunk_plan().chunks[0]
+        graph = build_advection_graph(
+            config, random_wind(grid, seed=0), chunk,
+            AdvectionCoefficients.uniform(grid), SourceSet.zeros(grid))
+        dot = to_dot(graph)
+        for stage in ("read_data", "shift_buffer", "replicate",
+                      "advect_u", "advect_v", "advect_w", "write_data"):
+            assert stage in dot
+        # Eight edges, like Fig. 2.
+        assert dot.count("->") == 8

@@ -1,0 +1,126 @@
+"""Tests for the cycle-driven engine."""
+
+import pytest
+
+from repro.dataflow.engine import DataflowEngine
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage
+from repro.errors import DataflowError
+
+
+def pipeline(n_items=50, *, fn_ii=1, fn_latency=4, depth=4):
+    g = DataflowGraph("p")
+    src = g.add(SourceStage("src", range(n_items)))
+    fn = g.add(FunctionStage("fn", lambda x: 2 * x, ii=fn_ii,
+                             latency=fn_latency))
+    sink = g.add(SinkStage("sink"))
+    g.connect(src, "out", fn, "in", depth=depth)
+    g.connect(fn, "out", sink, "in", depth=depth)
+    return g
+
+
+class TestExecution:
+    def test_results_correct_and_ordered(self):
+        g = pipeline(20)
+        DataflowEngine(g).run()
+        assert g.stage("sink").collected == [2 * i for i in range(20)]
+
+    def test_cycle_count_is_items_plus_fill(self):
+        stats = DataflowEngine(pipeline(100, fn_latency=4)).run()
+        # II=1: steady state is one item per cycle; fill/drain is bounded by
+        # the pipeline depth plus a few stream hops.
+        assert 100 <= stats.cycles <= 100 + 15
+
+    def test_ii2_doubles_steady_state(self):
+        fast = DataflowEngine(pipeline(100, fn_ii=1)).run()
+        slow = DataflowEngine(pipeline(100, fn_ii=2)).run()
+        assert slow.cycles == pytest.approx(2 * fast.cycles, rel=0.1)
+
+    def test_throughput_close_to_one(self):
+        stats = DataflowEngine(pipeline(200)).run()
+        assert stats.throughput("fn") > 0.9
+
+    def test_empty_source_quiesces_immediately(self):
+        stats = DataflowEngine(pipeline(0)).run()
+        assert stats.fires["fn"] == 0
+        assert stats.cycles <= 2
+
+
+class TestGuards:
+    def test_max_cycles_enforced(self):
+        g = pipeline(10_000)
+        with pytest.raises(DataflowError, match="did not quiesce"):
+            DataflowEngine(g, max_cycles=10).run()
+
+    def test_rejects_bad_max_cycles(self):
+        with pytest.raises(DataflowError):
+            DataflowEngine(pipeline(1), max_cycles=0)
+
+    def test_validates_graph_before_running(self):
+        g = DataflowGraph("broken")
+        g.add(FunctionStage("fn", lambda x: x))
+        with pytest.raises(DataflowError):
+            DataflowEngine(g).run()
+
+
+class TestRunStats:
+    def test_fires_recorded_per_stage(self):
+        stats = DataflowEngine(pipeline(30)).run()
+        assert stats.fires["src"] == 30
+        assert stats.fires["fn"] == 30
+        assert stats.fires["sink"] == 30
+
+    def test_stall_breakdown_keys(self):
+        stats = DataflowEngine(pipeline(10)).run()
+        assert set(stats.stalls["fn"]) == {"input", "output", "ii", "pipeline"}
+
+    def test_total_stalls(self):
+        stats = DataflowEngine(pipeline(10, fn_ii=2)).run()
+        assert stats.total_stalls("fn") > 0
+
+    def test_stream_high_water(self):
+        stats = DataflowEngine(pipeline(50, depth=4)).run()
+        assert all(0 < v <= 4 for v in stats.stream_high_water.values())
+
+    def test_summary_is_readable(self):
+        stats = DataflowEngine(pipeline(10)).run()
+        text = stats.summary()
+        assert "cycles:" in text and "fn" in text and "throughput" in text
+
+    def test_throughput_empty_run(self):
+        from repro.dataflow.engine import RunStats
+
+        assert RunStats(cycles=0).throughput("x") == 0.0
+
+
+class TestFanOut:
+    def test_diamond_topology(self):
+        """src -> (a, b) -> sink-ish merge, exercising multi-port stages."""
+        from repro.dataflow.stage import Stage
+
+        class Split(Stage):
+            input_ports = ("in",)
+            output_ports = ("a", "b")
+
+            def fire(self, cycle, inputs):
+                (x,) = inputs["in"]
+                return {"a": [x], "b": [x + 100]}
+
+        class Merge(Stage):
+            input_ports = ("a", "b")
+            output_ports = ("out",)
+
+            def fire(self, cycle, inputs):
+                return {"out": [inputs["a"][0] + inputs["b"][0]]}
+
+        g = DataflowGraph("diamond")
+        g.add(SourceStage("src", range(10)))
+        g.add(Split("split"))
+        g.add(Merge("merge"))
+        g.add(SinkStage("sink"))
+        g.connect("src", "out", "split", "in")
+        g.connect("split", "a", "merge", "a")
+        g.connect("split", "b", "merge", "b")
+        g.connect("merge", "out", "sink", "in")
+        DataflowEngine(g).run()
+        assert g.stage("sink").collected == [2 * i + 100 for i in range(10)]

@@ -1,0 +1,131 @@
+"""Tests for graph construction and validation."""
+
+import pytest
+
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage, Stage
+from repro.errors import GraphError
+
+
+def linear_graph():
+    g = DataflowGraph("linear")
+    src = g.add(SourceStage("src", range(3)))
+    fn = g.add(FunctionStage("fn", lambda x: x))
+    sink = g.add(SinkStage("sink"))
+    g.connect(src, "out", fn, "in")
+    g.connect(fn, "out", sink, "in")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_stage_name_rejected(self):
+        g = DataflowGraph()
+        g.add(SinkStage("a"))
+        with pytest.raises(GraphError):
+            g.add(SinkStage("a"))
+
+    def test_connect_by_name(self):
+        g = DataflowGraph()
+        g.add(SourceStage("src", [1]))
+        g.add(SinkStage("sink"))
+        stream = g.connect("src", "out", "sink", "in")
+        assert stream.name == "src.out->sink.in"
+
+    def test_connect_unknown_stage_rejected(self):
+        g = DataflowGraph()
+        g.add(SinkStage("sink"))
+        with pytest.raises(GraphError):
+            g.connect("ghost", "out", "sink", "in")
+
+    def test_connect_unadded_stage_object_rejected(self):
+        g = DataflowGraph()
+        orphan = SourceStage("orphan", [1])
+        g.add(SinkStage("sink"))
+        with pytest.raises(GraphError):
+            g.connect(orphan, "out", "sink", "in")
+
+    def test_duplicate_stream_name_rejected(self):
+        g = DataflowGraph()
+        g.add(SourceStage("a", [1]))
+        g.add(SourceStage("b", [1]))
+        g.add(SinkStage("s1"))
+        g.add(SinkStage("s2"))
+        g.connect("a", "out", "s1", "in", name="x")
+        with pytest.raises(GraphError):
+            g.connect("b", "out", "s2", "in", name="x")
+
+    def test_custom_depth(self):
+        g = DataflowGraph()
+        g.add(SourceStage("a", [1]))
+        g.add(SinkStage("s"))
+        stream = g.connect("a", "out", "s", "in", depth=17)
+        assert stream.depth == 17
+
+    def test_accessors(self):
+        g = linear_graph()
+        assert len(g.stages) == 3
+        assert len(g.streams) == 2
+        assert g.stage("fn").name == "fn"
+        with pytest.raises(GraphError):
+            g.stage("nope")
+        with pytest.raises(GraphError):
+            g.stream("nope")
+
+    def test_successors(self):
+        g = linear_graph()
+        assert [s.name for s in g.successors("src")] == ["fn"]
+        assert [s.name for s in g.successors("sink")] == []
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        linear_graph().validate()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            DataflowGraph().validate()
+
+    def test_unconnected_port_rejected(self):
+        g = DataflowGraph()
+        g.add(SourceStage("src", [1]))
+        g.add(FunctionStage("fn", lambda x: x))
+        g.add(SinkStage("sink"))
+        g.connect("src", "out", "fn", "in")
+        # fn.out dangling
+        with pytest.raises(GraphError, match="unconnected"):
+            g.validate()
+
+    def test_cycle_detected(self):
+        class Loop(Stage):
+            input_ports = ("in",)
+            output_ports = ("out",)
+
+            def fire(self, cycle, inputs):
+                return {"out": inputs["in"]}
+
+        g = DataflowGraph()
+        g.add(Loop("a"))
+        g.add(Loop("b"))
+        g.connect("a", "out", "b", "in")
+        g.connect("b", "out", "a", "in")
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+
+    def test_topological_order_respects_edges(self):
+        g = linear_graph()
+        order = [s.name for s in g.topological_order()]
+        assert order.index("src") < order.index("fn") < order.index("sink")
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        from repro.dataflow.engine import DataflowEngine
+
+        g = linear_graph()
+        DataflowEngine(g).run()
+        sink = g.stage("sink")
+        assert sink.collected == [0, 1, 2]
+        g.reset()
+        assert sink.collected == []
+        assert all(s.is_empty for s in g.streams)
+        assert all(s.stats.fires == 0 for s in g.stages)

@@ -1,0 +1,69 @@
+"""Tests for the per-cycle probes."""
+
+import pytest
+
+from repro.dataflow.engine import DataflowEngine
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.monitors import StreamProbe, ThroughputMonitor
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage
+
+
+def instrumented(n=200, window=16):
+    g = DataflowGraph("m")
+    src = g.add(SourceStage("src", range(n)))
+    fn = g.add(FunctionStage("fn", lambda x: x, latency=2))
+    sink = g.add(SinkStage("sink"))
+    stream = g.connect(src, "out", fn, "in", depth=4)
+    g.connect(fn, "out", sink, "in", depth=4)
+    probe = StreamProbe(stream.name)
+    monitor = ThroughputMonitor("fn", window=window)
+    DataflowEngine(g, monitors=[probe, monitor]).run()
+    return probe, monitor
+
+
+class TestStreamProbe:
+    def test_samples_every_cycle(self):
+        probe, _ = instrumented(50)
+        assert len(probe.samples) >= 50
+
+    def test_occupancy_within_depth(self):
+        probe, _ = instrumented(50)
+        assert 0 <= probe.max_occupancy <= 4
+        assert 0.0 <= probe.mean_occupancy <= 4.0
+
+    def test_stride_reduces_samples(self):
+        g = DataflowGraph("m")
+        src = g.add(SourceStage("src", range(100)))
+        sink = g.add(SinkStage("sink"))
+        stream = g.connect(src, "out", sink, "in")
+        probe = StreamProbe(stream.name, stride=10)
+        DataflowEngine(g, monitors=[probe]).run()
+        assert len(probe.samples) <= 12
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            StreamProbe("x", stride=0)
+
+    def test_empty_probe_stats(self):
+        probe = StreamProbe("x")
+        assert probe.mean_occupancy == 0.0
+        assert probe.max_occupancy == 0
+
+
+class TestThroughputMonitor:
+    def test_steady_state_rate_near_one(self):
+        _, monitor = instrumented(400, window=32)
+        assert monitor.steady_state_rate == pytest.approx(1.0, abs=0.1)
+
+    def test_peak_rate_bounded_by_one(self):
+        _, monitor = instrumented(200)
+        assert monitor.peak_rate <= 1.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ThroughputMonitor("x", window=0)
+
+    def test_empty_monitor_rates(self):
+        m = ThroughputMonitor("x")
+        assert m.steady_state_rate == 0.0
+        assert m.peak_rate == 0.0

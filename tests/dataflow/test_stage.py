@@ -1,0 +1,196 @@
+"""Tests for stage firing, pipelining and backpressure."""
+
+import pytest
+
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import (
+    ConstStage,
+    FunctionStage,
+    SinkStage,
+    SourceStage,
+    Stage,
+)
+from repro.dataflow.stream import Stream
+from repro.errors import DataflowError, GraphError
+
+
+def wire(src, dst, depth=8):
+    g = DataflowGraph("t")
+    g.add(src)
+    g.add(dst)
+    g.connect(src, "out", dst, "in", depth=depth)
+    return g
+
+
+class TestConstruction:
+    def test_rejects_bad_ii(self):
+        with pytest.raises(DataflowError):
+            FunctionStage("f", lambda x: x, ii=0)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(DataflowError):
+            FunctionStage("f", lambda x: x, latency=0)
+
+    def test_bind_unknown_port_rejected(self):
+        s = FunctionStage("f", lambda x: x)
+        with pytest.raises(GraphError):
+            s.bind_input("bogus", Stream("x"))
+        with pytest.raises(GraphError):
+            s.bind_output("bogus", Stream("x"))
+
+    def test_double_bind_rejected(self):
+        s = FunctionStage("f", lambda x: x)
+        s.bind_input("in", Stream("a"))
+        with pytest.raises(GraphError):
+            s.bind_input("in", Stream("b"))
+
+    def test_check_wired_reports_missing(self):
+        s = FunctionStage("f", lambda x: x)
+        with pytest.raises(GraphError, match="unconnected"):
+            s.check_wired()
+
+
+class TestPipelining:
+    def test_latency_delays_output(self):
+        src = SourceStage("src", [10])
+        fn = FunctionStage("f", lambda x: x + 1, latency=5)
+        sink = SinkStage("sink")
+        g = DataflowGraph("t")
+        for s in (src, fn, sink):
+            g.add(s)
+        g.connect(src, "out", fn, "in")
+        g.connect(fn, "out", sink, "in")
+        # Manually tick: the value should not reach the sink before the
+        # function stage's latency has elapsed.
+        for cycle in range(4):
+            for s in (src, fn, sink):
+                s.tick(cycle)
+        assert sink.collected == []
+        for cycle in range(4, 12):
+            for s in (src, fn, sink):
+                s.tick(cycle)
+        assert sink.collected == [11]
+
+    def test_in_flight_bounded_by_latency(self):
+        src = SourceStage("src", range(100))
+        fn = FunctionStage("f", lambda x: x, latency=3)
+        sink = SinkStage("sink", ii=100)  # sink almost never fires
+        g = DataflowGraph("t")
+        for s in (src, fn, sink):
+            g.add(s)
+        g.connect(src, "out", fn, "in", depth=2)
+        g.connect(fn, "out", sink, "in", depth=2)
+        for cycle in range(50):
+            for s in (src, fn, sink):
+                s.tick(cycle)
+        assert fn.in_flight <= 3
+
+    def test_ii_limits_firing_rate(self):
+        src = SourceStage("src", range(10))
+        fn = FunctionStage("f", lambda x: x, ii=3)
+        sink = SinkStage("sink")
+        g = DataflowGraph("t")
+        for s in (src, fn, sink):
+            g.add(s)
+        g.connect(src, "out", fn, "in", depth=16)
+        g.connect(fn, "out", sink, "in", depth=16)
+        for cycle in range(9):
+            for s in (src, fn, sink):
+                s.tick(cycle)
+        assert fn.stats.fires == 3  # cycles 0, 3, 6
+
+
+class TestBackpressure:
+    def test_full_output_blocks_retire(self):
+        fn = FunctionStage("f", lambda x: x, latency=1)
+        ins = Stream("in", depth=10)
+        outs = Stream("out", depth=1)
+        fn.bind_input("in", ins)
+        fn.bind_output("out", outs)
+        for i in range(5):
+            ins.push(i)
+        for cycle in range(10):
+            fn.tick(cycle)
+        # Output stream full with one item; stage recorded output stalls.
+        assert outs.occupancy == 1
+        assert fn.stats.output_stalls > 0
+
+    def test_retire_in_fifo_order(self):
+        fn = FunctionStage("f", lambda x: x, latency=2)
+        ins = Stream("in", depth=10)
+        outs = Stream("out", depth=10)
+        fn.bind_input("in", ins)
+        fn.bind_output("out", outs)
+        for i in range(4):
+            ins.push(i)
+        for cycle in range(12):
+            fn.tick(cycle)
+        assert list(outs) == [0, 1, 2, 3]
+
+
+class TestSource:
+    def test_emits_all_items(self):
+        src = SourceStage("src", iter([1, 2, 3]))
+        out = Stream("o", depth=10)
+        src.bind_output("out", out)
+        for cycle in range(10):
+            src.tick(cycle)
+        assert list(out) == [1, 2, 3]
+        assert src.is_idle()
+
+    def test_exhausted_before_any_fire_for_empty(self):
+        src = SourceStage("src", [])
+        assert src.exhausted()
+
+    def test_fire_never_called(self):
+        src = SourceStage("src", [1])
+        with pytest.raises(DataflowError):
+            src.fire(0, {})
+
+
+class TestConstStage:
+    def test_emits_count_copies(self):
+        c = ConstStage("c", "x", count=4)
+        out = Stream("o", depth=10)
+        c.bind_output("out", out)
+        for cycle in range(10):
+            c.tick(cycle)
+        assert list(out) == ["x"] * 4
+        assert c.exhausted()
+
+
+class TestSink:
+    def test_collects_in_order(self):
+        sink = SinkStage("k")
+        ins = Stream("i", depth=10)
+        sink.bind_input("in", ins)
+        for i in range(5):
+            ins.push(i)
+        for cycle in range(10):
+            sink.tick(cycle)
+        assert sink.collected == [0, 1, 2, 3, 4]
+
+    def test_reset_clears_collected(self):
+        sink = SinkStage("k")
+        sink.collected.append(1)
+        sink.reset()
+        assert sink.collected == []
+
+
+class TestMisbehavingStage:
+    def test_undeclared_output_port_detected(self):
+        class Bad(Stage):
+            input_ports = ("in",)
+            output_ports = ("out",)
+
+            def fire(self, cycle, inputs):
+                return {"nope": [1]}
+
+        bad = Bad("bad")
+        ins = Stream("i", depth=2)
+        outs = Stream("o", depth=2)
+        bad.bind_input("in", ins)
+        bad.bind_output("out", outs)
+        ins.push(1)
+        with pytest.raises(DataflowError, match="undeclared"):
+            bad.tick(0)

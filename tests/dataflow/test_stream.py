@@ -1,0 +1,119 @@
+"""Tests for the bounded FIFO stream."""
+
+import pytest
+
+from repro.dataflow.stream import DEFAULT_DEPTH, Stream
+from repro.errors import StreamError
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        s = Stream("s", depth=3)
+        for i in range(3):
+            s.push(i)
+        assert [s.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_default_depth_matches_hls(self):
+        assert Stream("s").depth == DEFAULT_DEPTH == 2
+
+    def test_len_and_occupancy(self):
+        s = Stream("s", depth=4)
+        s.push("a")
+        s.push("b")
+        assert len(s) == s.occupancy == 2
+
+    def test_iteration_front_to_back(self):
+        s = Stream("s", depth=4)
+        s.push(1)
+        s.push(2)
+        assert list(s) == [1, 2]
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(StreamError):
+            Stream("s", depth=0)
+
+
+class TestCapacity:
+    def test_is_full_and_can_push(self):
+        s = Stream("s", depth=2)
+        assert s.can_push() and not s.is_full
+        s.push(1)
+        s.push(2)
+        assert s.is_full and not s.can_push()
+
+    def test_can_push_multiple(self):
+        s = Stream("s", depth=3)
+        assert s.can_push(3)
+        assert not s.can_push(4)
+        s.push(1)
+        assert s.can_push(2) and not s.can_push(3)
+
+    def test_push_to_full_raises_and_counts(self):
+        s = Stream("s", depth=1)
+        s.push(1)
+        with pytest.raises(StreamError):
+            s.push(2)
+        assert s.stats.full_stalls == 1
+
+    def test_can_pop_multiple(self):
+        s = Stream("s", depth=4)
+        s.push(1)
+        s.push(2)
+        assert s.can_pop(2) and not s.can_pop(3)
+
+
+class TestEmpty:
+    def test_pop_empty_raises_and_counts(self):
+        s = Stream("s")
+        with pytest.raises(StreamError):
+            s.pop()
+        assert s.stats.empty_stalls == 1
+
+    def test_peek(self):
+        s = Stream("s")
+        s.push(42)
+        assert s.peek() == 42
+        assert len(s) == 1  # not removed
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(StreamError):
+            Stream("s").peek()
+
+
+class TestStats:
+    def test_push_pop_counts(self):
+        s = Stream("s", depth=4)
+        for i in range(3):
+            s.push(i)
+        s.pop()
+        assert s.stats.pushes == 3
+        assert s.stats.pops == 1
+
+    def test_max_occupancy_high_water(self):
+        s = Stream("s", depth=4)
+        s.push(1)
+        s.push(2)
+        s.pop()
+        s.push(3)
+        assert s.stats.max_occupancy == 2
+
+    def test_note_stall_helpers(self):
+        s = Stream("s")
+        s.note_full_stall()
+        s.note_empty_stall()
+        assert s.stats.full_stalls == 1
+        assert s.stats.empty_stalls == 1
+
+    def test_drain_returns_and_clears(self):
+        s = Stream("s", depth=4)
+        s.push(1)
+        s.push(2)
+        assert s.drain() == [1, 2]
+        assert s.is_empty
+        assert s.stats.pops == 2
+
+    def test_stats_reset(self):
+        s = Stream("s", depth=2)
+        s.push(1)
+        s.stats.reset()
+        assert s.stats.pushes == 0

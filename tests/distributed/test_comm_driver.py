@@ -1,0 +1,164 @@
+"""Halo exchange and the distributed advection driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.wind import random_wind, shear_layer
+from repro.distributed import (
+    CommCostModel,
+    DistributedAdvection,
+    LocalCluster,
+    ProcessGrid,
+)
+from repro.errors import ConfigurationError
+
+
+def make(nx=12, ny=10, nz=5, px=3, py=2):
+    grid = Grid(nx=nx, ny=ny, nz=nz)
+    topo = ProcessGrid(global_grid=grid, px=px, py=py)
+    return grid, topo
+
+
+class TestHaloExchange:
+    def test_scatter_gather_roundtrip(self):
+        grid, topo = make()
+        fields = random_wind(grid, seed=1)
+        cluster = LocalCluster(topo)
+        cluster.scatter(fields)
+        np.testing.assert_array_equal(cluster.gather("u"),
+                                      fields.interior("u"))
+        np.testing.assert_array_equal(cluster.gather("w"),
+                                      fields.interior("w"))
+
+    def test_halos_match_periodic_global(self):
+        """After the exchange every rank's local halo equals the
+        periodic-global neighbourhood of its block."""
+        grid, topo = make()
+        fields = random_wind(grid, seed=2)
+        cluster = LocalCluster(topo)
+        cluster.scatter(fields)
+        cluster.halo_exchange()
+
+        global_u = fields.interior("u")
+        padded = np.pad(global_u, ((1, 1), (1, 1), (0, 0)), mode="wrap")
+        for domain, local in zip(topo.domains(), cluster.fields):
+            x0, x1 = domain.x_range
+            y0, y1 = domain.y_range
+            expected = padded[x0:x1 + 2, y0:y1 + 2, :]
+            np.testing.assert_array_equal(local.u, expected)
+
+    def test_exchange_stats(self):
+        grid, topo = make()
+        cluster = LocalCluster(topo)
+        cluster.scatter(random_wind(grid, seed=0))
+        elapsed = cluster.halo_exchange()
+        assert elapsed > 0.0
+        assert cluster.stats.exchanges == 1
+        assert cluster.stats.messages == topo.size * 4 * 3  # 4 dirs x 3 fields
+        assert cluster.stats.bytes_sent > 0
+
+    def test_scatter_rejects_mismatched_fields(self):
+        _, topo = make()
+        wrong = random_wind(Grid(nx=4, ny=4, nz=5), seed=0)
+        with pytest.raises(ConfigurationError):
+            LocalCluster(topo).scatter(wrong)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommCostModel(latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            CommCostModel(bandwidth_bytes_s=0.0)
+
+    def test_message_time(self):
+        model = CommCostModel(latency_s=1e-6, bandwidth_bytes_s=1e9)
+        assert model.message_time(1000) == pytest.approx(2e-6)
+
+
+class TestDistributedAdvection:
+    @pytest.mark.parametrize("px,py", [(1, 1), (2, 2), (3, 2), (4, 5),
+                                       (12, 1), (1, 10)])
+    def test_bitwise_equal_to_reference(self, px, py):
+        """The headline property: any decomposition reproduces the
+        single-domain reference exactly."""
+        grid, topo = make(px=px, py=py)
+        fields = random_wind(grid, seed=3, magnitude=2.0)
+        result = DistributedAdvection(topo).compute(fields)
+        assert result.max_abs_difference(advect_reference(fields)) == 0.0
+
+    def test_structured_field(self):
+        grid, topo = make(px=2, py=2)
+        fields = shear_layer(grid)
+        result = DistributedAdvection(topo).compute(fields)
+        assert result.max_abs_difference(advect_reference(fields)) == 0.0
+
+    def test_step_report(self):
+        grid, topo = make()
+        dist = DistributedAdvection(topo)
+        dist.compute(random_wind(grid, seed=4))
+        report = dist.last_report
+        assert report is not None
+        assert report.ranks == 6
+        assert report.compute_seconds > 0
+        assert 0.0 < report.comm_fraction < 1.0
+
+    def test_scaling_efficiency_decreases_with_ranks(self):
+        grid = Grid(nx=24, ny=24, nz=8)
+        fields = random_wind(grid, seed=5)
+        effs = []
+        for px, py in [(1, 1), (2, 2), (4, 4)]:
+            dist = DistributedAdvection(
+                ProcessGrid(global_grid=grid, px=px, py=py))
+            dist.compute(fields)
+            effs.append(dist.scaling_efficiency())
+        assert effs[0] == pytest.approx(1.0, abs=0.01) or effs[0] < 1.0
+        assert effs[0] > effs[1] > effs[2]
+
+    def test_efficiency_before_compute_rejected(self):
+        _, topo = make()
+        with pytest.raises(ConfigurationError):
+            DistributedAdvection(topo).scaling_efficiency()
+
+    def test_custom_backend_used_per_rank(self):
+        """Per-rank FPGA-kernel backend gives the same bit-exact result."""
+        from repro.kernel.config import KernelConfig
+        from repro.kernel.functional import execute_chunked
+
+        grid, topo = make(px=2, py=2)
+        fields = random_wind(grid, seed=6)
+
+        def fpga_backend(local_fields):
+            config = KernelConfig(grid=local_fields.grid, chunk_width=3)
+            return execute_chunked(config, local_fields)
+
+        result = DistributedAdvection(topo, backend=fpga_backend).compute(
+            fields)
+        assert result.max_abs_difference(advect_reference(fields)) == 0.0
+
+    def test_rejects_mismatched_fields(self):
+        _, topo = make()
+        with pytest.raises(ConfigurationError):
+            DistributedAdvection(topo).compute(
+                random_wind(Grid(nx=4, ny=4, nz=5), seed=0))
+
+    def test_rejects_bad_rank_gflops(self):
+        _, topo = make()
+        with pytest.raises(ConfigurationError):
+            DistributedAdvection(topo, rank_gflops=0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(nx=st.integers(3, 10), ny=st.integers(3, 10),
+       px=st.integers(1, 3), py=st.integers(1, 3),
+       seed=st.integers(0, 10_000))
+def test_property_any_decomposition_is_exact(nx, ny, px, py, seed):
+    if px > nx or py > ny:
+        return
+    grid = Grid(nx=nx, ny=ny, nz=4)
+    topo = ProcessGrid(global_grid=grid, px=px, py=py)
+    fields = random_wind(grid, seed=seed)
+    result = DistributedAdvection(topo).compute(fields)
+    assert result.max_abs_difference(advect_reference(fields)) == 0.0

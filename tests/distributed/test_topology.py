@@ -1,0 +1,88 @@
+"""Processor-grid topology and subdomain geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid
+from repro.distributed.topology import ProcessGrid
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def topo():
+    return ProcessGrid(global_grid=Grid(nx=12, ny=10, nz=4), px=3, py=2)
+
+
+class TestRanks:
+    def test_size(self, topo):
+        assert topo.size == 6
+
+    def test_rank_coords_roundtrip(self, topo):
+        for rank in range(topo.size):
+            i, j = topo.coords_of(rank)
+            assert topo.rank_of(i, j) == rank
+
+    def test_rank_of_is_periodic(self, topo):
+        assert topo.rank_of(-1, 0) == topo.rank_of(2, 0)
+        assert topo.rank_of(0, -1) == topo.rank_of(0, 1)
+        assert topo.rank_of(3, 2) == topo.rank_of(0, 0)
+
+    def test_coords_of_rejects_bad_rank(self, topo):
+        with pytest.raises(ConfigurationError):
+            topo.coords_of(6)
+
+
+class TestNeighbours:
+    def test_neighbour_symmetry(self, topo):
+        for rank in range(topo.size):
+            n = topo.neighbours(rank)
+            assert topo.neighbours(n["west"])["east"] == rank
+            assert topo.neighbours(n["south"])["north"] == rank
+
+    def test_single_rank_self_neighbour(self):
+        topo = ProcessGrid(global_grid=Grid(nx=4, ny=4, nz=4), px=1, py=1)
+        assert set(topo.neighbours(0).values()) == {0}
+
+
+class TestDomains:
+    def test_coverage(self, topo):
+        topo.validate_coverage()
+        domains = topo.domains()
+        assert sum(d.num_cells for d in domains) == 12 * 10 * 4
+
+    def test_front_loaded_split(self):
+        topo = ProcessGrid(global_grid=Grid(nx=7, ny=4, nz=4), px=3, py=1)
+        widths = [d.nx for d in topo.domains()]
+        assert widths == [3, 2, 2]
+
+    def test_local_grid_spacings_inherited(self):
+        g = Grid(nx=8, ny=8, nz=4, dx=25.0, dz=10.0)
+        topo = ProcessGrid(global_grid=g, px=2, py=2)
+        local = topo.domain(0).local_grid(g)
+        assert local.dx == 25.0 and local.dz == 10.0
+        assert local.interior_shape == (4, 4, 4)
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ConfigurationError):
+            ProcessGrid(global_grid=Grid(nx=2, ny=2, nz=4), px=3, py=1)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            ProcessGrid(global_grid=Grid(nx=4, ny=4, nz=4), px=0, py=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nx=st.integers(2, 20), ny=st.integers(2, 20),
+       px=st.integers(1, 6), py=st.integers(1, 6))
+def test_property_tiling_is_exact(nx, ny, px, py):
+    if px > nx or py > ny:
+        return
+    topo = ProcessGrid(global_grid=Grid(nx=nx, ny=ny, nz=3), px=px, py=py)
+    topo.validate_coverage()
+    # Ranges are contiguous and ordered.
+    for j in range(py):
+        xs = [topo.domain(topo.rank_of(i, j)).x_range for i in range(px)]
+        assert xs[0][0] == 0 and xs[-1][1] == nx
+        for a, b in zip(xs, xs[1:]):
+            assert a[1] == b[0]

@@ -1,0 +1,179 @@
+"""The experiment harness: every table/figure regenerates with the paper's
+qualitative shape."""
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    run_experiment,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {eid: run_experiment(eid) for eid in all_experiment_ids()}
+
+
+class TestRegistry:
+    def test_all_artefacts_registered(self, results):
+        assert set(results) == {"table1", "table2", "fig5", "fig6", "fig7",
+                                "fig8"}
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table9")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(ExperimentError):
+            register("table1")(lambda: None)
+
+    def test_results_have_text_and_rows(self, results):
+        for result in results.values():
+            assert result.text
+            assert result.rows
+            assert len(result.headers) == len(result.rows[0])
+
+    def test_row_dict(self, results):
+        rows = results["table1"].row_dict()
+        assert rows[0]["description"] == "1 core of Xeon CPU"
+
+
+class TestTable1Shape:
+    def test_row_ordering_matches_paper(self, results):
+        descriptions = [row[0] for row in results["table1"].rows]
+        assert descriptions == [
+            "1 core of Xeon CPU", "24 core Xeon CPU", "NVIDIA V100 GPU",
+            "Xilinx Alveo U280", "Intel Stratix 10",
+        ]
+
+    def test_all_within_two_percent_of_paper(self, results):
+        for comparison in results["table1"].comparisons:
+            assert comparison.within(2.0), str(comparison)
+
+    def test_gpu_dominates_kernel_only(self, results):
+        by_name = {row[0]: row[1] for row in results["table1"].rows}
+        assert by_name["NVIDIA V100 GPU"] > 10 * by_name["Intel Stratix 10"]
+
+
+class TestTable2Shape:
+    def test_hbm_beats_ddr_at_every_size(self, results):
+        for _, hbm, ddr, overhead in results["table2"].rows:
+            assert hbm > ddr
+            assert 30.0 < overhead < 50.0  # paper: 39-46%
+
+    def test_within_twelve_percent_of_paper(self, results):
+        for comparison in results["table2"].comparisons:
+            assert comparison.within(12.0), str(comparison)
+
+
+class TestFig5Shape:
+    def test_stratix_beats_u280_without_overlap(self, results):
+        for row in results["fig5"].rows:
+            by = dict(zip(results["fig5"].headers, row))
+            assert by["Stratix 10"] > by["Alveo U280"]
+
+    def test_cpu_competitive_without_overlap(self, results):
+        """Without overlap the accelerators drown in PCIe transfer; the
+        host-resident CPU needs none."""
+        for row in results["fig5"].rows:
+            by = dict(zip(results["fig5"].headers, row))
+            assert by["24-core Xeon"] > by["Stratix 10"]
+
+    def test_transfer_ratio_near_two(self, results):
+        (comparison,) = results["fig5"].comparisons
+        assert comparison.within(15.0)
+
+    def test_no_gpu_at_536m(self, results):
+        last = dict(zip(results["fig5"].headers, results["fig5"].rows[-1]))
+        assert last["grid cells"] == "536M"
+        assert last["V100 GPU"] is None
+
+
+class TestFig6Shape:
+    def test_gpu_wins_everywhere_it_fits(self, results):
+        for row in results["fig6"].rows:
+            by = dict(zip(results["fig6"].headers, row))
+            if by["V100 GPU"] is None:
+                continue
+            assert by["V100 GPU"] > by["Alveo U280"]
+            assert by["V100 GPU"] > by["Stratix 10"]
+            assert by["V100 GPU"] > by["24-core Xeon"]
+
+    def test_u280_beats_stratix_until_ddr(self, results):
+        rows = {row[0]: dict(zip(results["fig6"].headers, row))
+                for row in results["fig6"].rows}
+        assert rows["16M"]["Alveo U280"] > rows["16M"]["Stratix 10"]
+        assert rows["67M"]["Alveo U280"] > rows["67M"]["Stratix 10"]
+        assert rows["268M"]["Alveo U280"] < rows["268M"]["Stratix 10"]
+        assert rows["536M"]["Alveo U280"] < rows["536M"]["Stratix 10"]
+
+    def test_u280_drops_sharply_at_ddr_sizes(self, results):
+        rows = {row[0]: dict(zip(results["fig6"].headers, row))
+                for row in results["fig6"].rows}
+        assert rows["268M"]["Alveo U280"] < 0.6 * rows["67M"]["Alveo U280"]
+
+    def test_fpgas_considerably_outperform_cpu(self, results):
+        """The abstract's headline claim, true only with overlap."""
+        for row in results["fig6"].rows:
+            by = dict(zip(results["fig6"].headers, row))
+            assert by["Stratix 10"] > 1.5 * by["24-core Xeon"]
+
+    def test_overlap_beats_no_overlap_everywhere(self, results):
+        fig5 = {row[0]: dict(zip(results["fig5"].headers, row))
+                for row in results["fig5"].rows}
+        fig6 = {row[0]: dict(zip(results["fig6"].headers, row))
+                for row in results["fig6"].rows}
+        for size in fig5:
+            for device in ("V100 GPU", "Alveo U280", "Stratix 10"):
+                if fig5[size][device] is None:
+                    continue
+                assert fig6[size][device] > fig5[size][device]
+
+
+class TestFig7Shape:
+    def test_fpgas_draw_least(self, results):
+        for row in results["fig7"].rows:
+            by = dict(zip(results["fig7"].headers, row))
+            assert by["Alveo U280"] < by["Stratix 10"]
+            assert by["Stratix 10"] < by["24-core Xeon"]
+            if by["V100 GPU"] is not None:
+                assert by["Alveo U280"] < by["V100 GPU"]
+
+    def test_stratix_about_fifty_percent_more_than_alveo(self, results):
+        first = dict(zip(results["fig7"].headers, results["fig7"].rows[0]))
+        ratio = first["Stratix 10"] / first["Alveo U280"]
+        assert 1.4 < ratio < 1.7
+
+    def test_u280_ddr_step_of_12w(self, results):
+        rows = {row[0]: dict(zip(results["fig7"].headers, row))
+                for row in results["fig7"].rows}
+        delta = rows["268M"]["Alveo U280"] - rows["16M"]["Alveo U280"]
+        assert delta == pytest.approx(12.0, abs=1.0)
+
+
+class TestFig8Shape:
+    def test_cpu_least_efficient(self, results):
+        for row in results["fig8"].rows:
+            by = dict(zip(results["fig8"].headers, row))
+            for device in ("V100 GPU", "Alveo U280", "Stratix 10"):
+                if by[device] is not None:
+                    assert by["24-core Xeon"] < by[device]
+
+    def test_u280_about_double_stratix_until_ddr(self, results):
+        rows = {row[0]: dict(zip(results["fig8"].headers, row))
+                for row in results["fig8"].rows}
+        for size in ("16M", "67M"):
+            ratio = rows[size]["Alveo U280"] / rows[size]["Stratix 10"]
+            assert 1.5 < ratio < 2.5
+        # After the DDR fallback the U280 drops below the Stratix.
+        assert rows["268M"]["Alveo U280"] < rows["268M"]["Stratix 10"]
+
+    def test_stratix_vs_gpu_crossover(self, results):
+        rows = {row[0]: dict(zip(results["fig8"].headers, row))
+                for row in results["fig8"].rows}
+        assert rows["16M"]["Stratix 10"] > rows["16M"]["V100 GPU"]
+        assert rows["268M"]["V100 GPU"] >= rows["268M"]["Stratix 10"]

@@ -1,0 +1,53 @@
+"""The generated markdown reproduction report."""
+
+import pytest
+
+from repro.experiments.markdown_report import (
+    main,
+    render_markdown_report,
+    write_markdown_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return render_markdown_report()
+
+
+class TestReportContent:
+    def test_all_artefacts_present(self, report):
+        for title in ("Table I", "Table II", "Fig. 5", "Fig. 6", "Fig. 7",
+                      "Fig. 8"):
+            assert title in report
+
+    def test_scorecard_at_top(self, report):
+        head = report.splitlines()[:8]
+        assert any("Scorecard" in line for line in head)
+
+    def test_tables_are_markdown(self, report):
+        assert "|---|" in report
+        assert "| grid cells |" in report
+
+    def test_missing_gpu_point_rendered_as_dash(self, report):
+        # The 536M V100 cell.
+        lines = [line for line in report.splitlines()
+                 if line.startswith("| 536M")]
+        assert lines and all("—" in line for line in lines)
+
+    def test_ordering_claims_marked(self, report):
+        assert "holds" in report
+        assert "VIOLATED" not in report
+
+
+class TestOutput:
+    def test_write_to_file(self, tmp_path, report):
+        path = write_markdown_report(tmp_path / "report.md")
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_main_with_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "r.md")]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_to_stdout(self, capsys):
+        assert main([]) == 0
+        assert "# Reproduction report" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Report rendering helpers."""
+
+from repro.experiments.report import comparison_table, csv_table, text_table
+from repro.perf.metrics import compare_to_paper
+
+
+class TestTextTable:
+    def test_alignment_and_headers(self):
+        out = text_table(["a", "bb"], [(1, 2.5), (10, 3.25)])
+        lines = out.splitlines()
+        assert lines[0].endswith("bb")
+        assert "----" in lines[1].replace("  ", "----")[:4] or "-" in lines[1]
+        assert "2.50" in out and "3.25" in out
+
+    def test_title_prepended(self):
+        out = text_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dashes(self):
+        out = text_table(["x", "y"], [("row", None)])
+        assert "--" in out
+
+    def test_precision(self):
+        out = text_table(["x"], [(3.14159,)], precision=4)
+        assert "3.1416" in out
+
+    def test_empty_rows(self):
+        out = text_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestCsvTable:
+    def test_header_and_rows(self):
+        out = csv_table(["a", "b"], [(1, 2.0)])
+        lines = out.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1].startswith("1,2")
+
+    def test_none_as_dashes(self):
+        assert "--" in csv_table(["a"], [(None,)])
+
+
+class TestComparisonTable:
+    def test_contains_deviation_column(self):
+        out = comparison_table([compare_to_paper("x", 11.0, 10.0)])
+        assert "+10.0%" in out
+        assert "measured" in out and "paper" in out

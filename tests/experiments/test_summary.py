@@ -1,0 +1,68 @@
+"""The JSON summary and reproduction scorecard."""
+
+import json
+
+import pytest
+
+from repro.experiments.summary import (
+    build_scorecard,
+    build_summary,
+    write_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return build_summary()
+
+
+class TestSummary:
+    def test_all_experiments_present(self, summary):
+        assert set(summary["experiments"]) == {
+            "table1", "table2", "fig5", "fig6", "fig7", "fig8",
+        }
+
+    def test_rows_and_headers_consistent(self, summary):
+        for experiment in summary["experiments"].values():
+            for row in experiment["rows"]:
+                assert len(row) == len(experiment["headers"])
+
+    def test_comparisons_have_kinds(self, summary):
+        kinds = {
+            c["kind"]
+            for e in summary["experiments"].values()
+            for c in e["comparisons"]
+        }
+        assert kinds == {"quantitative", "ordering"}
+
+    def test_json_serialisable(self, summary, tmp_path):
+        path = write_summary(tmp_path / "summary.json")
+        loaded = json.loads(path.read_text())
+        assert set(loaded["experiments"]) == set(summary["experiments"])
+
+
+class TestScorecard:
+    def test_full_reproduction(self, summary):
+        """The headline: every published number within 15%, every ordering
+        claim holding."""
+        card = build_scorecard(summary)
+        assert card.match_fraction == 1.0
+        assert card.within_tolerance == card.quantitative
+        assert card.orderings_holding == card.orderings
+
+    def test_counts(self, summary):
+        card = build_scorecard(summary)
+        assert card.experiments == 6
+        assert card.quantitative >= 10
+        assert card.orderings >= 4
+
+    def test_tight_tolerance_flags_worst(self, summary):
+        card = build_scorecard(summary, tolerance_pct=0.01)
+        assert card.within_tolerance < card.quantitative
+        assert card.worst_error_pct != 0.0
+        assert card.worst_label
+
+    def test_summary_line_readable(self, summary):
+        line = build_scorecard(summary).summary_line()
+        assert "ordering claims" in line
+        assert "artefacts" in line

@@ -1,0 +1,121 @@
+"""The device models must land on the paper's published measurements.
+
+These are the headline reproduction checks: every number here comes from
+the paper (via the calibration registry) and every measured value flows
+through the models — if a model regresses, these tests catch it.
+"""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+from repro.kernel.config import KernelConfig
+from repro.perf.calibration import CALIBRATION, paper_value
+from repro.perf.theoretical import percent_of_theoretical, theoretical_gflops
+
+
+@pytest.fixture(scope="module")
+def grid16m():
+    return Grid.from_cells(16 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def config(grid16m):
+    return KernelConfig(grid=grid16m)
+
+
+class TestTheoreticalPeaks:
+    def test_alveo_peak(self):
+        assert theoretical_gflops(300.0) == pytest.approx(
+            paper_value("theory.u280_peak_gflops"), abs=0.005)
+
+    def test_stratix_peak(self):
+        assert theoretical_gflops(398.0) == pytest.approx(
+            paper_value("theory.stratix_peak_gflops"), abs=0.005)
+
+
+class TestTable1Targets:
+    def test_u280_single_kernel(self, config, grid16m):
+        gflops = ALVEO_U280.invocation(config, grid16m, num_kernels=1,
+                                       memory="hbm2").gflops(grid16m)
+        assert gflops == pytest.approx(
+            paper_value("table1.u280_gflops"), rel=0.02)
+
+    def test_stratix_single_kernel(self, config, grid16m):
+        gflops = STRATIX10_GX2800.invocation(config, grid16m,
+                                             num_kernels=1).gflops(grid16m)
+        assert gflops == pytest.approx(
+            paper_value("table1.stratix_gflops"), rel=0.02)
+
+    def test_u280_percent_theoretical(self, config, grid16m):
+        gflops = ALVEO_U280.invocation(config, grid16m, num_kernels=1,
+                                       memory="hbm2").gflops(grid16m)
+        assert percent_of_theoretical(gflops, 300.0) == pytest.approx(
+            paper_value("table1.u280_pct_theoretical"), abs=2.0)
+
+    def test_stratix_percent_theoretical(self, config, grid16m):
+        gflops = STRATIX10_GX2800.invocation(config, grid16m,
+                                             num_kernels=1).gflops(grid16m)
+        assert percent_of_theoretical(gflops, 398.0) == pytest.approx(
+            paper_value("table1.stratix_pct_theoretical"), abs=2.0)
+
+    def test_stratix_beats_cpu_u280_just_short(self, config, grid16m):
+        """Table I's narrative: the Stratix outperforms the 24-core CPU,
+        the U280 falls slightly short of it."""
+        from repro.hardware import XEON_8260M
+
+        cpu = XEON_8260M.gflops()
+        u280 = ALVEO_U280.invocation(config, grid16m, num_kernels=1,
+                                     memory="hbm2").gflops(grid16m)
+        stratix = STRATIX10_GX2800.invocation(config, grid16m,
+                                              num_kernels=1).gflops(grid16m)
+        assert stratix > cpu
+        assert 0.90 * cpu < u280 < cpu
+
+
+class TestTable2Targets:
+    @pytest.mark.parametrize("label,hbm_paper,ddr_paper", [
+        ("1M", 12.98, 8.98),
+        ("4M", 14.94, 10.21),
+        ("16M", 14.52, 10.43),
+        ("67M", 14.68, 10.55),
+    ])
+    def test_within_ten_percent_of_paper(self, label, hbm_paper, ddr_paper):
+        from repro.constants import PAPER_GRID_LABELS
+
+        grid = Grid.from_cells(PAPER_GRID_LABELS[label])
+        config = KernelConfig(grid=grid)
+        hbm = ALVEO_U280.invocation(config, grid, num_kernels=1,
+                                    memory="hbm2").gflops(grid)
+        ddr = ALVEO_U280.invocation(config, grid, num_kernels=1,
+                                    memory="ddr").gflops(grid)
+        assert hbm == pytest.approx(hbm_paper, rel=0.10)
+        assert ddr == pytest.approx(ddr_paper, rel=0.12)
+        # The qualitative claim: HBM2 wins by a wide margin at every size.
+        assert hbm / ddr > 1.3
+
+
+class TestCalibrationRegistry:
+    def test_all_entries_have_sources(self):
+        for entry in CALIBRATION.values():
+            assert entry.source
+            assert entry.pins
+            assert entry.unit
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            paper_value("table9.nothing")
+
+    def test_previous_generation_comparison(self):
+        """Section III: the KU115-2 reached 18.8 GFLOPS with *eight*
+        kernels; a single Alveo kernel achieves ~77% of that and a single
+        Stratix kernel beats it by ~10%."""
+        grid = Grid.from_cells(16 * 1024 * 1024)
+        config = KernelConfig(grid=grid)
+        ku115_8_kernels = 18.8
+        u280 = ALVEO_U280.invocation(config, grid, num_kernels=1,
+                                     memory="hbm2").gflops(grid)
+        stratix = STRATIX10_GX2800.invocation(config, grid,
+                                              num_kernels=1).gflops(grid)
+        assert u280 / ku115_8_kernels == pytest.approx(0.77, abs=0.03)
+        assert stratix / ku115_8_kernels == pytest.approx(1.10, abs=0.04)

@@ -1,0 +1,91 @@
+"""Cross-checks between the device catalog, constants, and calibration.
+
+These are audit tests: every number that appears in two places (paper
+constants, device catalog, calibration registry) must agree, so a future
+edit cannot silently decouple them.
+"""
+
+import pytest
+
+from repro import constants
+from repro.hardware import (
+    ALVEO_U280,
+    STRATIX10_GX2800,
+    TESLA_V100,
+    XEON_8260M,
+)
+from repro.perf.calibration import CALIBRATION, paper_value
+
+
+class TestClockConsistency:
+    def test_alveo_clock_matches_constant(self):
+        assert ALVEO_U280.clock.frequency_mhz(1) == constants.ALVEO_CLOCK_MHZ
+        assert ALVEO_U280.clock.frequency_mhz(6) == constants.ALVEO_CLOCK_MHZ
+
+    def test_stratix_clock_endpoints_match_constants(self):
+        assert STRATIX10_GX2800.clock.frequency_mhz(1) == \
+            constants.STRATIX_SINGLE_KERNEL_CLOCK_MHZ
+        assert STRATIX10_GX2800.clock.frequency_mhz(5) == \
+            constants.STRATIX_MULTI_KERNEL_CLOCK_MHZ
+
+    def test_calibration_entries_match_constants(self):
+        assert paper_value("multi.u280_clock_mhz") == \
+            constants.ALVEO_CLOCK_MHZ
+        assert paper_value("multi.stratix_multi_clock_mhz") == \
+            constants.STRATIX_MULTI_KERNEL_CLOCK_MHZ
+
+
+class TestCapacityConsistency:
+    def test_memory_capacities_match_constants(self):
+        assert ALVEO_U280.memories["hbm2"].spec.capacity_bytes == \
+            constants.ALVEO_HBM2_BYTES
+        assert ALVEO_U280.memories["ddr"].spec.capacity_bytes == \
+            constants.ALVEO_DDR_BYTES
+        assert STRATIX10_GX2800.memories["ddr"].spec.capacity_bytes == \
+            constants.STRATIX_DDR_BYTES
+        assert TESLA_V100.memory_capacity_bytes == constants.V100_HBM2_BYTES
+
+    def test_paper_transfer_payload(self):
+        """~800 MB for 16M cells, as section IV states."""
+        assert constants.PAPER_16M_TRANSFER_BYTES == pytest.approx(
+            paper_value("fig5.transfer_16m_bytes"), rel=0.01)
+
+
+class TestPowerConsistency:
+    def test_u280_ddr_delta_matches_calibration(self):
+        delta = (ALVEO_U280.power.memory_watts["ddr"]
+                 - ALVEO_U280.power.memory_watts["hbm2"])
+        assert delta == paper_value("fig7.u280_ddr_power_delta")
+
+    def test_pcie_sync_ratio_matches_calibration(self):
+        ratio = (STRATIX10_GX2800.pcie.synchronous_bandwidth
+                 / ALVEO_U280.pcie.synchronous_bandwidth)
+        assert ratio == pytest.approx(
+            paper_value("fig5.u280_transfer_slowdown"))
+
+
+class TestCPUGPUConsistency:
+    def test_cpu_calibration_points(self):
+        assert XEON_8260M.gflops_per_core == paper_value(
+            "table1.cpu_1core_gflops")
+        assert XEON_8260M.memory_roofline_gflops == paper_value(
+            "table1.cpu_24core_gflops")
+
+    def test_gpu_kernel_rate(self):
+        assert TESLA_V100.kernel_gflops == paper_value("table1.v100_gflops")
+
+    def test_kernel_fit_calibration(self):
+        assert paper_value("multi.u280_kernels") == constants.ALVEO_MAX_KERNELS
+        assert paper_value("multi.stratix_kernels") == \
+            constants.STRATIX_MAX_KERNELS
+
+
+class TestRegistryHygiene:
+    def test_keys_are_namespaced(self):
+        for key in CALIBRATION:
+            assert "." in key, key
+
+    def test_no_duplicate_pins_of_same_value_conflict(self):
+        # Sanity: every entry's value is finite and positive.
+        for entry in CALIBRATION.values():
+            assert entry.paper_value > 0, entry.key

@@ -1,0 +1,111 @@
+"""CPU and GPU baseline models."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware import TESLA_V100, XEON_8260M
+from repro.hardware.cpu import CPUModel
+from repro.hardware.gpu import GPUModel
+from repro.hardware.pcie import PCIeLink
+from repro.hardware.power import PowerModel
+
+
+class TestCPUModel:
+    def test_paper_calibration_points(self):
+        assert XEON_8260M.gflops(1) == pytest.approx(2.09)
+        assert XEON_8260M.gflops(24) == pytest.approx(15.2)
+
+    def test_scaling_linear_then_saturated(self):
+        assert XEON_8260M.gflops(2) == pytest.approx(2 * 2.09)
+        assert XEON_8260M.gflops(12) == pytest.approx(15.2)  # roofline hit
+
+    def test_rejects_bad_core_counts(self):
+        with pytest.raises(ConfigurationError):
+            XEON_8260M.gflops(0)
+        with pytest.raises(ConfigurationError):
+            XEON_8260M.gflops(25)
+
+    def test_kernel_time_positive_and_scales(self):
+        small = XEON_8260M.kernel_time(Grid(nx=64, ny=64, nz=64))
+        large = XEON_8260M.kernel_time(Grid(nx=128, ny=128, nz=64))
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_run_power(self):
+        full = XEON_8260M.run_power_watts()
+        one = XEON_8260M.run_power_watts(1)
+        assert full > one > XEON_8260M.power.static_watts
+
+    def test_measure_host_returns_reference_result(self):
+        from repro.core.reference import advect_reference
+
+        grid = Grid(nx=8, ny=8, nz=8)
+        fields = random_wind(grid, seed=0)
+        seconds, sources = CPUModel.measure_host(fields, repeats=1)
+        assert seconds > 0
+        assert sources.max_abs_difference(advect_reference(fields)) == 0.0
+
+    def test_measure_rejects_bad_repeats(self):
+        fields = random_wind(Grid(nx=4, ny=4, nz=4), seed=0)
+        with pytest.raises(ConfigurationError):
+            CPUModel.measure_host(fields, repeats=0)
+
+    def test_validation(self):
+        power = PowerModel(static_watts=1.0, dynamic_watts_per_kernel=1.0,
+                           memory_watts={"dram": 1.0})
+        with pytest.raises(ConfigurationError):
+            CPUModel("x", cores=0, gflops_per_core=1.0,
+                     memory_roofline_gflops=1.0, power=power)
+        with pytest.raises(ConfigurationError):
+            CPUModel("x", cores=1, gflops_per_core=0.0,
+                     memory_roofline_gflops=1.0, power=power)
+
+
+class TestGPUModel:
+    def test_paper_kernel_rate(self):
+        from repro.core.flops import grid_flops
+
+        grid = Grid.from_cells(16 * 1024 * 1024)
+        t = TESLA_V100.kernel_time(grid)
+        assert grid_flops(grid) / t / 1e9 == pytest.approx(367.2)
+
+    def test_capacity_cutoff_at_536m(self):
+        from repro.constants import PAPER_GRID_LABELS
+
+        fits = Grid.from_cells(PAPER_GRID_LABELS["268M"])
+        too_big = Grid.from_cells(PAPER_GRID_LABELS["536M"])
+        assert TESLA_V100.fits(fits)
+        assert not TESLA_V100.fits(too_big)
+        with pytest.raises(CapacityError):
+            TESLA_V100.kernel_time(too_big)
+
+    def test_run_power(self):
+        watts = TESLA_V100.run_power_watts()
+        assert watts > TESLA_V100.power.static_watts
+
+    def test_validation(self):
+        link = PCIeLink(streamed_bandwidth=1e9, synchronous_bandwidth=1e9)
+        power = PowerModel(static_watts=1.0, dynamic_watts_per_kernel=1.0,
+                           memory_watts={"hbm2": 1.0})
+        with pytest.raises(ConfigurationError):
+            GPUModel("g", kernel_gflops=0.0, memory_capacity_bytes=1,
+                     pcie=link, power=power)
+        with pytest.raises(ConfigurationError):
+            GPUModel("g", kernel_gflops=1.0, memory_capacity_bytes=0,
+                     pcie=link, power=power)
+
+
+class TestCatalog:
+    def test_device_by_name_aliases(self):
+        from repro.hardware import ALVEO_U280, device_by_name
+
+        assert device_by_name("u280") is ALVEO_U280
+        assert device_by_name("ALVEO") is ALVEO_U280
+        assert device_by_name("gpu") is TESLA_V100
+
+    def test_unknown_device_rejected(self):
+        from repro.hardware import device_by_name
+
+        with pytest.raises(ConfigurationError):
+            device_by_name("versal")

@@ -1,0 +1,95 @@
+"""FPGADevice behaviour: memory selection and invocation timing."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+from repro.kernel.config import KernelConfig
+
+
+@pytest.fixture
+def config():
+    return KernelConfig(grid=Grid(nx=128, ny=128, nz=64))
+
+
+class TestMemorySelection:
+    def test_prefers_hbm2_when_it_fits(self):
+        assert ALVEO_U280.select_memory(4 * 2**30) == "hbm2"
+
+    def test_falls_back_to_ddr(self):
+        """The paper's two largest configurations exceed 8 GB of HBM2."""
+        assert ALVEO_U280.select_memory(12 * 2**30) == "ddr"
+
+    def test_raises_when_nothing_fits(self):
+        with pytest.raises(CapacityError):
+            ALVEO_U280.select_memory(64 * 2**30)
+
+    def test_stratix_only_has_ddr(self):
+        assert STRATIX10_GX2800.select_memory(1 * 2**30) == "ddr"
+        with pytest.raises(ConfigurationError):
+            STRATIX10_GX2800.memory_model("hbm2")
+
+    def test_paper_268m_exceeds_hbm(self):
+        from repro.constants import PAPER_GRID_LABELS
+
+        bytes_268m = 48 * PAPER_GRID_LABELS["268M"]
+        assert ALVEO_U280.select_memory(bytes_268m) == "ddr"
+        bytes_67m = 48 * PAPER_GRID_LABELS["67M"]
+        assert ALVEO_U280.select_memory(bytes_67m) == "hbm2"
+
+
+class TestInvocation:
+    def test_memory_bound_on_hbm(self, config):
+        grid = config.grid
+        inv = ALVEO_U280.invocation(config, grid, num_kernels=1,
+                                    memory="hbm2")
+        assert inv.memory_bound
+        assert inv.seconds >= inv.compute_seconds
+
+    def test_ddr_slower_than_hbm(self, config):
+        grid = config.grid
+        hbm = ALVEO_U280.invocation(config, grid, num_kernels=1,
+                                    memory="hbm2")
+        ddr = ALVEO_U280.invocation(config, grid, num_kernels=1,
+                                    memory="ddr")
+        assert ddr.seconds > hbm.seconds
+
+    def test_more_kernels_faster_until_aggregate(self, config):
+        grid = Grid(nx=512, ny=512, nz=64)
+        one = ALVEO_U280.invocation(config.for_grid(grid), grid,
+                                    num_kernels=1, memory="hbm2")
+        six = ALVEO_U280.invocation(config.for_grid(grid), grid,
+                                    num_kernels=6, memory="hbm2")
+        assert six.seconds < one.seconds / 4
+
+    def test_ddr_aggregate_limits_scaling(self, config):
+        """Two DDR banks saturate: six kernels barely beat two."""
+        grid = Grid(nx=512, ny=512, nz=64)
+        two = ALVEO_U280.invocation(config.for_grid(grid), grid,
+                                    num_kernels=2, memory="ddr")
+        six = ALVEO_U280.invocation(config.for_grid(grid), grid,
+                                    num_kernels=6, memory="ddr")
+        assert six.seconds > 0.7 * two.seconds
+
+    def test_stratix_clock_derating_visible(self, config):
+        grid = Grid(nx=512, ny=512, nz=64)
+        one = STRATIX10_GX2800.invocation(config.for_grid(grid), grid,
+                                          num_kernels=1)
+        assert one.clock_hz == pytest.approx(398e6)
+        five = STRATIX10_GX2800.invocation(config.for_grid(grid), grid,
+                                           num_kernels=5)
+        assert five.clock_hz == pytest.approx(250e6)
+
+    def test_rejects_bad_kernel_count(self, config):
+        with pytest.raises(ConfigurationError):
+            ALVEO_U280.invocation(config, config.grid, num_kernels=0)
+
+    def test_gflops_helper(self, config):
+        inv = ALVEO_U280.invocation(config, config.grid, num_kernels=1,
+                                    memory="hbm2")
+        assert inv.gflops(config.grid) > 0
+
+    def test_auto_memory_selection(self, config):
+        inv = ALVEO_U280.invocation(config, config.grid, num_kernels=1)
+        assert inv.memory == "hbm2"

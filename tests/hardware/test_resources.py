@@ -1,0 +1,108 @@
+"""Resource vectors and kernel fitting."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.errors import ResourceError
+from repro.hardware.resources import (
+    ResourceVector,
+    estimate_kernel_resources,
+    fit_kernels,
+)
+from repro.kernel.config import KernelConfig
+
+
+@pytest.fixture
+def config():
+    return KernelConfig(grid=Grid(nx=512, ny=512, nz=64))
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(luts=10, dsp=5)
+        b = ResourceVector(luts=1, bram_bytes=100)
+        c = a + b
+        assert c.luts == 11 and c.dsp == 5 and c.bram_bytes == 100
+
+    def test_scaling(self):
+        v = ResourceVector(luts=10, alms=3).scaled(4)
+        assert v.luts == 40 and v.alms == 12
+
+    def test_scaling_rejects_negative(self):
+        with pytest.raises(ResourceError):
+            ResourceVector(luts=1).scaled(-1)
+
+    def test_fits_respects_routable_fraction(self):
+        need = ResourceVector(luts=90)
+        cap = ResourceVector(luts=100)
+        assert not need.fits_in(cap, routable=0.85)
+        assert need.fits_in(cap, routable=0.95)
+
+    def test_zero_need_always_fits(self):
+        assert ResourceVector().fits_in(ResourceVector(luts=1))
+
+    def test_axis_with_zero_capacity_ignored_when_unused(self):
+        # An Intel device has zero LUT capacity; a kernel using only ALMs
+        # must still fit.
+        need = ResourceVector(alms=10)
+        cap = ResourceVector(alms=100)
+        assert need.fits_in(cap)
+
+    def test_utilisation(self):
+        need = ResourceVector(luts=50, dsp=10)
+        cap = ResourceVector(luts=100, dsp=100)
+        util = need.utilisation(cap)
+        assert util["luts"] == pytest.approx(0.5)
+        assert util["dsp"] == pytest.approx(0.1)
+        assert "alms" not in util
+
+
+class TestKernelEstimate:
+    def test_xilinx_uses_xilinx_axes(self, config):
+        r = estimate_kernel_resources(config, "xilinx")
+        assert r.luts > 0 and r.dsp > 0 and r.bram_bytes > 0
+        assert r.alms == 0 and r.m20k_bytes == 0
+
+    def test_intel_uses_intel_axes(self, config):
+        r = estimate_kernel_resources(config, "intel")
+        assert r.alms > 0 and r.dsp > 0 and r.m20k_bytes > 0
+        assert r.luts == 0 and r.bram_bytes == 0
+
+    def test_unknown_family_rejected(self, config):
+        with pytest.raises(ResourceError):
+            estimate_kernel_resources(config, "lattice")
+
+    def test_buffer_footprint_follows_chunk_width(self):
+        grid = Grid(nx=8, ny=256, nz=64)
+        small = estimate_kernel_resources(
+            KernelConfig(grid=grid, chunk_width=16), "xilinx")
+        large = estimate_kernel_resources(
+            KernelConfig(grid=grid, chunk_width=128), "xilinx")
+        assert large.bram_bytes > small.bram_bytes
+
+
+class TestFitKernels:
+    def test_shell_reduces_fit(self):
+        kernel = ResourceVector(luts=100)
+        cap = ResourceVector(luts=1000)
+        assert fit_kernels(kernel, cap) > fit_kernels(
+            kernel, cap, shell=ResourceVector(luts=400))
+
+    def test_zero_fit_when_kernel_too_big(self):
+        assert fit_kernels(ResourceVector(luts=1000),
+                           ResourceVector(luts=100)) == 0
+
+    def test_paper_fits(self, config):
+        """Section IV: six kernels on the U280, five on the Stratix 10."""
+        from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+
+        assert ALVEO_U280.max_kernels(config) == 6
+        assert STRATIX10_GX2800.max_kernels(config) == 5
+
+    def test_single_kernel_modest_utilisation(self, config):
+        """Section IV: one kernel occupies ~15% of either FPGA."""
+        from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+
+        for device in (ALVEO_U280, STRATIX10_GX2800):
+            util = device.kernel_resources(config).utilisation(device.capacity)
+            assert max(util.values()) < 0.25

@@ -1,0 +1,78 @@
+"""Tests for kernel configuration validation and derived geometry."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.errors import ConfigurationError
+from repro.kernel.config import KernelConfig
+
+
+@pytest.fixture
+def grid():
+    return Grid(nx=8, ny=32, nz=16)
+
+
+class TestValidation:
+    def test_defaults_are_legal(self, grid):
+        KernelConfig(grid=grid)
+
+    def test_rejects_bad_chunk_width(self, grid):
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=grid, chunk_width=0)
+
+    def test_rejects_stream_depth_below_two(self, grid):
+        """Depth >= 2 is required to absorb column-top double emissions."""
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=grid, stream_depth=1)
+
+    def test_rejects_bad_ii(self, grid):
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=grid, shift_buffer_ii=0)
+
+    def test_rejects_bad_latencies(self, grid):
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=grid, advect_latency=0)
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=grid, memory_latency=0)
+
+    def test_rejects_short_column(self):
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=Grid(nx=4, ny=4, nz=2))
+
+
+class TestDerivedGeometry:
+    def test_chunk_plan_matches_width(self, grid):
+        plan = KernelConfig(grid=grid, chunk_width=8).chunk_plan()
+        assert plan.num_chunks == 4
+
+    def test_buffer_ny_includes_halo(self, grid):
+        config = KernelConfig(grid=grid, chunk_width=8)
+        assert config.buffer_ny == 10
+
+    def test_buffer_ny_capped_by_domain(self):
+        config = KernelConfig(grid=Grid(nx=4, ny=4, nz=8), chunk_width=64)
+        assert config.buffer_ny == 6
+
+    def test_buffer_words_formula(self, grid):
+        config = KernelConfig(grid=grid, chunk_width=8)
+        per_field = 3 * 10 * 16 + 9 * 16
+        assert config.buffer_words_per_field == per_field
+        assert config.buffer_words == 3 * per_field
+        assert config.buffer_bytes == 24 * per_field
+
+    def test_memory_bounded_by_y_and_z_only(self):
+        """The paper's motivation for chunking: buffer size must not depend
+        on the X extent of the domain."""
+        small_x = KernelConfig(grid=Grid(nx=4, ny=32, nz=16), chunk_width=8)
+        huge_x = KernelConfig(grid=Grid(nx=4096, ny=32, nz=16), chunk_width=8)
+        assert small_x.buffer_bytes == huge_x.buffer_bytes
+
+    def test_bytes_per_cell_cycle(self, grid):
+        assert KernelConfig(grid=grid).bytes_per_cell_cycle == 48
+
+    def test_for_grid_preserves_design(self, grid):
+        config = KernelConfig(grid=grid, chunk_width=8, advect_latency=10)
+        other = config.for_grid(Grid(nx=2, ny=2, nz=4))
+        assert other.chunk_width == 8
+        assert other.advect_latency == 10
+        assert other.grid.nx == 2

@@ -1,0 +1,97 @@
+"""The closed-form cycle model must track the cycle-accurate simulator."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.kernel.config import KernelConfig
+from repro.kernel.cycle_model import KernelCycleModel
+from repro.kernel.simulate import simulate_kernel
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("dims,chunk", [
+        ((5, 6, 4), 64), ((6, 11, 5), 4), ((4, 9, 3), 3), ((7, 8, 6), 8),
+        ((3, 3, 3), 2),
+    ])
+    def test_exact_match_default_latencies(self, dims, chunk):
+        grid = Grid(nx=dims[0], ny=dims[1], nz=dims[2])
+        config = KernelConfig(grid=grid, chunk_width=chunk)
+        sim = simulate_kernel(config, random_wind(grid, seed=1))
+        assert KernelCycleModel(config).cycles() == sim.total_cycles
+
+    @pytest.mark.parametrize("ml,al", [(16, 28), (1, 1), (8, 14), (4, 52)])
+    def test_exact_match_latency_sweep(self, ml, al):
+        grid = Grid(nx=5, ny=6, nz=4)
+        config = KernelConfig(grid=grid, chunk_width=64, memory_latency=ml,
+                              advect_latency=al)
+        sim = simulate_kernel(config, random_wind(grid, seed=1))
+        assert KernelCycleModel(config).cycles() == sim.total_cycles
+
+    def test_ii2_tracked_within_tolerance(self):
+        grid = Grid(nx=5, ny=6, nz=4)
+        config = KernelConfig(grid=grid, chunk_width=64, shift_buffer_ii=2)
+        sim = simulate_kernel(config, random_wind(grid, seed=1))
+        model = KernelCycleModel(config).cycles()
+        assert abs(model - sim.total_cycles) <= 2
+
+    def test_read_ii_tracked(self):
+        grid = Grid(nx=5, ny=6, nz=4)
+        config = KernelConfig(grid=grid, chunk_width=64)
+        sim = simulate_kernel(config, random_wind(grid, seed=1), read_ii=2)
+        model = KernelCycleModel(config, read_ii=2).cycles()
+        assert abs(model - sim.total_cycles) <= 2
+
+
+class TestBreakdown:
+    def test_components_sum(self):
+        config = KernelConfig(grid=Grid(nx=8, ny=32, nz=16), chunk_width=8)
+        bd = KernelCycleModel(config).breakdown()
+        assert bd.total == bd.steady_cycles + bd.fill_cycles
+        assert bd.chunks == 4
+        assert 0.0 < bd.fill_fraction < 1.0
+
+    def test_effective_ii_is_max(self):
+        config = KernelConfig(grid=Grid(nx=4, ny=4, nz=4), shift_buffer_ii=2)
+        assert KernelCycleModel(config, read_ii=3).effective_ii == 3
+        assert KernelCycleModel(config, read_ii=1).effective_ii == 2
+
+    def test_rejects_bad_read_ii(self):
+        config = KernelConfig(grid=Grid(nx=4, ny=4, nz=4))
+        with pytest.raises(ValueError):
+            KernelCycleModel(config, read_ii=0)
+
+    def test_runtime_scales_with_clock(self):
+        config = KernelConfig(grid=Grid(nx=8, ny=8, nz=8))
+        model = KernelCycleModel(config)
+        assert model.runtime_seconds(400e6) == pytest.approx(
+            model.runtime_seconds(200e6) / 2)
+        with pytest.raises(ValueError):
+            model.runtime_seconds(-1.0)
+
+
+class TestEfficiency:
+    def test_large_grid_efficiency_near_one(self):
+        """Paper-scale grids run at >95% of one cell per cycle: the whole
+        point of the II=1 shift-buffer design."""
+        grid = Grid.from_cells(16 * 1024 * 1024)
+        model = KernelCycleModel(KernelConfig(grid=grid))
+        assert model.efficiency() > 0.95
+
+    def test_small_grid_efficiency_lower(self):
+        small = KernelCycleModel(KernelConfig(grid=Grid(nx=4, ny=4, nz=4)))
+        large = KernelCycleModel(
+            KernelConfig(grid=Grid(nx=64, ny=64, nz=64)))
+        assert small.efficiency() < large.efficiency()
+
+    def test_narrow_chunks_cost_efficiency(self):
+        grid = Grid(nx=32, ny=64, nz=16)
+        wide = KernelCycleModel(KernelConfig(grid=grid, chunk_width=64))
+        narrow = KernelCycleModel(KernelConfig(grid=grid, chunk_width=2))
+        assert narrow.cycles() > wide.cycles()
+
+    def test_alternate_grid_argument(self):
+        config = KernelConfig(grid=Grid(nx=4, ny=4, nz=4))
+        other = Grid(nx=8, ny=8, nz=8)
+        model = KernelCycleModel(config)
+        assert model.cycles(other) > model.cycles()

@@ -1,0 +1,67 @@
+"""The HLS-style synthesis report."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800
+from repro.kernel.config import KernelConfig
+from repro.kernel.report import synthesis_report
+
+
+@pytest.fixture
+def grid():
+    return Grid.from_cells(16 * 1024 * 1024)
+
+
+class TestCleanDesign:
+    def test_no_warnings_and_ii1(self, grid):
+        report = synthesis_report(KernelConfig(grid=grid), ALVEO_U280)
+        assert report.achieved_ii == 1
+        assert report.timing_met
+        assert report.warnings == []
+
+    def test_paper_fit_and_clock(self, grid):
+        report = synthesis_report(KernelConfig(grid=grid), ALVEO_U280)
+        assert report.kernels_fit == 6
+        assert report.clock_mhz == 300.0
+        assert report.theoretical_gflops == pytest.approx(18.86, abs=0.01)
+
+    def test_stratix_multi_kernel_clock_reported(self, grid):
+        report = synthesis_report(KernelConfig(grid=grid), STRATIX10_GX2800)
+        assert report.kernels_fit == 5
+        assert report.clock_mhz == 250.0  # the multi-kernel derated clock
+
+    def test_render_contains_key_lines(self, grid):
+        text = synthesis_report(KernelConfig(grid=grid), ALVEO_U280).render()
+        assert "initiation interval (II) : 1" in text
+        assert "replicas that fit" in text
+        assert "warnings: none" in text
+
+
+class TestWarnings:
+    def test_unpartitioned_raises_ii_to_three(self, grid):
+        report = synthesis_report(
+            KernelConfig(grid=grid, partitioned=False), ALVEO_U280)
+        assert report.achieved_ii == 3
+        assert not report.timing_met
+        assert any("partition" in w for w in report.warnings)
+
+    def test_uram_ii2_warning(self, grid):
+        report = synthesis_report(
+            KernelConfig(grid=grid, shift_buffer_ii=2), ALVEO_U280)
+        assert report.achieved_ii == 2
+        assert any("II=2" in w for w in report.warnings)
+        # Theoretical peak halves with II=2 (the paper's 'unacceptable').
+        clean = synthesis_report(KernelConfig(grid=grid), ALVEO_U280)
+        assert report.theoretical_gflops == pytest.approx(
+            clean.theoretical_gflops / 2)
+
+    def test_narrow_chunk_warning(self, grid):
+        report = synthesis_report(
+            KernelConfig(grid=grid, chunk_width=4), ALVEO_U280)
+        assert any("burst" in w for w in report.warnings)
+
+    def test_warnings_render(self, grid):
+        text = synthesis_report(
+            KernelConfig(grid=grid, partitioned=False), ALVEO_U280).render()
+        assert "! " in text

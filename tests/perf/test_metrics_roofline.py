@@ -1,0 +1,80 @@
+"""Metric containers, paper comparisons, and the roofline helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.metrics import KernelMetrics, compare_to_paper
+from repro.perf.roofline import RooflinePoint, arithmetic_intensity, roofline_gflops
+
+
+class TestKernelMetrics:
+    def test_efficiency_derived(self):
+        m = KernelMetrics(device="x", grid_cells=100, gflops=10.0,
+                          runtime_seconds=1.0, watts=50.0)
+        assert m.gflops_per_watt == pytest.approx(0.2)
+
+    def test_efficiency_none_without_watts(self):
+        m = KernelMetrics(device="x", grid_cells=100, gflops=10.0,
+                          runtime_seconds=1.0)
+        assert m.gflops_per_watt is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KernelMetrics(device="x", grid_cells=1, gflops=-1.0,
+                          runtime_seconds=1.0)
+
+
+class TestPaperComparison:
+    def test_ratio_and_error(self):
+        c = compare_to_paper("x", measured=11.0, paper=10.0)
+        assert c.ratio == pytest.approx(1.1)
+        assert c.percent_error == pytest.approx(10.0)
+        assert c.within(10.01)
+        assert not c.within(9.0)
+
+    def test_zero_paper_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = compare_to_paper("x", 1.0, 0.0).ratio
+
+    def test_str_contains_both_values(self):
+        text = str(compare_to_paper("thing", 1.5, 2.0))
+        assert "thing" in text and "1.5" in text and "2" in text
+
+
+class TestRoofline:
+    def test_advection_intensity_is_low(self):
+        """~1.3 FLOP/byte end-to-end: transfer-bound on every device."""
+        assert arithmetic_intensity() == pytest.approx(62.875 / 48.0)
+
+    def test_one_directional_intensity(self):
+        assert arithmetic_intensity(bytes_per_cell=24.0) == pytest.approx(
+            62.875 / 24.0)
+
+    def test_roofline_min(self):
+        assert roofline_gflops(compute_peak_gflops=100.0, bandwidth_gbs=10.0,
+                               intensity=1.3) == pytest.approx(13.0)
+        assert roofline_gflops(compute_peak_gflops=5.0, bandwidth_gbs=10.0,
+                               intensity=1.3) == pytest.approx(5.0)
+
+    def test_point_bandwidth_bound_detection(self):
+        point = RooflinePoint(device="x", compute_peak_gflops=100.0,
+                              bandwidth_gbs=10.0, intensity=1.3)
+        assert point.bandwidth_bound
+        assert point.attainable_gflops == pytest.approx(13.0)
+
+    def test_every_paper_device_is_pcie_bound_end_to_end(self):
+        """The structural conclusion of Figs. 5/6: with 48 B/cell over
+        PCIe, even ~13 GB/s caps out below any device's kernel rate."""
+        intensity = arithmetic_intensity()
+        for peak, pcie_gbs in [(87.0, 13.0), (60.0, 12.0), (367.2, 15.0)]:
+            point = RooflinePoint(device="d", compute_peak_gflops=peak,
+                                  bandwidth_gbs=pcie_gbs,
+                                  intensity=intensity)
+            assert point.bandwidth_bound
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            arithmetic_intensity(bytes_per_cell=0.0)
+        with pytest.raises(ConfigurationError):
+            roofline_gflops(compute_peak_gflops=0.0, bandwidth_gbs=1.0,
+                            intensity=1.0)

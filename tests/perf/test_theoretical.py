@@ -1,0 +1,48 @@
+"""The paper's theoretical-performance metric."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.theoretical import percent_of_theoretical, theoretical_gflops
+
+
+class TestTheoreticalGflops:
+    def test_paper_values(self):
+        assert theoretical_gflops(300.0) == pytest.approx(18.8625)
+        assert theoretical_gflops(398.0) == pytest.approx(25.02425)
+
+    def test_scales_with_kernels(self):
+        assert theoretical_gflops(300.0, num_kernels=6) == pytest.approx(
+            6 * 18.8625)
+
+    def test_column_height_matters(self):
+        # A taller column has fewer top cells per column: higher average.
+        assert theoretical_gflops(300.0, column_height=128) > \
+            theoretical_gflops(300.0, column_height=32)
+
+    def test_infinite_column_limit(self):
+        # As columns grow, the average tends to 63 ops/cycle.
+        assert theoretical_gflops(300.0, column_height=100_000) == \
+            pytest.approx(63 * 0.3, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theoretical_gflops(0.0)
+        with pytest.raises(ConfigurationError):
+            theoretical_gflops(300.0, num_kernels=0)
+
+
+class TestPercentOfTheoretical:
+    def test_paper_percentages(self):
+        assert percent_of_theoretical(14.50, 300.0) == pytest.approx(76.9,
+                                                                     abs=0.1)
+        assert percent_of_theoretical(20.8, 398.0) == pytest.approx(83.1,
+                                                                    abs=0.1)
+
+    def test_hundred_percent(self):
+        peak = theoretical_gflops(300.0)
+        assert percent_of_theoretical(peak, 300.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percent_of_theoretical(-1.0, 300.0)

@@ -1,0 +1,118 @@
+"""Number-format quantisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.precision.formats import (
+    BFLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FixedPointFormat,
+    FloatFormat,
+)
+
+
+class TestFloatFormats:
+    def test_float64_is_identity(self):
+        values = np.array([1.0, -2.5, 1e-300, 3.14159265358979])
+        np.testing.assert_array_equal(FLOAT64.quantise(values), values)
+
+    def test_float32_matches_numpy_cast(self):
+        values = np.random.default_rng(0).normal(size=100)
+        expected = values.astype(np.float32).astype(np.float64)
+        np.testing.assert_array_equal(FLOAT32.quantise(values), expected)
+
+    def test_bfloat16_error_bounded_by_ulp(self):
+        values = np.random.default_rng(1).uniform(0.5, 2.0, size=1000)
+        q = BFLOAT16.quantise(values)
+        # 7 explicit mantissa bits: relative error <= 2^-8 for values in
+        # [0.5, 2) after round-to-nearest.
+        assert np.abs(q - values).max() <= 2.0**-8 * 2.0
+
+    def test_zero_preserved_exactly(self):
+        assert FLOAT32.quantise(0.0) == 0.0
+        assert BFLOAT16.quantise(np.array([0.0]))[0] == 0.0
+
+    def test_sign_symmetry(self):
+        values = np.random.default_rng(2).normal(size=50)
+        np.testing.assert_array_equal(
+            BFLOAT16.quantise(-values), -BFLOAT16.quantise(values))
+
+    def test_scalar_returns_float(self):
+        out = FLOAT32.quantise(1.23456789)
+        assert isinstance(out, float)
+
+    def test_bit_counts(self):
+        assert FLOAT64.bits == 64
+        assert FLOAT32.bits == 32
+        assert BFLOAT16.bits == 16
+
+    def test_idempotent(self):
+        values = np.random.default_rng(3).normal(size=200)
+        once = BFLOAT16.quantise(values)
+        np.testing.assert_array_equal(BFLOAT16.quantise(once), once)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FloatFormat("bad", mantissa_bits=0)
+        with pytest.raises(ConfigurationError):
+            FloatFormat("bad", mantissa_bits=10, exponent_bits=1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-1e6, max_value=1e6,
+                     allow_nan=False, allow_subnormal=False),
+           st.integers(5, 45))
+    def test_property_error_within_half_ulp(self, value, mantissa_bits):
+        fmt = FloatFormat("t", mantissa_bits=mantissa_bits)
+        q = fmt.quantise(value)
+        if value == 0.0:
+            assert q == 0.0
+            return
+        ulp = abs(value) * 2.0 ** (-mantissa_bits)
+        assert abs(q - value) <= ulp
+
+
+class TestFixedPoint:
+    def test_q_format_rounding(self):
+        fmt = FixedPointFormat("q4.4", integer_bits=4, fraction_bits=4)
+        assert fmt.scale == pytest.approx(1 / 16)
+        assert fmt.quantise(1.03) == pytest.approx(1.0)      # nearest 1/16
+        assert fmt.quantise(1.04) == pytest.approx(1.0625)   # next tick up
+        assert fmt.quantise(1.0) == 1.0
+
+    def test_saturation(self):
+        fmt = FixedPointFormat("q2.2", integer_bits=2, fraction_bits=2)
+        assert fmt.quantise(100.0) == fmt.max_value == pytest.approx(3.75)
+        assert fmt.quantise(-100.0) == fmt.min_value == pytest.approx(-4.0)
+
+    def test_representable(self):
+        fmt = FixedPointFormat("q2.2", integer_bits=2, fraction_bits=2)
+        assert fmt.representable(np.array([1.0, -3.0]))
+        assert not fmt.representable(np.array([1.0, 5.0]))
+
+    def test_bits(self):
+        assert FixedPointFormat("q8.23", 8, 23).bits == 32
+
+    def test_idempotent(self):
+        fmt = FixedPointFormat("q8.8", 8, 8)
+        values = np.random.default_rng(4).uniform(-200, 200, size=100)
+        once = fmt.quantise(values)
+        np.testing.assert_array_equal(fmt.quantise(once), once)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat("bad", -1, 4)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat("bad", 0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False),
+           st.integers(0, 20))
+    def test_property_error_within_half_lsb(self, value, fraction_bits):
+        fmt = FixedPointFormat("t", integer_bits=8,
+                               fraction_bits=fraction_bits)
+        q = fmt.quantise(value)
+        assert abs(q - value) <= fmt.scale / 2 + 1e-15

@@ -1,0 +1,50 @@
+"""Property: advection error is monotone in datapath precision."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.wind import random_wind
+from repro.precision.formats import FloatFormat
+from repro.precision.kernel import advect_quantised
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       coarse_bits=st.integers(8, 20))
+def test_more_mantissa_bits_never_increase_error(seed, coarse_bits):
+    """For any wind field, a datapath with more mantissa bits produces a
+    result at least as close to the float64 reference (up to a small
+    cross-rounding allowance: rounding error is stochastic per element,
+    the norm comparison needs headroom of ~2x)."""
+    grid = Grid(nx=4, ny=4, nz=4)
+    fields = random_wind(grid, seed=seed, magnitude=2.0)
+    reference = advect_reference(fields)
+
+    coarse = FloatFormat("coarse", mantissa_bits=coarse_bits)
+    fine = FloatFormat("fine", mantissa_bits=coarse_bits + 8)
+
+    err_coarse = advect_quantised(fields, coarse).max_abs_difference(
+        reference)
+    err_fine = advect_quantised(fields, fine).max_abs_difference(reference)
+    assert err_fine <= 2.0 * err_coarse / 2**7
+    # And the coarse error itself is bounded by the format's granularity
+    # times the number of rounded operations.
+    scale = max(np.abs(reference.su).max(), np.abs(reference.sv).max(),
+                np.abs(reference.sw).max(), 1e-30)
+    assert err_coarse <= 64.0 * scale * 2.0 ** (-coarse_bits)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), bits=st.integers(10, 44))
+def test_quantised_path_deterministic(seed, bits):
+    """The quantised datapath is a function: identical inputs, identical
+    rounded outputs."""
+    grid = Grid(nx=4, ny=4, nz=4)
+    fields = random_wind(grid, seed=seed)
+    fmt = FloatFormat("f", mantissa_bits=bits)
+    a = advect_quantised(fields, fmt)
+    b = advect_quantised(fields, fmt)
+    assert a.max_abs_difference(b) == 0.0

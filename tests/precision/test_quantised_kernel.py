@@ -1,0 +1,107 @@
+"""The reduced-precision advection datapath."""
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import AdvectionCoefficients
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.wind import random_wind, thermal_bubble
+from repro.precision import (
+    BFLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FixedPointFormat,
+    advect_quantised,
+    precision_error_study,
+)
+from repro.precision.analysis import integration_drift
+
+
+@pytest.fixture
+def setup():
+    grid = Grid(nx=6, ny=6, nz=6)
+    fields = random_wind(grid, seed=5, magnitude=3.0)
+    coeffs = AdvectionCoefficients.isothermal(grid)
+    return grid, fields, coeffs
+
+
+class TestQuantisedKernel:
+    def test_float64_reproduces_reference_bitwise(self, setup):
+        """With no rounding the quantised datapath IS the reference —
+        pinning its operation ordering to the specification."""
+        _, fields, coeffs = setup
+        assert advect_quantised(fields, FLOAT64, coeffs).max_abs_difference(
+            advect_reference(fields, coeffs)) == 0.0
+
+    def test_float32_error_small(self, setup):
+        _, fields, coeffs = setup
+        report = precision_error_study(fields, FLOAT32, coeffs)
+        assert 0.0 < report.max_rel_error < 1e-4
+        assert report.max_abs_error < 1e-6 * report.reference_scale * 1e3
+
+    def test_error_grows_as_precision_drops(self, setup):
+        _, fields, coeffs = setup
+        errors = [
+            precision_error_study(fields, fmt, coeffs).rms_error
+            for fmt in (FLOAT32, BFLOAT16)
+        ]
+        assert errors[1] > 100 * errors[0]
+
+    def test_structural_zeros_preserved(self, setup):
+        """Bottom-level and top-W zeros survive any quantisation."""
+        _, fields, coeffs = setup
+        out = advect_quantised(fields, BFLOAT16, coeffs)
+        assert np.all(out.su[:, :, 0] == 0.0)
+        assert np.all(out.sw[:, :, 0] == 0.0)
+        assert np.all(out.sw[:, :, -1] == 0.0)
+
+    def test_fixed_point_reasonable(self, setup):
+        _, fields, coeffs = setup
+        fmt = FixedPointFormat("q8.23", integer_bits=8, fraction_bits=23)
+        report = precision_error_study(fields, fmt, coeffs)
+        assert report.max_abs_error < 1e-4
+
+    def test_mismatched_coeffs_rejected(self, setup):
+        grid, fields, _ = setup
+        wrong = AdvectionCoefficients.uniform(grid.with_size(nz=grid.nz + 1))
+        with pytest.raises(ValueError):
+            advect_quantised(fields, FLOAT32, wrong)
+
+
+class TestErrorStudy:
+    def test_report_fields(self, setup):
+        _, fields, coeffs = setup
+        report = precision_error_study(fields, FLOAT32, coeffs)
+        assert report.format_name == "float32"
+        assert report.bits == 32
+        assert report.rms_error <= report.max_abs_error
+        assert report.significant_digits > 4
+
+    def test_float64_sixteen_digits(self, setup):
+        _, fields, coeffs = setup
+        report = precision_error_study(fields, FLOAT64, coeffs)
+        assert report.max_abs_error == 0.0
+        assert report.significant_digits == 16.0
+
+
+class TestIntegrationDrift:
+    def test_drift_zero_for_float64(self):
+        grid = Grid(nx=5, ny=5, nz=5)
+        fields = thermal_bubble(grid)
+        drift = integration_drift(grid, fields, FLOAT64, steps=3, dt=0.5)
+        assert drift == 0.0
+
+    def test_drift_compounds_with_steps(self):
+        grid = Grid(nx=5, ny=5, nz=5)
+        fields = thermal_bubble(grid)
+        d1 = integration_drift(grid, fields, BFLOAT16, steps=1, dt=0.5)
+        d5 = integration_drift(grid, fields, BFLOAT16, steps=5, dt=0.5)
+        assert d5 > d1 > 0.0
+
+    def test_float32_drift_below_bfloat16(self):
+        grid = Grid(nx=5, ny=5, nz=5)
+        fields = thermal_bubble(grid)
+        d32 = integration_drift(grid, fields, FLOAT32, steps=4, dt=0.5)
+        d16 = integration_drift(grid, fields, BFLOAT16, steps=4, dt=0.5)
+        assert d16 > 100 * d32

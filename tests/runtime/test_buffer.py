@@ -1,0 +1,69 @@
+"""Device buffer allocation against memory capacity."""
+
+import pytest
+
+from repro.errors import CapacityError, ScheduleError
+from repro.hardware.memory import MemorySpec, StreamingMemoryModel
+from repro.runtime.buffer import BufferAllocator
+
+
+@pytest.fixture
+def allocator():
+    return BufferAllocator(StreamingMemoryModel(MemorySpec(
+        name="hbm2", capacity_bytes=1000,
+        per_kernel_bandwidth=1.0, aggregate_bandwidth=1.0,
+    )))
+
+
+class TestAllocation:
+    def test_basic_accounting(self, allocator):
+        buf = allocator.allocate("u", 400)
+        assert buf.nbytes == 400
+        assert buf.memory == "hbm2"
+        assert allocator.used_bytes == 400
+        assert allocator.free_bytes == 600
+        assert allocator.live_buffers == 1
+
+    def test_capacity_enforced(self, allocator):
+        allocator.allocate("u", 600)
+        with pytest.raises(CapacityError):
+            allocator.allocate("v", 500)
+
+    def test_exact_fit_allowed(self, allocator):
+        allocator.allocate("u", 1000)
+        assert allocator.free_bytes == 0
+
+    def test_negative_size_rejected(self, allocator):
+        with pytest.raises(ScheduleError):
+            allocator.allocate("u", -1)
+
+    def test_peak_tracking(self, allocator):
+        a = allocator.allocate("a", 500)
+        allocator.release(a)
+        allocator.allocate("b", 300)
+        assert allocator.peak_bytes == 500
+        assert allocator.used_bytes == 300
+
+
+class TestRelease:
+    def test_release_frees_space(self, allocator):
+        buf = allocator.allocate("u", 800)
+        allocator.release(buf)
+        allocator.allocate("v", 900)  # fits again
+
+    def test_double_free_rejected(self, allocator):
+        buf = allocator.allocate("u", 100)
+        allocator.release(buf)
+        with pytest.raises(ScheduleError):
+            allocator.release(buf)
+
+    def test_reset(self, allocator):
+        allocator.allocate("u", 100)
+        allocator.reset()
+        assert allocator.used_bytes == 0
+        assert allocator.live_buffers == 0
+
+    def test_unique_buffer_ids(self, allocator):
+        a = allocator.allocate("x", 1)
+        b = allocator.allocate("x", 1)
+        assert a.uid != b.uid

@@ -1,0 +1,66 @@
+"""ASCII Gantt rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.event import Command
+from repro.runtime.gantt import render_gantt
+from repro.runtime.queue import CommandQueue
+from repro.runtime.simulator import ScheduleResult, simulate_schedule
+
+
+def simple_schedule():
+    q = CommandQueue()
+    a = Command("a", "kernel", 1.0)
+    q.enqueue(a)
+    q.enqueue(Command("b", "pcie_h2d", 2.0))
+    q.enqueue(Command("c", "kernel", 1.0, wait_for=[a.event]))
+    return simulate_schedule(q)
+
+
+class TestRendering:
+    def test_one_row_per_resource(self):
+        out = render_gantt(simple_schedule())
+        lines = out.splitlines()
+        assert len(lines) == 3  # heading + 2 resources
+        assert any("kernel" in line for line in lines)
+        assert any("pcie_h2d" in line for line in lines)
+
+    def test_busy_resource_fully_hatched(self):
+        out = render_gantt(simple_schedule(), width=40)
+        for line in out.splitlines():
+            if "pcie_h2d" in line:
+                bar = line.split("|")[1]
+                assert bar.count("#") == pytest.approx(40, abs=2)
+                assert "100% busy" in line
+
+    def test_title_and_makespan_in_heading(self):
+        out = render_gantt(simple_schedule(), title="demo")
+        assert out.splitlines()[0].startswith("demo")
+        assert "makespan" in out.splitlines()[0]
+
+    def test_custom_width(self):
+        out = render_gantt(simple_schedule(), width=20)
+        bar = out.splitlines()[1].split("|")[1]
+        assert len(bar) == 20
+
+    def test_rejects_small_width(self):
+        with pytest.raises(ConfigurationError):
+            render_gantt(simple_schedule(), width=5)
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ConfigurationError):
+            render_gantt(ScheduleResult(makespan=0.0))
+
+    def test_session_schedule_renders(self):
+        from repro.core.grid import Grid
+        from repro.hardware import ALVEO_U280
+        from repro.kernel.config import KernelConfig
+        from repro.runtime.session import AdvectionSession
+
+        grid = Grid.from_cells(16 * 1024 * 1024)
+        session = AdvectionSession(ALVEO_U280, KernelConfig(grid=grid),
+                                   x_chunks=4)
+        result = session.run(grid, overlapped=True)
+        out = render_gantt(result.schedule, title="overlapped")
+        assert "pcie_h2d" in out and "pcie_d2h" in out and "kernel" in out

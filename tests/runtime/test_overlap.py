@@ -1,0 +1,111 @@
+"""The sequential (Fig. 5) and overlapped (Fig. 6) schedule builders."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.hardware.pcie import PCIeLink
+from repro.runtime.overlap import (
+    ChunkWork,
+    build_overlapped_schedule,
+    build_sequential_schedule,
+)
+from repro.runtime.simulator import simulate_schedule
+
+
+@pytest.fixture
+def link():
+    return PCIeLink(streamed_bandwidth=10e9, synchronous_bandwidth=5e9,
+                    latency=0.0)
+
+
+def chunks(n, in_bytes=1e9, out_bytes=1e9, kernel_seconds=0.05):
+    return [ChunkWork(index=i, in_bytes=in_bytes, out_bytes=out_bytes,
+                      kernel_seconds=kernel_seconds) for i in range(n)]
+
+
+class TestSequential:
+    def test_everything_serialises(self, link):
+        q = build_sequential_schedule(5e9, 5e9, 0.5, link)
+        result = simulate_schedule(q)
+        # 1s in + 0.5 kernel + 1s out at the synchronous 5 GB/s rate.
+        assert result.makespan == pytest.approx(2.5)
+
+    def test_no_transfer_compute_overlap(self, link):
+        q = build_sequential_schedule(5e9, 5e9, 0.5, link)
+        result = simulate_schedule(q)
+        assert result.overlap_seconds("pcie", "kernel") == pytest.approx(0.0)
+
+    def test_uses_synchronous_bandwidth(self, link):
+        q = build_sequential_schedule(5e9, 0.0, 0.0, link)
+        result = simulate_schedule(q)
+        assert result.makespan == pytest.approx(1.0)  # 5 GB at 5 GB/s
+
+
+class TestOverlapped:
+    def test_transfer_hidden_behind_compute(self, link):
+        """With kernel-dominated chunks the makespan approaches the sum of
+        kernel times plus one transfer edge."""
+        work = chunks(8, in_bytes=1e8, out_bytes=1e8, kernel_seconds=0.1)
+        result = simulate_schedule(build_overlapped_schedule(work, link))
+        kernel_total = 0.8
+        first_in = 1e8 / 10e9
+        last_out = 1e8 / 10e9
+        assert result.makespan == pytest.approx(
+            kernel_total + first_in + last_out, rel=0.01)
+
+    def test_compute_hidden_behind_transfer(self, link):
+        """With transfer-dominated chunks the makespan approaches the input
+        stream time: the Fig. 6 regime for all accelerators."""
+        work = chunks(8, in_bytes=2e9, out_bytes=2e9, kernel_seconds=0.01)
+        result = simulate_schedule(build_overlapped_schedule(work, link))
+        stream_in = 8 * 2e9 / 10e9
+        assert result.makespan == pytest.approx(stream_in + 0.01 + 0.2,
+                                                rel=0.02)
+
+    def test_overlap_is_measurable(self, link):
+        work = chunks(8)
+        result = simulate_schedule(build_overlapped_schedule(work, link))
+        assert result.overlap_seconds("pcie_h2d", "kernel") > 0.0
+
+    def test_beats_sequential(self, link):
+        work = chunks(8)
+        overlapped = simulate_schedule(build_overlapped_schedule(work, link))
+        total_in = sum(c.in_bytes for c in work)
+        total_out = sum(c.out_bytes for c in work)
+        total_kernel = sum(c.kernel_seconds for c in work)
+        sequential = simulate_schedule(build_sequential_schedule(
+            total_in, total_out, total_kernel, link))
+        assert overlapped.makespan < 0.75 * sequential.makespan
+
+    def test_duplex_runs_directions_concurrently(self):
+        duplex = PCIeLink(streamed_bandwidth=10e9, synchronous_bandwidth=5e9,
+                          latency=0.0, duplex=True)
+        simplex = PCIeLink(streamed_bandwidth=10e9, synchronous_bandwidth=5e9,
+                           latency=0.0, duplex=False)
+        work = chunks(8, in_bytes=2e9, out_bytes=2e9, kernel_seconds=0.0)
+        t_duplex = simulate_schedule(
+            build_overlapped_schedule(work, duplex)).makespan
+        t_simplex = simulate_schedule(
+            build_overlapped_schedule(work, simplex)).makespan
+        assert t_simplex > 1.7 * t_duplex
+
+    def test_kernels_wait_for_their_input(self, link):
+        work = chunks(3)
+        q = build_overlapped_schedule(work, link)
+        simulate_schedule(q)
+        by_name = {c.name: c for c in q.commands}
+        for i in range(3):
+            assert by_name[f"kernel[{i}]"].start >= by_name[f"h2d[{i}]"].end
+            assert by_name[f"d2h[{i}]"].start >= by_name[f"kernel[{i}]"].end
+
+    def test_empty_chunk_list_rejected(self, link):
+        with pytest.raises(ScheduleError):
+            build_overlapped_schedule([], link)
+
+
+class TestChunkWork:
+    def test_rejects_negative_values(self):
+        with pytest.raises(ScheduleError):
+            ChunkWork(index=0, in_bytes=-1, out_bytes=0, kernel_seconds=0)
+        with pytest.raises(ScheduleError):
+            ChunkWork(index=0, in_bytes=0, out_bytes=0, kernel_seconds=-1)

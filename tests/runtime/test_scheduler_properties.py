@@ -1,0 +1,85 @@
+"""Property-based tests of the discrete-event scheduler.
+
+Random command DAGs must satisfy the structural invariants of list
+scheduling: no resource double-booking, dependency ordering respected,
+the makespan bounded below by both the critical path and each resource's
+busy time, and bounded above by the fully-serialised sum.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.event import Command
+from repro.runtime.queue import CommandQueue
+from repro.runtime.simulator import simulate_schedule
+
+RESOURCES = ("pcie_h2d", "kernel", "pcie_d2h")
+
+
+@st.composite
+def random_dag(draw):
+    """A random command list; each command may wait on earlier ones."""
+    n = draw(st.integers(min_value=1, max_value=14))
+    commands: list[Command] = []
+    for index in range(n):
+        duration = draw(st.floats(min_value=0.001, max_value=1.0))
+        resource = draw(st.sampled_from(RESOURCES))
+        wait_indices = []
+        if commands:
+            count = draw(st.integers(min_value=0,
+                                     max_value=min(2, len(commands))))
+            wait_indices = draw(st.lists(
+                st.integers(0, len(commands) - 1),
+                min_size=count, max_size=count, unique=True))
+        command = Command(
+            f"c{index}", resource, duration,
+            wait_for=[commands[i].event for i in wait_indices],
+        )
+        commands.append(command)
+    return commands
+
+
+def critical_path(commands: list[Command]) -> float:
+    """Longest dependency chain (ignoring resource contention)."""
+    finish: dict[str, float] = {}
+    for command in commands:  # commands are in topological (creation) order
+        start = max((finish[e.name] for e in command.wait_for), default=0.0)
+        finish[command.event.name] = start + command.duration
+    return max(finish.values(), default=0.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dag())
+def test_schedule_invariants(commands):
+    queue = CommandQueue()
+    for command in commands:
+        queue.enqueue(command)
+    result = simulate_schedule(queue)
+
+    # Every command ran, start/end consistent.
+    for command in commands:
+        assert command.start is not None and command.end is not None
+        assert command.end == command.start + command.duration
+        for event in command.wait_for:
+            assert command.start >= event.time - 1e-12
+
+    # No resource double-booking.
+    for resource in RESOURCES:
+        spans = sorted(
+            (c.start, c.end) for c in commands if c.resource == resource
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-12
+
+    # Makespan bounds.
+    total = sum(c.duration for c in commands)
+    assert result.makespan <= total + 1e-9
+    assert result.makespan >= critical_path(commands) - 1e-9
+    for resource, busy in result.busy.items():
+        assert result.makespan >= busy - 1e-9
+
+    # Busy accounting is exact.
+    for resource in RESOURCES:
+        expected = sum(c.duration for c in commands
+                       if c.resource == resource)
+        assert abs(result.busy.get(resource, 0.0) - expected) < 1e-9

@@ -1,0 +1,118 @@
+"""End-to-end AdvectionSession runs on every device model."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.reference import advect_reference
+from repro.core.wind import random_wind
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware import ALVEO_U280, STRATIX10_GX2800, TESLA_V100, XEON_8260M
+from repro.kernel.config import KernelConfig
+from repro.runtime.session import AdvectionSession
+
+
+@pytest.fixture
+def grid():
+    return Grid.from_cells(16 * 1024 * 1024)
+
+
+@pytest.fixture
+def config(grid):
+    return KernelConfig(grid=grid)
+
+
+class TestFPGASessions:
+    def test_default_kernel_count_is_max_fit(self, config):
+        assert AdvectionSession(ALVEO_U280, config).num_kernels == 6
+        assert AdvectionSession(STRATIX10_GX2800, config).num_kernels == 5
+
+    def test_overlap_improves_performance(self, config, grid):
+        session = AdvectionSession(ALVEO_U280, config)
+        seq = session.run(grid, overlapped=False)
+        ovl = session.run(grid, overlapped=True)
+        assert ovl.gflops > 3 * seq.gflops
+
+    def test_memory_fallback_at_large_sizes(self, config):
+        from repro.constants import PAPER_GRID_LABELS
+
+        session = AdvectionSession(ALVEO_U280, config)
+        small = Grid.from_cells(PAPER_GRID_LABELS["67M"])
+        large = Grid.from_cells(PAPER_GRID_LABELS["268M"])
+        assert session.memory_for(small) == "hbm2"
+        assert session.memory_for(large) == "ddr"
+
+    def test_memory_override(self, config, grid):
+        session = AdvectionSession(ALVEO_U280, config, memory="ddr")
+        result = session.run(grid, overlapped=True)
+        assert result.memory == "ddr"
+
+    def test_run_result_fields_consistent(self, config, grid):
+        result = AdvectionSession(ALVEO_U280, config).run(grid,
+                                                          overlapped=True)
+        assert result.runtime_seconds > 0
+        assert result.kernel_seconds > 0
+        assert result.transfer_seconds > 0
+        assert result.gflops_per_watt == pytest.approx(
+            result.gflops / result.average_watts)
+        assert result.energy_joules == pytest.approx(
+            result.average_watts * result.runtime_seconds)
+        assert result.schedule is not None
+
+    def test_sequential_has_zero_overlap(self, config, grid):
+        result = AdvectionSession(ALVEO_U280, config).run(grid,
+                                                          overlapped=False)
+        assert result.schedule.overlap_seconds("pcie", "kernel") == 0.0
+
+    def test_rejects_bad_chunks(self, config):
+        with pytest.raises(ConfigurationError):
+            AdvectionSession(ALVEO_U280, config, x_chunks=0)
+
+
+class TestGPUSessions:
+    def test_runs_and_uses_hbm(self, config, grid):
+        result = AdvectionSession(TESLA_V100, config).run(grid,
+                                                          overlapped=True)
+        assert result.memory == "hbm2"
+        assert result.gflops > 0
+
+    def test_capacity_error_at_536m(self, config):
+        from repro.constants import PAPER_GRID_LABELS
+
+        grid = Grid.from_cells(PAPER_GRID_LABELS["536M"])
+        session = AdvectionSession(TESLA_V100, config)
+        with pytest.raises(CapacityError):
+            session.run(grid, overlapped=True)
+
+    def test_setup_cost_included(self, config, grid):
+        result = AdvectionSession(TESLA_V100, config).run(grid,
+                                                          overlapped=True)
+        assert result.runtime_seconds >= TESLA_V100.setup_seconds
+
+
+class TestCPUSessions:
+    def test_no_transfer_time(self, config, grid):
+        result = AdvectionSession(XEON_8260M, config).run(grid,
+                                                          overlapped=False)
+        assert result.transfer_seconds == 0.0
+        assert result.gflops == pytest.approx(15.2, rel=0.01)
+
+    def test_overlap_flag_is_noop(self, config, grid):
+        session = AdvectionSession(XEON_8260M, config)
+        seq = session.run(grid, overlapped=False)
+        ovl = session.run(grid, overlapped=True)
+        assert seq.gflops == pytest.approx(ovl.gflops)
+
+    def test_buffers_not_allocated_for_cpu(self, config, grid):
+        session = AdvectionSession(XEON_8260M, config)
+        with pytest.raises(ConfigurationError):
+            session.allocate_buffers(grid)
+
+
+class TestFunctionalExecution:
+    def test_execute_matches_reference(self):
+        grid = Grid(nx=6, ny=9, nz=5)
+        fields = random_wind(grid, seed=6)
+        session = AdvectionSession(
+            ALVEO_U280, KernelConfig(grid=grid, chunk_width=4))
+        result = session.execute(fields)
+        assert result.max_abs_difference(advect_reference(fields)) == 0.0

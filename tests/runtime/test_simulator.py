@@ -1,0 +1,133 @@
+"""Discrete-event schedule simulation."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.runtime.event import Command, Event
+from repro.runtime.queue import CommandQueue
+from repro.runtime.simulator import simulate_schedule
+
+
+class TestSerialResource:
+    def test_commands_serialise_on_one_resource(self):
+        q = CommandQueue()
+        q.enqueue(Command("a", "r", 1.0))
+        q.enqueue(Command("b", "r", 2.0))
+        result = simulate_schedule(q)
+        assert result.makespan == pytest.approx(3.0)
+        assert result.busy["r"] == pytest.approx(3.0)
+
+    def test_in_order_per_resource(self):
+        q = CommandQueue()
+        first = Command("first", "r", 1.0)
+        second = Command("second", "r", 1.0)
+        q.enqueue(first)
+        q.enqueue(second)
+        simulate_schedule(q)
+        assert first.end <= second.start
+
+    def test_independent_resources_parallel(self):
+        q = CommandQueue()
+        q.enqueue(Command("a", "r1", 2.0))
+        q.enqueue(Command("b", "r2", 2.0))
+        result = simulate_schedule(q)
+        assert result.makespan == pytest.approx(2.0)
+
+
+class TestDependencies:
+    def test_wait_for_delays_start(self):
+        q = CommandQueue()
+        a = Command("a", "r1", 2.0)
+        q.enqueue(a)
+        b = Command("b", "r2", 1.0, wait_for=[a.event])
+        q.enqueue(b)
+        result = simulate_schedule(q)
+        assert b.start == pytest.approx(2.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_chain_of_dependencies(self):
+        q = CommandQueue()
+        prev: Event | None = None
+        for i in range(5):
+            cmd = Command(f"c{i}", f"r{i % 2}", 1.0,
+                          wait_for=[prev] if prev else [])
+            q.enqueue(cmd)
+            prev = cmd.event
+        result = simulate_schedule(q)
+        assert result.makespan == pytest.approx(5.0)
+
+    def test_event_times_recorded(self):
+        q = CommandQueue()
+        a = Command("a", "r", 1.5)
+        q.enqueue(a)
+        simulate_schedule(q)
+        assert a.event.complete
+        assert a.event.time == pytest.approx(1.5)
+
+    def test_dependency_cycle_detected(self):
+        q = CommandQueue()
+        a = Command("a", "r1", 1.0)
+        b = Command("b", "r2", 1.0)
+        a.wait_for.append(b.event)
+        b.wait_for.append(a.event)
+        q.enqueue(a)
+        q.enqueue(b)
+        with pytest.raises(ScheduleError, match="deadlock"):
+            simulate_schedule(q)
+
+
+class TestOverlapMeasurement:
+    def test_overlap_seconds(self):
+        q = CommandQueue()
+        q.enqueue(Command("x", "r1", 4.0))
+        q.enqueue(Command("y", "r2", 2.0))
+        result = simulate_schedule(q)
+        assert result.overlap_seconds("r1", "r2") == pytest.approx(2.0)
+
+    def test_no_overlap_when_dependent(self):
+        q = CommandQueue()
+        a = Command("a", "r1", 1.0)
+        q.enqueue(a)
+        q.enqueue(Command("b", "r2", 1.0, wait_for=[a.event]))
+        result = simulate_schedule(q)
+        assert result.overlap_seconds("r1", "r2") == pytest.approx(0.0)
+
+    def test_utilisation(self):
+        q = CommandQueue()
+        q.enqueue(Command("a", "r1", 1.0))
+        q.enqueue(Command("b", "r2", 4.0))
+        result = simulate_schedule(q)
+        assert result.utilisation("r1") == pytest.approx(0.25)
+        assert result.utilisation("r2") == pytest.approx(1.0)
+        assert result.utilisation("ghost") == 0.0
+
+    def test_timeline_sorted_by_completion(self):
+        q = CommandQueue()
+        q.enqueue(Command("slow", "r1", 5.0))
+        q.enqueue(Command("fast", "r2", 1.0))
+        result = simulate_schedule(q)
+        assert [name for name, *_ in result.timeline] == ["fast", "slow"]
+
+
+class TestCommandValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            Command("bad", "r", -1.0)
+
+    def test_requeue_of_executed_command_rejected(self):
+        q = CommandQueue()
+        cmd = Command("a", "r", 1.0)
+        q.enqueue(cmd)
+        simulate_schedule(q)
+        q2 = CommandQueue()
+        with pytest.raises(ScheduleError):
+            q2.enqueue(cmd)
+
+    def test_queue_helpers_create_expected_resources(self):
+        q = CommandQueue()
+        q.enqueue_write("w", 1.0)
+        q.enqueue_kernel("k", 1.0)
+        q.enqueue_read("r", 1.0)
+        resources = [c.resource for c in q.commands]
+        assert resources == ["pcie_h2d", "kernel", "pcie_d2h"]
+        assert len(q) == 3

@@ -1,0 +1,81 @@
+"""Chrome trace-event export of schedules."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.event import Command
+from repro.runtime.queue import CommandQueue
+from repro.runtime.simulator import ScheduleResult, simulate_schedule
+from repro.runtime.trace_export import to_trace_events, write_chrome_trace
+
+
+def sample_schedule():
+    q = CommandQueue()
+    a = Command("h2d[0]", "pcie_h2d", 0.010)
+    q.enqueue(a)
+    q.enqueue(Command("kernel[0]", "kernel", 0.005, wait_for=[a.event]))
+    return simulate_schedule(q)
+
+
+class TestTraceEvents:
+    def test_complete_events_for_each_command(self):
+        events = to_trace_events(sample_schedule())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"h2d[0]", "kernel[0]"}
+
+    def test_times_in_microseconds(self):
+        events = to_trace_events(sample_schedule())
+        h2d = next(e for e in events if e["name"] == "h2d[0]")
+        assert h2d["ts"] == pytest.approx(0.0)
+        assert h2d["dur"] == pytest.approx(10_000.0)
+
+    def test_dependency_visible_in_timestamps(self):
+        events = to_trace_events(sample_schedule())
+        h2d = next(e for e in events if e["name"] == "h2d[0]")
+        kernel = next(e for e in events if e["name"] == "kernel[0]")
+        assert kernel["ts"] >= h2d["ts"] + h2d["dur"]
+
+    def test_thread_metadata_per_resource(self):
+        events = to_trace_events(sample_schedule())
+        threads = [e for e in events if e["name"] == "thread_name"]
+        names = {e["args"]["name"] for e in threads}
+        assert names == {"pcie_h2d", "kernel"}
+
+    def test_stable_row_order(self):
+        events = to_trace_events(sample_schedule())
+        by_resource = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e["name"] == "thread_name"
+        }
+        assert by_resource["pcie_h2d"] < by_resource["kernel"]
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_trace_events(ScheduleResult(makespan=0.0))
+
+
+class TestFileOutput:
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(sample_schedule(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_session_trace_end_to_end(self, tmp_path):
+        from repro.core.grid import Grid
+        from repro.hardware import ALVEO_U280
+        from repro.kernel.config import KernelConfig
+        from repro.runtime.session import AdvectionSession
+
+        grid = Grid.from_cells(16 * 1024 * 1024)
+        session = AdvectionSession(ALVEO_U280, KernelConfig(grid=grid),
+                                   x_chunks=4)
+        result = session.run(grid, overlapped=True)
+        path = write_chrome_trace(result.schedule, tmp_path / "run.json",
+                                  process_name="u280-16M")
+        payload = json.loads(path.read_text())
+        kernels = [e for e in payload["traceEvents"]
+                   if e.get("cat") == "kernel"]
+        assert len(kernels) == 4  # one per X chunk

@@ -1,0 +1,67 @@
+"""Word-width (precision) effects on the end-to-end model (§V)."""
+
+import pytest
+
+from repro.constants import PAPER_GRID_LABELS
+from repro.core.grid import Grid
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware import ALVEO_U280, TESLA_V100
+from repro.kernel.config import KernelConfig
+from repro.runtime.session import AdvectionSession
+
+
+class TestConfigWordBytes:
+    def test_default_is_double(self):
+        config = KernelConfig(grid=Grid(nx=4, ny=4, nz=4))
+        assert config.word_bytes == 8
+        assert config.bytes_per_cell_cycle == 48
+
+    def test_single_precision_halves_traffic_and_buffers(self):
+        grid = Grid(nx=4, ny=4, nz=4)
+        double = KernelConfig(grid=grid)
+        single = KernelConfig(grid=grid, word_bytes=4)
+        assert single.bytes_per_cell_cycle == 24
+        assert single.buffer_bytes == double.buffer_bytes // 2
+        assert single.in_bytes_per_cell == 12
+
+    def test_rejects_odd_widths(self):
+        with pytest.raises(ConfigurationError):
+            KernelConfig(grid=Grid(nx=4, ny=4, nz=4), word_bytes=3)
+
+
+class TestEndToEndEffects:
+    def test_single_precision_improves_overall(self):
+        grid = Grid.from_cells(PAPER_GRID_LABELS["16M"])
+        double = AdvectionSession(
+            ALVEO_U280, KernelConfig(grid=grid)).run(grid, overlapped=True)
+        single = AdvectionSession(
+            ALVEO_U280, KernelConfig(grid=grid, word_bytes=4)).run(
+                grid, overlapped=True)
+        # Transfer-bound kernel: halving bytes roughly doubles GFLOPS.
+        assert single.gflops > 1.5 * double.gflops
+
+    def test_single_precision_avoids_ddr_cliff(self):
+        """At 268M cells the double-precision working set (12.9 GB)
+        overflows HBM2, the single-precision one (6.4 GB) does not — so
+        narrow storage removes the paper's Fig. 6 performance cliff."""
+        grid = Grid.from_cells(PAPER_GRID_LABELS["268M"])
+        double = AdvectionSession(
+            ALVEO_U280, KernelConfig(grid=grid)).run(grid, overlapped=True)
+        single = AdvectionSession(
+            ALVEO_U280, KernelConfig(grid=grid, word_bytes=4)).run(
+                grid, overlapped=True)
+        assert double.memory == "ddr"
+        assert single.memory == "hbm2"
+        assert single.gflops > 3 * double.gflops
+
+    def test_single_precision_fits_gpu_at_536m(self):
+        """The V100 has no double-precision 536M point (25.8 GB > 16 GB);
+        at single precision the working set (12.9 GB) fits."""
+        grid = Grid.from_cells(PAPER_GRID_LABELS["536M"])
+        double = AdvectionSession(TESLA_V100, KernelConfig(grid=grid))
+        with pytest.raises(CapacityError):
+            double.run(grid, overlapped=True)
+        single = AdvectionSession(
+            TESLA_V100, KernelConfig(grid=grid, word_bytes=4))
+        result = single.run(grid, overlapped=True)
+        assert result.gflops > 0

@@ -1,0 +1,88 @@
+"""Tests for the dual-port memory access tracker."""
+
+import pytest
+
+from repro.errors import PortConflictError
+from repro.shiftbuffer.ports import MemoryPortTracker
+
+
+class TestAccounting:
+    def test_within_budget(self):
+        t = MemoryPortTracker()
+        t.begin_cycle()
+        t.access("m", 2)
+        t.end_cycle()
+        assert t.worst_case == 2
+        assert t.conflicts == 0
+
+    def test_enforcing_raises_on_third_access(self):
+        t = MemoryPortTracker(enforce=True)
+        t.begin_cycle()
+        t.access("m", 2)
+        with pytest.raises(PortConflictError, match="partition"):
+            t.access("m", 1)
+
+    def test_non_enforcing_records_conflicts(self):
+        t = MemoryPortTracker(enforce=False)
+        t.begin_cycle()
+        t.access("m", 5)
+        t.end_cycle()
+        assert t.conflicts == 1
+        assert t.worst_case == 5
+
+    def test_separate_memories_tracked_separately(self):
+        t = MemoryPortTracker()
+        t.begin_cycle()
+        t.access("a", 2)
+        t.access("b", 2)
+        t.end_cycle()
+        assert t.report("a").max_accesses_per_cycle == 2
+        assert t.report("b").max_accesses_per_cycle == 2
+
+    def test_access_outside_cycle_rejected(self):
+        t = MemoryPortTracker()
+        with pytest.raises(PortConflictError):
+            t.access("m")
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(ValueError):
+            MemoryPortTracker(ports=0)
+
+
+class TestReports:
+    def test_mean_accesses(self):
+        t = MemoryPortTracker()
+        for count in (1, 2, 1):
+            t.begin_cycle()
+            t.access("m", count)
+            t.end_cycle()
+        report = t.report("m")
+        assert report.total_accesses == 4
+        assert report.cycles == 3
+        assert report.mean_accesses_per_cycle == pytest.approx(4 / 3)
+
+    def test_unknown_memory_empty_report(self):
+        t = MemoryPortTracker()
+        report = t.report("ghost")
+        assert report.total_accesses == 0
+        assert report.mean_accesses_per_cycle == 0.0
+
+
+class TestAchievableII:
+    def test_ii_one_when_within_ports(self):
+        t = MemoryPortTracker()
+        t.begin_cycle()
+        t.access("m", 2)
+        t.end_cycle()
+        assert t.achievable_ii() == 1
+
+    @pytest.mark.parametrize("accesses,expected_ii", [(3, 2), (4, 2), (5, 3)])
+    def test_ii_ceil_of_pressure(self, accesses, expected_ii):
+        t = MemoryPortTracker(enforce=False)
+        t.begin_cycle()
+        t.access("m", accesses)
+        t.end_cycle()
+        assert t.achievable_ii() == expected_ii
+
+    def test_ii_one_when_untouched(self):
+        assert MemoryPortTracker().achievable_ii() == 1

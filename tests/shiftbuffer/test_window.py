@@ -1,0 +1,72 @@
+"""Tests for the 27-point stencil window."""
+
+import numpy as np
+import pytest
+
+from repro.shiftbuffer.window import StencilWindow
+
+
+def labelled_raw():
+    """raw[s, dy, dz] = 100*s + 10*dy + dz for unambiguous addressing."""
+    raw = np.zeros((3, 3, 3))
+    for s in range(3):
+        for dy in range(3):
+            for dz in range(3):
+                raw[s, dy, dz] = 100 * s + 10 * dy + dz
+    return raw
+
+
+class TestNormalWindow:
+    def test_center_maps_to_middle_registers(self):
+        w = StencilWindow(raw=labelled_raw(), center=(5, 5, 5))
+        assert w.at(0, 0, 0) == 111.0  # s=1, dy=1, dz=1
+        assert w.center_value == 111.0
+
+    @pytest.mark.parametrize("offset,expected", [
+        ((+1, 0, 0), 11.0),    # newer x plane -> s=0
+        ((-1, 0, 0), 211.0),   # older x plane -> s=2
+        ((0, +1, 0), 101.0),   # newer y -> dy=0
+        ((0, -1, 0), 121.0),   # older y -> dy=2
+        ((0, 0, +1), 110.0),   # newer z -> dz=0
+        ((0, 0, -1), 112.0),   # older z -> dz=2
+        ((+1, +1, +1), 0.0),
+        ((-1, -1, -1), 222.0),
+    ])
+    def test_offset_addressing(self, offset, expected):
+        w = StencilWindow(raw=labelled_raw(), center=(5, 5, 5))
+        assert w.at(*offset) == expected
+
+    def test_rejects_out_of_range_offsets(self):
+        w = StencilWindow(raw=labelled_raw(), center=(0, 0, 0))
+        with pytest.raises(ValueError):
+            w.at(2, 0, 0)
+        with pytest.raises(ValueError):
+            w.at(0, -2, 0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            StencilWindow(raw=np.zeros((3, 3)), center=(0, 0, 0))
+
+    def test_as_array_layout(self):
+        w = StencilWindow(raw=labelled_raw(), center=(0, 0, 0))
+        arr = w.as_array()
+        assert arr[1, 1, 1] == 111.0
+        assert arr[2, 1, 1] == 11.0  # di=+1
+
+
+class TestTopWindow:
+    def test_center_at_dz0(self):
+        w = StencilWindow(raw=labelled_raw(), center=(5, 5, 9), top=True)
+        assert w.at(0, 0, 0) == 110.0  # dz shifted by one register
+        assert w.at(0, 0, -1) == 111.0
+
+    def test_dk_plus_one_rejected(self):
+        w = StencilWindow(raw=labelled_raw(), center=(5, 5, 9), top=True)
+        with pytest.raises(ValueError, match="stale"):
+            w.at(0, 0, 1)
+
+    def test_as_array_nan_at_stale_plane(self):
+        w = StencilWindow(raw=labelled_raw(), center=(5, 5, 9), top=True)
+        arr = w.as_array()
+        assert np.all(np.isnan(arr[:, :, 2]))
+        assert not np.any(np.isnan(arr[:, :, :2]))

@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.device == "u280"
+        assert args.cells == "16M"
+        assert not args.no_overlap
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "--nx", "4", "--ny", "5", "--nz", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK (bitwise)") == 4
+
+
+class TestRun:
+    def test_run_overlapped(self, capsys):
+        assert main(["run", "--device", "u280", "--cells", "16M"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS overall" in out
+        assert "engine timeline" in out
+        assert "memory=hbm2" in out
+
+    def test_run_sequential_ddr(self, capsys):
+        assert main(["run", "--device", "u280", "--cells", "16M",
+                     "--no-overlap", "--memory", "ddr"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "memory=ddr" in out
+
+    def test_run_cpu(self, capsys):
+        assert main(["run", "--device", "cpu", "--cells", "16M"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon" in out
+
+    def test_unknown_size_is_error(self, capsys):
+        assert main(["run", "--cells", "12M"]) == 2
+
+    def test_capacity_error_reported(self, capsys):
+        assert main(["run", "--device", "v100", "--cells", "536M"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDevices:
+    def test_catalog_printed(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "6 kernels fit" in out
+        assert "5 kernels fit" in out
+        assert "V100" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "paper-vs-measured" in out
+
+
+class TestScorecard:
+    def test_scorecard_passes(self, capsys, tmp_path):
+        json_path = tmp_path / "summary.json"
+        assert main(["scorecard", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ordering claims" in out
+        assert json_path.exists()
+
+    def test_impossible_tolerance_fails(self, capsys):
+        assert main(["scorecard", "--tolerance", "0.0001"]) == 1
+
+
+class TestReport:
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["report", str(path)]) == 0
+        assert path.read_text().startswith("# Reproduction report")
+
+
+class TestTraceOption:
+    def test_run_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["run", "--device", "u280", "--cells", "16M",
+                     "--trace", str(trace)]) == 0
+        assert trace.exists()
+        assert "chrome://tracing" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Import hygiene: every subpackage must import standalone, in any order.
+
+A circular import can hide behind a lucky import order in the test suite
+(it did once, between ``repro.hardware`` and ``repro.kernel``); these
+tests import each entry point in a fresh interpreter to rule that out.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+ENTRY_POINTS = [
+    "repro",
+    "repro.core",
+    "repro.dataflow",
+    "repro.shiftbuffer",
+    "repro.kernel",
+    "repro.hardware",
+    "repro.runtime",
+    "repro.perf",
+    "repro.experiments",
+    "repro.precision",
+    "repro.distributed",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", ENTRY_POINTS)
+def test_subpackage_imports_standalone(module):
+    result = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+@pytest.mark.parametrize("first,second", [
+    ("repro.hardware", "repro.kernel"),   # the historical cycle
+    ("repro.kernel", "repro.hardware"),
+    ("repro.runtime", "repro.experiments"),
+    ("repro.precision", "repro.hardware"),
+])
+def test_import_order_independence(first, second):
+    result = subprocess.run(
+        [sys.executable, "-c", f"import {first}; import {second}"],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_public_api_surface():
+    """The documented top-level names resolve."""
+    import repro
+
+    assert repro.__version__
+    assert repro.constants.OPS_PER_CELL == 63
+    assert issubclass(repro.ReproError, Exception)
