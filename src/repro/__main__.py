@@ -1,5 +1,16 @@
 """Entry point for ``python -m repro``."""
 
+import os
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream consumer (e.g. `| head`) closed the pipe: exit quietly
+    # with the conventional SIGPIPE status instead of a traceback.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 141
+raise SystemExit(code)

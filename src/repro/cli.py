@@ -10,6 +10,9 @@ Commands
     Cross-check every kernel execution path against the reference.
 ``devices``
     Print the device catalog with kernel fits and clocks.
+``lint [specs...] [--device u280] [--kernels 6] [--json]``
+    Synthesis-time static diagnostics over dataflow graphs, kernel
+    configurations, and device budgets (non-zero exit on errors).
 """
 
 from __future__ import annotations
@@ -73,6 +76,37 @@ def build_parser() -> argparse.ArgumentParser:
                                    "reproduction report")
     p_report.add_argument("path", nargs="?", default=None,
                           help="output file (default: stdout)")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static diagnostics over graphs, configs and device budgets",
+    )
+    p_lint.add_argument("specs", nargs="*", metavar="SPEC",
+                        help="JSON design specs (see docs/linting.md); "
+                             "default: lint the kernel built from the flags")
+    p_lint.add_argument("--device", default="u280",
+                        help="target FPGA (u280 | stratix10)")
+    p_lint.add_argument("--cells", default="16M",
+                        help="problem size label "
+                             f"({', '.join(constants.PAPER_GRID_LABELS)})")
+    p_lint.add_argument("--nx", type=int, default=None)
+    p_lint.add_argument("--ny", type=int, default=None)
+    p_lint.add_argument("--nz", type=int, default=None)
+    p_lint.add_argument("--chunk-width", type=int, default=None)
+    p_lint.add_argument("--kernels", type=int, default=None,
+                        help="kernel replicas to budget-check")
+    p_lint.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes/prefixes/families "
+                             "to run (e.g. DF,RS201)")
+    p_lint.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes/prefixes/families "
+                             "to skip")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="non-zero exit on warnings too")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
     return parser
 
 
@@ -182,6 +216,88 @@ def _cmd_devices() -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json as json_module
+
+    from repro.core.grid import Grid
+    from repro.errors import ConfigurationError, LintError
+    from repro.hardware import device_by_name
+    from repro.kernel.config import KernelConfig
+    from repro.lint import load_builtin_rules
+    from repro.lint.runner import lint_kernel, run_lint
+    from repro.lint.spec import load_spec
+
+    registry = load_builtin_rules()
+    if args.list_rules:
+        for rule in registry:
+            print(f"{rule.code}  {rule.default_severity.value:<7}  "
+                  f"[{rule.family}] {rule.name}: {rule.description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+
+    targets = []
+    try:
+        if args.specs:
+            targets = [load_spec(path) for path in args.specs]
+        else:
+            if any(dim is not None for dim in (args.nx, args.ny, args.nz)):
+                if None in (args.nx, args.ny, args.nz):
+                    print("error: --nx/--ny/--nz must be given together",
+                          file=sys.stderr)
+                    return 2
+                grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+            else:
+                try:
+                    grid = Grid.from_cells(
+                        constants.PAPER_GRID_LABELS[args.cells])
+                except KeyError:
+                    print(f"unknown size {args.cells!r}; known: "
+                          f"{', '.join(constants.PAPER_GRID_LABELS)}",
+                          file=sys.stderr)
+                    return 2
+            try:
+                device = device_by_name(args.device)
+            except ConfigurationError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if not hasattr(device, "capacity"):
+                print(f"error: {device.name} is not an FPGA model; lint "
+                      f"needs a fabric capacity", file=sys.stderr)
+                return 2
+            config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
+                      if args.chunk_width else KernelConfig(grid=grid))
+            report = lint_kernel(config, device, args.kernels,
+                                 select=select, ignore=ignore,
+                                 subject=f"{args.device}:{args.cells}")
+            targets = [report]
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    reports = []
+    for target in targets:
+        if hasattr(target, "context"):  # a loaded spec
+            reports.append(run_lint(target.context, select=select,
+                                    ignore=ignore, subject=target.name))
+        else:  # already a report
+            reports.append(target)
+
+    if args.json:
+        payload = {
+            "ok": all(r.exit_code(strict=args.strict) == 0 for r in reports),
+            "reports": [r.to_dict() for r in reports],
+        }
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(report.render_text())
+    return max(r.exit_code(strict=args.strict) for r in reports)
+
+
 def _cmd_scorecard(args) -> int:
     from repro.experiments.summary import (
         build_scorecard,
@@ -211,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_devices()
         if args.command == "scorecard":
             return _cmd_scorecard(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "report":
             from repro.experiments.markdown_report import main as report_main
 

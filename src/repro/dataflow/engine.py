@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.monitors import Monitor
-from repro.errors import DataflowError
+from repro.errors import DataflowError, LintError
 
 __all__ = ["DataflowEngine", "RunStats"]
 
@@ -67,11 +67,18 @@ class DataflowEngine:
         Hard cap to bound runaway simulations.
     monitors:
         Optional probes sampled once per cycle.
+    lint:
+        When True, run the full graph-family lint pass
+        (:func:`repro.lint.lint_graph`) before the first cycle and raise
+        :class:`~repro.errors.LintError` on any error diagnostic — the
+        synthesis-time pre-flight the HLS tools would perform.  Off by
+        default: :meth:`DataflowGraph.validate` already covers the hard
+        structural errors, and tests deliberately run odd graphs.
     """
 
     def __init__(self, graph: DataflowGraph, *, max_cycles: int = 10_000_000,
                  monitors: list[Monitor] | None = None,
-                 stall_grace: int | None = None) -> None:
+                 stall_grace: int | None = None, lint: bool = False) -> None:
         if max_cycles < 1:
             raise DataflowError(f"max_cycles must be >= 1, got {max_cycles}")
         if stall_grace is not None and stall_grace < 1:
@@ -82,9 +89,19 @@ class DataflowEngine:
         self.max_cycles = max_cycles
         self.monitors = list(monitors or [])
         self.stall_grace = stall_grace
+        self.lint = lint
 
     def run(self) -> RunStats:
         """Simulate until quiescence and return run statistics."""
+        if self.lint:
+            from repro.lint import lint_graph
+
+            report = lint_graph(self.graph)
+            if not report.ok:
+                raise LintError(
+                    f"lint pre-flight failed for graph "
+                    f"{self.graph.name!r}:\n{report.render_text()}"
+                )
         self.graph.validate()
         order = self.graph.topological_order()
         # A machine can legitimately make no visible progress for up to the

@@ -9,13 +9,26 @@ requires explicit feedback streams, which this kernel does not use).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.dataflow.stage import Stage
 from repro.dataflow.stream import DEFAULT_DEPTH, Stream
 from repro.errors import GraphError
+from repro.lint.diagnostics import Diagnostic, Location, Severity
 
-__all__ = ["DataflowGraph"]
+__all__ = ["DataflowGraph", "Connection"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One stream together with its producer and consumer endpoints."""
+
+    stream: Stream
+    src: Stage
+    src_port: str
+    dst: Stage
+    dst_port: str
 
 
 class DataflowGraph:
@@ -110,15 +123,99 @@ class DataflowGraph:
                 dst, _ = self._consumers[stream_name]
                 yield self._stages[dst]
 
+    def connections(self) -> Iterator["Connection"]:
+        """Every stream with its endpoints, for topology analyses."""
+        for stream_name, (src, src_port) in self._producers.items():
+            dst, dst_port = self._consumers[stream_name]
+            yield Connection(
+                stream=self._streams[stream_name],
+                src=self._stages[src], src_port=src_port,
+                dst=self._stages[dst], dst_port=dst_port,
+            )
+
     # -- validation ------------------------------------------------------------
 
-    def validate(self) -> None:
-        """Check every port is wired and the topology is a DAG."""
+    def structural_diagnostics(self) -> list[Diagnostic]:
+        """Collect *every* structural violation in one pass.
+
+        Unlike :meth:`validate`, which fails on the first problem, this
+        returns the full list of findings the way an HLS synthesis report
+        would: all unconnected ports (``DF001``), an empty graph
+        (``DF002``), and cyclic topology (``DF003``).  The lint subsystem
+        (:mod:`repro.lint`) wraps these into its rule catalogue.
+        """
+        diagnostics: list[Diagnostic] = []
         if not self._stages:
-            raise GraphError(f"graph {self.name!r} has no stages")
+            diagnostics.append(Diagnostic(
+                code="DF002", severity=Severity.ERROR,
+                message=f"graph {self.name!r} has no stages",
+                location=Location("graph", self.name),
+                hint="add stages before validating or running the graph",
+            ))
+            return diagnostics
         for stage in self._stages.values():
-            stage.check_wired()
-        self.topological_order()  # raises on cycles
+            for direction, declared, bound in (
+                ("input", stage.input_ports, stage.inputs),
+                ("output", stage.output_ports, stage.outputs),
+            ):
+                for port in declared:
+                    if port not in bound:
+                        diagnostics.append(Diagnostic(
+                            code="DF001", severity=Severity.ERROR,
+                            message=(
+                                f"stage {stage.name!r} has unconnected "
+                                f"{direction} port {port!r}"
+                            ),
+                            location=Location("stage", stage.name, port),
+                            hint="connect the port or remove it from the "
+                                 "stage's declaration",
+                        ))
+        cyclic = self._cycle_members()
+        if cyclic:
+            diagnostics.append(Diagnostic(
+                code="DF003", severity=Severity.ERROR,
+                message=(
+                    f"graph {self.name!r} contains a cycle involving "
+                    f"{cyclic}"
+                ),
+                location=Location("graph", self.name),
+                hint="dataflow regions must be acyclic; feedback needs an "
+                     "explicit feedback stream outside this design",
+            ))
+        return diagnostics
+
+    def validate(self) -> None:
+        """Check every port is wired and the topology is a DAG.
+
+        Thin raising wrapper over :meth:`structural_diagnostics`: all
+        violations are collected, then reported in a single
+        :class:`~repro.errors.GraphError`.
+        """
+        errors = [d for d in self.structural_diagnostics()
+                  if d.severity is Severity.ERROR]
+        if errors:
+            raise GraphError("; ".join(d.message for d in errors))
+
+    def _cycle_members(self) -> list[str]:
+        """Stage names on cycles (empty list for a DAG); never raises."""
+        indegree = {name: 0 for name in self._stages}
+        edges: dict[str, list[str]] = {name: [] for name in self._stages}
+        for stream_name, (src, _) in self._producers.items():
+            dst, _ = self._consumers[stream_name]
+            edges[src].append(dst)
+            indegree[dst] += 1
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        visited = 0
+        while ready:
+            name = ready.pop()
+            visited += 1
+            for succ in edges[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if visited == len(self._stages):
+            return []
+        return sorted(n for n, d in indegree.items() if d > 0)
 
     def topological_order(self) -> list[Stage]:
         """Stages ordered so producers come before consumers.

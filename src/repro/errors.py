@@ -22,6 +22,7 @@ __all__ = [
     "ScheduleError",
     "CalibrationError",
     "ExperimentError",
+    "LintError",
 ]
 
 
@@ -79,3 +80,7 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was asked to run with unsupported parameters."""
+
+
+class LintError(ReproError):
+    """A lint pass failed: error diagnostics, or an unreadable design spec."""

@@ -156,12 +156,18 @@ class AdvectStage(Stage):
         self.nz = nz
         # Import here to avoid a cycle at package import time.
         from repro.kernel import compute
+        from repro.core.flops import field_flops
 
         self._fn = {
             "u": compute.advect_u,
             "v": compute.advect_v,
             "w": compute.advect_w,
         }[field]
+        #: Per-cell operation count of this stage, from the paper's 63/55
+        #: model; the accounting lint rules cross-check these against
+        #: :mod:`repro.core.flops` (AC303).
+        self.flops_per_cell = field_flops(field=field)
+        self.flops_per_cell_top = field_flops(top=True, field=field)
 
     def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
         (bundle,) = inputs["in"]

@@ -1,0 +1,185 @@
+"""Structured diagnostics: the currency of the synthesis-time linter.
+
+The HLS tool chains the paper relies on never *run* a broken design: the
+dataflow region is statically checked (port connectivity, II scheduling,
+RAM budgets) and violations come back as a report of coded messages.  This
+module is the reproduction's equivalent report format.
+
+A :class:`Diagnostic` is one finding: a stable code (``DF001``), a
+severity, a human message, an optional :class:`Location` naming the object
+at fault, and a fix hint.  A :class:`LintReport` is an ordered collection
+with text and JSON renderings and an exit-code policy (errors fail the
+build, warnings do not unless the caller opts into strictness).
+
+This module is deliberately a leaf: it imports nothing from the rest of
+:mod:`repro`, so low-level modules (the dataflow graph, the chunk planner)
+can *emit* diagnostics without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Location", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings would make the HLS tools reject the design (or the
+    simulator deadlock/corrupt results); ``WARNING`` findings synthesise
+    but degrade performance or waste resources; ``INFO`` findings are
+    advisory observations.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Location:
+    """The object a diagnostic points at.
+
+    ``kind`` is a coarse category (``stage``, ``stream``, ``config``,
+    ``device``, ``chunk``, ``model``); ``name`` identifies the instance;
+    ``detail`` optionally narrows further (a port, a resource axis).
+    """
+
+    kind: str
+    name: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = f"{self.kind}:{self.name}"
+        return f"{base}.{self.detail}" if self.detail else base
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: Location | None = None
+    hint: str = ""
+    rule: str = ""
+
+    def render(self) -> str:
+        """One-line human rendering, ``grep``- and editor-friendly."""
+        where = f" [{self.location}]" if self.location else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{self.code} {self.severity}:{where} {self.message}{hint}"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the schema the CLI emits)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": str(self.location) if self.location else None,
+            "hint": self.hint or None,
+            "rule": self.rule or None,
+        }
+
+
+def _sort_key(diag: Diagnostic) -> tuple:
+    return (diag.severity.rank, diag.code,
+            str(diag.location) if diag.location else "", diag.message)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """An ordered, queryable collection of diagnostics for one subject."""
+
+    subject: str = ""
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
+
+    @classmethod
+    def collect(cls, subject: str, diagnostics: list[Diagnostic] | tuple[Diagnostic, ...]) -> "LintReport":
+        """Build a report with diagnostics sorted by severity then code."""
+        return cls(subject=subject,
+                   diagnostics=tuple(sorted(diagnostics, key=_sort_key)))
+
+    # -- queries ---------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when the subject would pass synthesis (no errors)."""
+        return not self.errors
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """Distinct diagnostic codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """CLI exit status: 1 on errors (or warnings when ``strict``)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def merged(self, other: "LintReport") -> "LintReport":
+        """This report plus another's diagnostics (multi-subject runs)."""
+        subject = self.subject if self.subject == other.subject else (
+            f"{self.subject}+{other.subject}" if self.subject else other.subject
+        )
+        return LintReport.collect(
+            subject, list(self.diagnostics) + list(other.diagnostics)
+        )
+
+    # -- renderings ------------------------------------------------------------
+
+    def summary_line(self) -> str:
+        return (f"{self.subject or 'lint'}: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)")
+
+    def render_text(self) -> str:
+        """Multi-line human report (summary last, like compiler output)."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "codes": list(self.codes),
+                "ok": self.ok,
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,152 @@
+"""Accounting-family lint rules (``AC``): the 63/55-op FLOP model.
+
+Every GFLOPS figure in the reproduction divides by the FLOP counts of
+:mod:`repro.core.flops`; these rules pin that model to the paper's
+published numbers (63 operations per cell, 55 at the column top) and
+cross-check any per-stage accounting a dataflow graph carries against it.
+A drift here silently re-scales every performance result, which is why it
+is linted rather than trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro import constants
+from repro.core.flops import cell_flops, column_flops, grid_flops, strict_grid_flops
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import LintContext, rule
+
+#: The paper's published per-cell operation counts (section III).
+PAPER_OPS_PER_CELL: int = 63
+PAPER_OPS_PER_TOP_CELL: int = 55
+
+#: Below this strict/paper ratio the convention difference stops being
+#: negligible and quoted GFLOPS overstate executed operations.
+CONVENTION_RATIO_FLOOR: float = 0.9
+
+
+@rule("AC301", name="paper-op-model-drift", family="accounting",
+      description="the per-cell operation counts must match the paper's "
+                  "63/55 figures",
+      requires=())
+def check_paper_constants(context: LintContext) -> Iterable[Diagnostic]:
+    checks = (
+        ("cell_flops()", cell_flops(), PAPER_OPS_PER_CELL),
+        ("cell_flops(top=True)", cell_flops(top=True),
+         PAPER_OPS_PER_TOP_CELL),
+        ("constants.OPS_PER_CELL", constants.OPS_PER_CELL,
+         PAPER_OPS_PER_CELL),
+        ("constants.OPS_PER_TOP_CELL", constants.OPS_PER_TOP_CELL,
+         PAPER_OPS_PER_TOP_CELL),
+    )
+    for name, actual, expected in checks:
+        if actual != expected:
+            yield Diagnostic(
+                code="AC301", severity=Severity.ERROR,
+                message=(
+                    f"{name} = {actual}, but the paper's operation model "
+                    f"requires {expected}; every GFLOPS figure would be "
+                    f"silently re-scaled"
+                ),
+                location=Location("model", "core.flops", name),
+                hint="restore the 21-op per-field / 4-op top-saving "
+                     "constants, or recalibrate every experiment",
+            )
+
+
+@rule("AC302", name="column-accounting-mismatch", family="accounting",
+      description="column and grid FLOP totals must compose from the "
+                  "per-cell counts",
+      requires=("config",))
+def check_column_accounting(context: LintContext) -> Iterable[Diagnostic]:
+    config = context.config
+    assert config is not None
+    nz = config.grid.nz
+    expected_column = (nz - 1) * cell_flops() + cell_flops(top=True)
+    actual_column = column_flops(nz)
+    if actual_column != expected_column:
+        yield Diagnostic(
+            code="AC302", severity=Severity.ERROR,
+            message=(
+                f"column_flops({nz}) = {actual_column}, expected "
+                f"{expected_column} ((nz-1) full cells + one top cell)"
+            ),
+            location=Location("model", "core.flops", "column_flops"),
+        )
+    expected_grid = config.grid.num_columns * actual_column
+    actual_grid = grid_flops(config.grid)
+    if actual_grid != expected_grid:
+        yield Diagnostic(
+            code="AC302", severity=Severity.ERROR,
+            message=(
+                f"grid_flops = {actual_grid}, expected {expected_grid} "
+                f"(num_columns * column_flops)"
+            ),
+            location=Location("model", "core.flops", "grid_flops"),
+        )
+
+
+@rule("AC303", name="stage-flops-mismatch", family="accounting",
+      description="per-stage FLOP declarations in a graph must sum to the "
+                  "63/55-op cell model",
+      requires=("graph",))
+def check_stage_flops(context: LintContext) -> Iterable[Diagnostic]:
+    assert context.graph is not None
+    declaring = [s for s in context.graph.stages
+                 if getattr(s, "flops_per_cell", None) is not None]
+    if not declaring:
+        return
+    total = sum(s.flops_per_cell for s in declaring)
+    total_top = sum(
+        getattr(s, "flops_per_cell_top", s.flops_per_cell)
+        for s in declaring
+    )
+    if total != cell_flops():
+        yield Diagnostic(
+            code="AC303", severity=Severity.ERROR,
+            message=(
+                f"stages declare {total} operations per cell "
+                f"({', '.join(s.name for s in declaring)}), but the model "
+                f"requires {cell_flops()}"
+            ),
+            location=Location("graph", context.graph.name),
+            hint="each advect stage contributes 21 ops "
+                 "(constants.OPS_PER_FIELD)",
+        )
+    if total_top != cell_flops(top=True):
+        yield Diagnostic(
+            code="AC303", severity=Severity.ERROR,
+            message=(
+                f"stages declare {total_top} operations per column-top "
+                f"cell, but the model requires {cell_flops(top=True)}"
+            ),
+            location=Location("graph", context.graph.name),
+            hint="the one-sided vertical term saves 4 ops on the U and V "
+                 "stages only",
+        )
+
+
+@rule("AC304", name="convention-divergence", family="accounting",
+      description="the paper convention charges cells the numerics skip; "
+                  "on short columns the divergence inflates GFLOPS",
+      requires=("config",), severity=Severity.INFO)
+def check_convention_divergence(context: LintContext,
+                                ) -> Iterable[Diagnostic]:
+    config = context.config
+    assert config is not None
+    paper = grid_flops(config.grid)
+    strict = strict_grid_flops(config.grid)
+    ratio = strict / paper if paper else 1.0
+    if ratio < CONVENTION_RATIO_FLOOR:
+        yield Diagnostic(
+            code="AC304", severity=Severity.INFO,
+            message=(
+                f"paper-convention FLOPs exceed executed operations by "
+                f"{(1 - ratio):.0%} at nz={config.grid.nz}; quoted GFLOPS "
+                f"overstate executed work accordingly"
+            ),
+            location=Location("config", "kernel", "grid.nz"),
+            hint="quote strict_grid_flops alongside grid_flops for short "
+                 "columns",
+        )

@@ -1,0 +1,180 @@
+"""Graph-family lint rules (``DF``): dataflow-region structure.
+
+These are the properties the HLS tools verify when they elaborate a
+dataflow region: every port wired, acyclic topology, and FIFO sizing that
+cannot deadlock.  ``DF001``–``DF003`` delegate to
+:meth:`repro.dataflow.graph.DataflowGraph.structural_diagnostics`, which
+owns the structural pass (so :meth:`~repro.dataflow.graph.DataflowGraph.validate`
+and the linter can never disagree); ``DF004``–``DF006`` are lint-only
+analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dataflow.graph import Connection, DataflowGraph
+from repro.dataflow.stage import Stage
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import LintContext, rule
+
+__all__ = ["reconvergent_paths"]
+
+#: Cap on enumerated fork/join paths; real kernel graphs are tiny, this
+#: only guards against pathological inputs.
+_MAX_PATHS = 64
+
+
+def _structural(context: LintContext, code: str) -> Iterable[Diagnostic]:
+    assert context.graph is not None
+    return (d for d in context.graph.structural_diagnostics()
+            if d.code == code)
+
+
+@rule("DF001", name="unconnected-port", family="graph",
+      description="every declared stage port must be connected to exactly "
+                  "one stream",
+      requires=("graph",))
+def check_unconnected_ports(context: LintContext) -> Iterable[Diagnostic]:
+    return _structural(context, "DF001")
+
+
+@rule("DF002", name="empty-graph", family="graph",
+      description="a dataflow region must contain at least one stage",
+      requires=("graph",))
+def check_empty_graph(context: LintContext) -> Iterable[Diagnostic]:
+    return _structural(context, "DF002")
+
+
+@rule("DF003", name="cyclic-topology", family="graph",
+      description="the stage topology must be a DAG (no feedback streams)",
+      requires=("graph",))
+def check_cycles(context: LintContext) -> Iterable[Diagnostic]:
+    return _structural(context, "DF003")
+
+
+def _simple_paths(edges: dict[str, list[Connection]], src: str, dst: str,
+                  ) -> Iterator[tuple[Connection, ...]]:
+    """All simple stream paths from ``src`` to ``dst`` (DFS, bounded)."""
+    emitted = 0
+    stack: list[tuple[str, tuple[Connection, ...]]] = [(src, ())]
+    while stack and emitted < _MAX_PATHS:
+        node, path = stack.pop()
+        if node == dst and path:
+            emitted += 1
+            yield path
+            continue
+        for conn in edges.get(node, ()):
+            if any(c.dst.name == conn.dst.name for c in path):
+                continue  # already visited on this path
+            stack.append((conn.dst.name, path + (conn,)))
+
+
+def _path_latency(path: tuple[Connection, ...]) -> int:
+    """Cycles a token spends in the stages *between* fork and join."""
+    return sum(conn.dst.latency for conn in path[:-1])
+
+
+def _path_capacity(path: tuple[Connection, ...]) -> int:
+    """Tokens the path can buffer: FIFO slots plus in-flight pipeline."""
+    fifo = sum(conn.stream.depth for conn in path)
+    in_flight = sum(conn.dst.latency for conn in path[:-1])
+    return fifo + in_flight
+
+
+def reconvergent_paths(graph: DataflowGraph,
+                       ) -> Iterator[tuple[Stage, Stage,
+                                           list[tuple[Connection, ...]]]]:
+    """Yield (fork, join, paths) triples with two or more parallel paths."""
+    edges: dict[str, list[Connection]] = {}
+    indegree: dict[str, int] = {}
+    for conn in graph.connections():
+        edges.setdefault(conn.src.name, []).append(conn)
+        indegree[conn.dst.name] = indegree.get(conn.dst.name, 0) + 1
+    forks = [s for s in graph.stages if len(edges.get(s.name, ())) >= 2]
+    joins = [s for s in graph.stages if indegree.get(s.name, 0) >= 2]
+    for fork in forks:
+        for join in joins:
+            if fork.name == join.name:
+                continue
+            paths = list(_simple_paths(edges, fork.name, join.name))
+            if len(paths) >= 2:
+                yield fork, join, paths
+
+
+@rule("DF004", name="reconvergent-depth-mismatch", family="graph",
+      description="on fork/join (reconvergent) paths, the latency skew "
+                  "between branches must fit in the shallower branch's "
+                  "FIFO capacity, or the fork stalls the whole region",
+      requires=("graph",), severity=Severity.WARNING)
+def check_reconvergent_depths(context: LintContext) -> Iterable[Diagnostic]:
+    assert context.graph is not None
+    for fork, join, paths in reconvergent_paths(context.graph):
+        latencies = [_path_latency(p) for p in paths]
+        capacities = [_path_capacity(p) for p in paths]
+        slowest = max(latencies)
+        for path, latency, capacity in zip(paths, latencies, capacities):
+            skew = slowest - latency
+            if skew > capacity:
+                via = " -> ".join(
+                    [fork.name] + [c.dst.name for c in path]
+                )
+                yield Diagnostic(
+                    code="DF004", severity=Severity.WARNING,
+                    message=(
+                        f"reconvergent paths {fork.name!r} -> {join.name!r}: "
+                        f"branch via {via!r} buffers at most {capacity} "
+                        f"tokens but the slowest sibling branch lags by "
+                        f"{skew} cycles; the join will backpressure the "
+                        f"fork (deadlock risk with data-dependent rates)"
+                    ),
+                    location=Location("stage", fork.name),
+                    hint=f"deepen the branch FIFOs by at least "
+                         f"{skew - capacity} slots (stream depth= in "
+                         f"DataflowGraph.connect)",
+                )
+
+
+@rule("DF005", name="isolated-stage", family="graph",
+      description="a stage with no streams attached can never exchange "
+                  "data with the rest of the region",
+      requires=("graph",), severity=Severity.WARNING)
+def check_isolated_stages(context: LintContext) -> Iterable[Diagnostic]:
+    assert context.graph is not None
+    graph = context.graph
+    if len(graph.stages) < 2:
+        return
+    for stage in graph.stages:
+        declares_ports = stage.input_ports or stage.output_ports
+        if declares_ports and not stage.inputs and not stage.outputs:
+            yield Diagnostic(
+                code="DF005", severity=Severity.WARNING,
+                message=(
+                    f"stage {stage.name!r} is isolated: declared ports but "
+                    f"no stream reaches or leaves it"
+                ),
+                location=Location("stage", stage.name),
+                hint="connect the stage or drop it from the graph",
+            )
+
+
+@rule("DF006", name="single-register-fifo", family="graph",
+      description="a depth-1 FIFO cannot hold a produced value while the "
+                  "consumer is busy; producer and consumer run in "
+                  "lock-step, halving throughput on any hiccup",
+      requires=("graph",), severity=Severity.INFO)
+def check_shallow_streams(context: LintContext) -> Iterable[Diagnostic]:
+    assert context.graph is not None
+    for stream in context.graph.streams:
+        if stream.depth < 2:
+            yield Diagnostic(
+                code="DF006", severity=Severity.INFO,
+                message=(
+                    f"stream {stream.name!r} has depth {stream.depth}; "
+                    f"below the tool default of 2 (producer + consumer "
+                    f"register)"
+                ),
+                location=Location("stream", stream.name),
+                hint="use depth >= 2 unless the lock-step coupling is "
+                     "intentional",
+            )

@@ -1,0 +1,174 @@
+"""Kernel/chunking-family lint rules (``KC``): design parameters.
+
+Checks over a :class:`~repro.kernel.config.KernelConfig` and its implied
+:class:`~repro.shiftbuffer.chunking.ChunkPlan`.  The coverage rules
+(``KC101``–``KC103``, ``KC108``, ``KC109``) delegate to
+:meth:`ChunkPlan.coverage_diagnostics`, the same collector that backs
+``validate_coverage`` — the linter and the runtime can never disagree on
+what a broken plan is.  The remaining rules flag legal-but-costly designs:
+a chunk wider than the domain, an initiation interval above 1 (the URAM
+experiment of section III-A), chunk widths in the paper's
+burst-inefficiency regime, and high read redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.kernel.cycle_model import KernelCycleModel
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import LintContext, rule
+from repro.shiftbuffer.chunking import MIN_EFFICIENT_CHUNK
+
+#: Read amplification beyond which the overlap overhead stops being
+#: negligible (a 1.5x redundancy means streaming half the domain again).
+REDUNDANCY_THRESHOLD: float = 1.5
+
+
+def _coverage(context: LintContext, codes: tuple[str, ...],
+              ) -> Iterable[Diagnostic]:
+    plan = context.resolved_chunk_plan()
+    assert plan is not None
+    return (d for d in plan.coverage_diagnostics() if d.code in codes)
+
+
+@rule("KC101", name="halo-dominated-chunk", family="kernel",
+      description="chunks narrower than the seam overlap re-read more "
+                  "halo than they write interior",
+      requires=("chunk_plan",), severity=Severity.WARNING)
+def check_halo_dominated(context: LintContext) -> Iterable[Diagnostic]:
+    return _coverage(context, ("KC101",))
+
+
+@rule("KC102", name="chunk-seam-mismatch", family="kernel",
+      description="neighbouring chunks' write ranges must abut exactly "
+                  "(no gap, no double-write)",
+      requires=("chunk_plan",))
+def check_chunk_seams(context: LintContext) -> Iterable[Diagnostic]:
+    return _coverage(context, ("KC102",))
+
+
+@rule("KC103", name="chunk-coverage-incomplete", family="kernel",
+      description="the chunks must tile the entire interior",
+      requires=("chunk_plan",))
+def check_chunk_coverage(context: LintContext) -> Iterable[Diagnostic]:
+    return _coverage(context, ("KC103",))
+
+
+@rule("KC104", name="chunk-wider-than-domain", family="kernel",
+      description="a chunk width above the domain's NY is silently "
+                  "clamped; the configured width is misleading",
+      requires=("config",), severity=Severity.WARNING)
+def check_chunk_wider_than_domain(context: LintContext,
+                                  ) -> Iterable[Diagnostic]:
+    config = context.config
+    assert config is not None
+    if config.chunk_width > config.grid.ny:
+        yield Diagnostic(
+            code="KC104", severity=Severity.WARNING,
+            message=(
+                f"chunk width {config.chunk_width} exceeds the domain's "
+                f"NY={config.grid.ny}; the shift buffers are sized by the "
+                f"domain (buffer_ny={config.buffer_ny}) and chunking is a "
+                f"no-op"
+            ),
+            location=Location("config", "kernel", "chunk_width"),
+            hint=f"set chunk_width <= {config.grid.ny} (or leave it if the "
+                 f"config is reused across larger grids)",
+        )
+
+
+@rule("KC105", name="initiation-interval-hazard", family="kernel",
+      description="an effective II above 1 halves (or worse) the "
+                  "pipeline's throughput — the paper's URAM experiment",
+      requires=("config",), severity=Severity.WARNING)
+def check_ii_hazard(context: LintContext) -> Iterable[Diagnostic]:
+    config = context.config
+    assert config is not None
+    model = KernelCycleModel(config, read_ii=context.read_ii)
+    if model.effective_ii > 1:
+        culprit = ("external-memory read stage"
+                   if context.read_ii >= config.shift_buffer_ii
+                   else "shift-buffer stage")
+        yield Diagnostic(
+            code="KC105", severity=Severity.WARNING,
+            message=(
+                f"effective initiation interval is {model.effective_ii} "
+                f"(limited by the {culprit}); throughput drops to "
+                f"1/{model.effective_ii} cell per cycle"
+            ),
+            location=Location("config", "kernel", "shift_buffer_ii"),
+            hint="partition the shift-buffer arrays (II=1) or widen the "
+                 "memory path; see paper section III-A",
+        )
+    if not config.partitioned:
+        yield Diagnostic(
+            code="KC105", severity=Severity.WARNING,
+            message=(
+                "shift-buffer arrays are not partitioned: more than two "
+                "accesses hit one RAM per cycle, forcing the tools to "
+                "raise the initiation interval"
+            ),
+            location=Location("config", "kernel", "partitioned"),
+            hint="enable partitioning (HLS array_partition / manual split "
+                 "on Intel)",
+        )
+
+
+@rule("KC106", name="burst-inefficient-chunk", family="kernel",
+      description="chunk widths below the paper's measured threshold "
+                  "degrade external-memory burst efficiency",
+      requires=("chunk_plan",), severity=Severity.WARNING)
+def check_burst_efficiency(context: LintContext) -> Iterable[Diagnostic]:
+    plan = context.resolved_chunk_plan()
+    assert plan is not None
+    narrowest = min(chunk.write_width for chunk in plan.chunks)
+    if narrowest < MIN_EFFICIENT_CHUNK and plan.num_chunks > 1:
+        yield Diagnostic(
+            code="KC106", severity=Severity.WARNING,
+            message=(
+                f"narrowest chunk writes {narrowest} cells, below the "
+                f"paper's burst-efficiency threshold of "
+                f"{MIN_EFFICIENT_CHUNK}; short non-contiguous bursts "
+                f"degrade sustained memory bandwidth"
+            ),
+            location=Location("chunk", "plan", "chunk_width"),
+            hint=f"use a chunk width >= {MIN_EFFICIENT_CHUNK} (and ideally "
+                 f"one that divides NY)",
+        )
+
+
+@rule("KC107", name="high-read-redundancy", family="kernel",
+      description="overlap reads amplify external-memory traffic",
+      requires=("chunk_plan",), severity=Severity.WARNING)
+def check_read_redundancy(context: LintContext) -> Iterable[Diagnostic]:
+    plan = context.resolved_chunk_plan()
+    assert plan is not None
+    if plan.redundancy > REDUNDANCY_THRESHOLD:
+        yield Diagnostic(
+            code="KC107", severity=Severity.WARNING,
+            message=(
+                f"chunk overlap re-reads {plan.overlap_cells} of "
+                f"{plan.interior} interior cells "
+                f"(redundancy {plan.redundancy:.2f}x > "
+                f"{REDUNDANCY_THRESHOLD}x)"
+            ),
+            location=Location("chunk", "plan"),
+            hint="widen the chunks; redundancy falls as "
+                 "(width + 2*halo) / width",
+        )
+
+
+@rule("KC108", name="single-chunk-domain", family="kernel",
+      description="the whole domain fits one chunk; chunking adds nothing",
+      requires=("chunk_plan",), severity=Severity.INFO)
+def check_single_chunk(context: LintContext) -> Iterable[Diagnostic]:
+    return _coverage(context, ("KC108",))
+
+
+@rule("KC109", name="ragged-tail-chunk", family="kernel",
+      description="interior not divisible by the chunk width leaves a "
+                  "narrower tail chunk",
+      requires=("chunk_plan",), severity=Severity.INFO)
+def check_ragged_tail(context: LintContext) -> Iterable[Diagnostic]:
+    return _coverage(context, ("KC109",))

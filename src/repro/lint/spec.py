@@ -1,0 +1,229 @@
+"""JSON design specs: lintable descriptions of a kernel deployment.
+
+A spec file names a kernel configuration, a target device, a kernel
+count, and (optionally) an explicit dataflow-graph wiring.  It is the
+linter's input format for CI: the example specs under ``examples/graphs/``
+describe the paper's deployments and must lint clean, and a deliberately
+broken spec must fail.  Schema::
+
+    {
+      "name": "advection-u280",            // optional, defaults to filename
+      "device": "u280",                    // optional catalog alias
+      "num_kernels": 6,                    // optional replica count
+      "read_ii": 1,                        // optional memory-imposed II
+      "kernel": {                          // optional KernelConfig
+        "cells": "16M",                    //   or "grid": {"nx","ny","nz"}
+        "chunk_width": 64, "stream_depth": 4, "shift_buffer_ii": 1,
+        "advect_latency": 28, "memory_latency": 16,
+        "partitioned": true, "word_bytes": 8
+      },
+      "graph": "advection"                 // derived Fig. 2 wiring (default
+                                           // when "kernel" is present), or:
+      "graph": {
+        "stages": [{"name": "read", "outputs": ["out"], "ii": 1,
+                    "latency": 16, "flops_per_cell": null}, ...],
+        "streams": [{"src": "read.out", "dst": "shift.in", "depth": 4}]
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import constants
+from repro.core.grid import Grid
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import Stage
+from repro.errors import ConfigurationError, LintError
+from repro.kernel.config import KernelConfig
+from repro.lint.registry import LintContext
+
+__all__ = ["SpecStage", "LintTarget", "load_spec", "context_from_spec"]
+
+_KERNEL_KEYS = frozenset({
+    "cells", "grid", "chunk_width", "stream_depth", "shift_buffer_ii",
+    "advect_latency", "memory_latency", "partitioned", "word_bytes",
+})
+_TOP_KEYS = frozenset({
+    "name", "device", "num_kernels", "read_ii", "kernel", "graph",
+})
+
+
+class SpecStage(Stage):
+    """A structural stand-in stage declared by a spec file.
+
+    Carries ports, timing, and optional per-cell FLOP declarations, but no
+    functional behaviour — the linter analyses wiring and budgets, it
+    never simulates.
+    """
+
+    def __init__(self, name: str, *, inputs: tuple[str, ...] = (),
+                 outputs: tuple[str, ...] = (), ii: int = 1,
+                 latency: int = 1, flops_per_cell: int | None = None,
+                 flops_per_cell_top: int | None = None) -> None:
+        super().__init__(name, ii=ii, latency=latency)
+        self.input_ports = tuple(inputs)
+        self.output_ports = tuple(outputs)
+        self.flops_per_cell = flops_per_cell
+        self.flops_per_cell_top = flops_per_cell_top
+
+    def fire(self, cycle, inputs):  # pragma: no cover - never simulated
+        raise NotImplementedError(
+            f"SpecStage {self.name!r} is structural only"
+        )
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One lintable subject: a name plus its assembled context."""
+
+    name: str
+    context: LintContext
+
+
+def _require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise LintError(f"{what} must be a JSON object, got {type(value).__name__}")
+    return value
+
+
+def _build_grid(kernel_spec: Mapping[str, Any]) -> Grid:
+    if "grid" in kernel_spec:
+        dims = _require_mapping(kernel_spec["grid"], '"grid"')
+        try:
+            return Grid(nx=int(dims["nx"]), ny=int(dims["ny"]),
+                        nz=int(dims["nz"]))
+        except KeyError as missing:
+            raise LintError(f'"grid" needs nx/ny/nz; missing {missing}') from None
+    if "cells" in kernel_spec:
+        label = str(kernel_spec["cells"])
+        try:
+            return Grid.from_cells(constants.PAPER_GRID_LABELS[label])
+        except KeyError:
+            raise LintError(
+                f"unknown problem size {label!r}; known: "
+                f"{', '.join(constants.PAPER_GRID_LABELS)}"
+            ) from None
+    raise LintError('"kernel" spec needs either "cells" or "grid"')
+
+
+def _build_config(kernel_spec: Mapping[str, Any]) -> KernelConfig:
+    unknown = set(kernel_spec) - _KERNEL_KEYS
+    if unknown:
+        raise LintError(
+            f'unknown "kernel" keys {sorted(unknown)}; '
+            f"allowed: {sorted(_KERNEL_KEYS)}"
+        )
+    grid = _build_grid(kernel_spec)
+    params = {k: kernel_spec[k] for k in _KERNEL_KEYS
+              if k in kernel_spec and k not in ("cells", "grid")}
+    try:
+        return KernelConfig(grid=grid, **params)
+    except ConfigurationError as error:
+        raise LintError(f"invalid kernel configuration: {error}") from error
+
+
+def _split_endpoint(endpoint: str, what: str) -> tuple[str, str]:
+    stage, sep, port = str(endpoint).rpartition(".")
+    if not sep or not stage or not port:
+        raise LintError(
+            f'{what} endpoint {endpoint!r} must be "stage.port"'
+        )
+    return stage, port
+
+
+def _build_graph(graph_spec: Mapping[str, Any], name: str) -> DataflowGraph:
+    graph = DataflowGraph(name)
+    for stage_spec in graph_spec.get("stages", ()):
+        stage_spec = _require_mapping(stage_spec, "stage entry")
+        if "name" not in stage_spec:
+            raise LintError('every stage entry needs a "name"')
+        graph.add(SpecStage(
+            str(stage_spec["name"]),
+            inputs=tuple(stage_spec.get("inputs", ())),
+            outputs=tuple(stage_spec.get("outputs", ())),
+            ii=int(stage_spec.get("ii", 1)),
+            latency=int(stage_spec.get("latency", 1)),
+            flops_per_cell=stage_spec.get("flops_per_cell"),
+            flops_per_cell_top=stage_spec.get("flops_per_cell_top"),
+        ))
+    for stream_spec in graph_spec.get("streams", ()):
+        stream_spec = _require_mapping(stream_spec, "stream entry")
+        src, src_port = _split_endpoint(stream_spec.get("src", ""), "src")
+        dst, dst_port = _split_endpoint(stream_spec.get("dst", ""), "dst")
+        kwargs: dict[str, Any] = {}
+        if "depth" in stream_spec:
+            kwargs["depth"] = int(stream_spec["depth"])
+        if "name" in stream_spec:
+            kwargs["name"] = str(stream_spec["name"])
+        graph.connect(src, src_port, dst, dst_port, **kwargs)
+    return graph
+
+
+def context_from_spec(data: Mapping[str, Any], *,
+                      default_name: str = "spec") -> LintTarget:
+    """Assemble a :class:`LintTarget` from parsed spec JSON."""
+    data = _require_mapping(data, "spec")
+    unknown = set(data) - _TOP_KEYS
+    if unknown:
+        raise LintError(
+            f"unknown spec keys {sorted(unknown)}; allowed: "
+            f"{sorted(_TOP_KEYS)}"
+        )
+    name = str(data.get("name", default_name))
+
+    config = None
+    if "kernel" in data:
+        config = _build_config(_require_mapping(data["kernel"], '"kernel"'))
+
+    device = None
+    if "device" in data:
+        from repro.hardware.devices import device_by_name
+
+        try:
+            device = device_by_name(str(data["device"]))
+        except ConfigurationError as error:
+            raise LintError(str(error)) from error
+        if not hasattr(device, "capacity"):
+            raise LintError(
+                f"device {data['device']!r} is not an FPGA model; resource "
+                f"rules need a fabric capacity"
+            )
+
+    graph_spec = data.get("graph", "advection" if config else None)
+    graph = None
+    if graph_spec == "advection":
+        if config is None:
+            raise LintError('"graph": "advection" needs a "kernel" spec')
+        from repro.lint.builders import build_structural_graph
+
+        graph = build_structural_graph(
+            config, name=name, read_ii=int(data.get("read_ii", 1))
+        )
+    elif graph_spec is not None:
+        graph = _build_graph(_require_mapping(graph_spec, '"graph"'), name)
+
+    num_kernels = data.get("num_kernels")
+    return LintTarget(name=name, context=LintContext(
+        graph=graph,
+        config=config,
+        device=device,
+        num_kernels=None if num_kernels is None else int(num_kernels),
+        read_ii=int(data.get("read_ii", 1)),
+    ))
+
+
+def load_spec(path: str | Path) -> LintTarget:
+    """Load and assemble one spec file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise LintError(f"cannot read spec {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise LintError(f"spec {path} is not valid JSON: {error}") from error
+    return context_from_spec(data, default_name=path.stem)

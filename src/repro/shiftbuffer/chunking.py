@@ -13,9 +13,10 @@ data-set and a shorter kernel execution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ChunkingError
+from repro.lint.diagnostics import Diagnostic, Location, Severity
 
 __all__ = ["Chunk", "ChunkPlan", "plan_chunks"]
 
@@ -74,6 +75,7 @@ class ChunkPlan:
     interior: int
     chunk_width: int
     chunks: tuple[Chunk, ...]
+    halo: int = field(default=HALO)
 
     @property
     def num_chunks(self) -> int:
@@ -87,31 +89,112 @@ class ChunkPlan:
     @property
     def overlap_cells(self) -> int:
         """Extra cells read due to chunking, relative to one big chunk."""
-        return self.total_read_cells - (self.interior + 2 * HALO)
+        return self.total_read_cells - (self.interior + 2 * self.halo)
 
     @property
     def redundancy(self) -> float:
         """Read amplification factor (1.0 = no overlap overhead)."""
-        return self.total_read_cells / (self.interior + 2 * HALO)
+        return self.total_read_cells / (self.interior + 2 * self.halo)
 
-    def validate_coverage(self) -> None:
-        """Check the chunks tile the interior exactly once, in order."""
-        cursor = HALO
+    def coverage_diagnostics(self) -> list[Diagnostic]:
+        """Every coverage finding, as structured diagnostics.
+
+        Errors (``KC102`` seam gap/overlap, ``KC103`` interior not fully
+        covered) mean the plan would corrupt results; warnings and infos
+        flag legal-but-questionable plans: ``KC101`` chunks narrower than
+        the seam overlap (halo-dominated reads), ``KC108`` a single-chunk
+        domain (chunking is a no-op), ``KC109`` a ragged tail chunk
+        (interior not divisible by the chunk width).
+        """
+        diagnostics: list[Diagnostic] = []
+        if not self.chunks:
+            diagnostics.append(Diagnostic(
+                code="KC103", severity=Severity.ERROR,
+                message=f"plan has no chunks for interior {self.interior}",
+                location=Location("chunk", "plan"),
+                hint="plan_chunks() always produces at least one chunk; "
+                     "hand-built plans must too",
+            ))
+            return diagnostics
+        if self.chunk_width < 2 * self.halo:
+            diagnostics.append(Diagnostic(
+                code="KC101", severity=Severity.WARNING,
+                message=(
+                    f"chunk width {self.chunk_width} is narrower than the "
+                    f"{2 * self.halo}-cell seam overlap; halo cells dominate "
+                    f"every read (redundancy {self.redundancy:.2f}x)"
+                ),
+                location=Location("chunk", "plan", "chunk_width"),
+                hint=f"use a chunk width of at least "
+                     f"{max(2 * self.halo, MIN_EFFICIENT_CHUNK)}",
+            ))
+        cursor = self.halo
         for chunk in self.chunks:
             if chunk.write_start != cursor:
-                raise ChunkingError(
-                    f"chunk {chunk.index} writes from {chunk.write_start}, "
-                    f"expected {cursor}: gap or overlap in coverage"
-                )
+                kind = "overlap" if chunk.write_start < cursor else "gap"
+                diagnostics.append(Diagnostic(
+                    code="KC102", severity=Severity.ERROR,
+                    message=(
+                        f"chunk {chunk.index} writes from "
+                        f"{chunk.write_start}, expected {cursor}: {kind} in "
+                        f"coverage"
+                    ),
+                    location=Location("chunk", str(chunk.index),
+                                      "write_start"),
+                    hint="neighbouring chunks must abut exactly; only the "
+                         "*read* ranges may overlap (by 2*halo cells)",
+                ))
             cursor = chunk.write_stop
-        if cursor != self.interior + HALO:
-            raise ChunkingError(
-                f"chunks cover interior up to {cursor - HALO}, expected "
-                f"{self.interior}"
-            )
+        if cursor != self.interior + self.halo:
+            diagnostics.append(Diagnostic(
+                code="KC103", severity=Severity.ERROR,
+                message=(
+                    f"chunks cover interior up to {cursor - self.halo}, "
+                    f"expected {self.interior}"
+                ),
+                location=Location("chunk", "plan"),
+                hint="the last chunk's write_stop must reach the end of "
+                     "the interior",
+            ))
+        if self.num_chunks == 1:
+            diagnostics.append(Diagnostic(
+                code="KC108", severity=Severity.INFO,
+                message=(
+                    f"single-chunk domain (interior {self.interior} <= "
+                    f"chunk width {self.chunk_width}): no seam overlap, "
+                    f"on-chip buffers sized by the domain itself"
+                ),
+                location=Location("chunk", "plan"),
+            ))
+        elif self.chunks[-1].write_width != self.chunk_width:
+            diagnostics.append(Diagnostic(
+                code="KC109", severity=Severity.INFO,
+                message=(
+                    f"interior {self.interior} not divisible by chunk width "
+                    f"{self.chunk_width}: tail chunk {self.chunks[-1].index} "
+                    f"is {self.chunks[-1].write_width} wide"
+                ),
+                location=Location("chunk", str(self.chunks[-1].index)),
+                hint="a ragged tail is correct but slightly less "
+                     "burst-efficient; divisible widths avoid it",
+            ))
+        return diagnostics
+
+    def validate_coverage(self) -> None:
+        """Check the chunks tile the interior exactly once, in order.
+
+        Thin raising wrapper over :meth:`coverage_diagnostics`: collects
+        every violation, then reports all error-severity findings in one
+        :class:`~repro.errors.ChunkingError`.
+        """
+        errors = [d for d in self.coverage_diagnostics()
+                  if d.severity is Severity.ERROR]
+        if errors:
+            raise ChunkingError("; ".join(d.message for d in errors))
 
 
-def plan_chunks(interior: int, chunk_width: int) -> ChunkPlan:
+def plan_chunks(interior: int, chunk_width: int, *,
+                halo: int = HALO) -> ChunkPlan:
     """Split an axis of ``interior`` cells into chunks of ``chunk_width``.
 
     Parameters
@@ -120,31 +203,37 @@ def plan_chunks(interior: int, chunk_width: int) -> ChunkPlan:
         Number of computational cells along the axis (halo excluded).
     chunk_width:
         Interior cells per chunk (the on-chip buffer must hold
-        ``chunk_width + 2`` cells).  The final chunk may be narrower.
+        ``chunk_width + 2 * halo`` cells).  The final chunk may be
+        narrower.
+    halo:
+        Stencil radius (1 for the PW scheme; larger radii serve the
+        radius-r :class:`~repro.shiftbuffer.general.GeneralShiftBuffer`).
 
     Returns
     -------
     ChunkPlan
         Chunks in ascending order; neighbouring chunks' *read* ranges
-        overlap by exactly ``2 * HALO`` cells, as in Fig. 4.
+        overlap by exactly ``2 * halo`` cells, as in Fig. 4.
     """
     if interior < 1:
         raise ChunkingError(f"interior must be >= 1, got {interior}")
     if chunk_width < 1:
         raise ChunkingError(f"chunk_width must be >= 1, got {chunk_width}")
+    if halo < 1:
+        raise ChunkingError(f"halo must be >= 1, got {halo}")
 
     chunks: list[Chunk] = []
     start = 0  # interior coordinate
     index = 0
     while start < interior:
         width = min(chunk_width, interior - start)
-        write_start = HALO + start
+        write_start = halo + start
         write_stop = write_start + width
         chunks.append(
             Chunk(
                 index=index,
-                read_start=write_start - HALO,
-                read_stop=write_stop + HALO,
+                read_start=write_start - halo,
+                read_stop=write_stop + halo,
                 write_start=write_start,
                 write_stop=write_stop,
             )
@@ -153,6 +242,6 @@ def plan_chunks(interior: int, chunk_width: int) -> ChunkPlan:
         index += 1
 
     plan = ChunkPlan(interior=interior, chunk_width=chunk_width,
-                     chunks=tuple(chunks))
+                     chunks=tuple(chunks), halo=halo)
     plan.validate_coverage()
     return plan

@@ -1,0 +1,169 @@
+"""The `repro lint` CLI: exit codes, JSON schema, spec loading.
+
+Includes the acceptance fixture from the linter's design brief: one
+deliberately broken spec (unconnected port, over-budget kernel count, bad
+chunk width) must produce at least three distinct diagnostic codes in a
+single invocation and exit non-zero, while the example specs shipped under
+examples/graphs/ must lint clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint.spec import load_spec
+
+EXAMPLES = sorted(
+    str(p) for p in (Path(__file__).resolve().parents[2]
+                     / "examples" / "graphs").glob("*.json")
+)
+
+BROKEN_SPEC = {
+    "name": "deliberately-broken",
+    "device": "u280",
+    "num_kernels": 7,            # RS201: one over the paper's U280 limit
+    "kernel": {
+        "cells": "16M",
+        "chunk_width": 1,        # KC101/KC106/KC107: halo-dominated chunks
+    },
+    "graph": {
+        "stages": [
+            {"name": "read", "outputs": ["out"]},
+            {"name": "sink", "inputs": ["a", "b"]},   # DF001: b dangles
+        ],
+        "streams": [
+            {"src": "read.out", "dst": "sink.a", "depth": 4},
+        ],
+    },
+}
+
+
+@pytest.fixture
+def broken_spec(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps(BROKEN_SPEC))
+    return str(path)
+
+
+class TestAcceptance:
+    def test_examples_exist(self):
+        assert len(EXAMPLES) >= 2
+
+    def test_example_specs_lint_clean(self, capsys):
+        assert main(["lint", *EXAMPLES]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_broken_spec_reports_three_codes_and_fails(self, capsys,
+                                                       broken_spec):
+        assert main(["lint", "--json", broken_spec]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        (report,) = payload["reports"]
+        codes = set(report["summary"]["codes"])
+        assert len(codes) >= 3
+        assert "DF001" in codes   # graph family
+        assert "RS201" in codes   # resource family
+        assert codes & {"KC101", "KC106", "KC107"}  # chunking family
+
+
+class TestJsonSchema:
+    def test_report_schema(self, capsys, broken_spec):
+        main(["lint", "--json", broken_spec])
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"ok", "reports"}
+        (report,) = payload["reports"]
+        assert report["subject"] == "deliberately-broken"
+        summary = report["summary"]
+        assert set(summary) == {"errors", "warnings", "infos", "codes", "ok"}
+        assert summary["errors"] >= 2 and summary["ok"] is False
+        for diag in report["diagnostics"]:
+            assert set(diag) == {"code", "severity", "message", "location",
+                                 "hint", "rule"}
+            assert diag["severity"] in ("error", "warning", "info")
+
+    def test_diagnostics_sorted_errors_first(self, capsys, broken_spec):
+        main(["lint", "--json", broken_spec])
+        payload = json.loads(capsys.readouterr().out)
+        severities = [d["severity"]
+                      for d in payload["reports"][0]["diagnostics"]]
+        rank = {"error": 0, "warning": 1, "info": 2}
+        assert severities == sorted(severities, key=rank.__getitem__)
+
+
+class TestFlagDrivenLint:
+    def test_paper_deployments_pass(self, capsys):
+        assert main(["lint", "--device", "u280", "--kernels", "6"]) == 0
+        assert main(["lint", "--device", "stratix10", "--kernels", "5"]) == 0
+
+    def test_over_budget_kernel_count_fails(self, capsys):
+        assert main(["lint", "--device", "u280", "--kernels", "7"]) == 1
+        assert "RS201" in capsys.readouterr().out
+        assert main(["lint", "--device", "stratix10", "--kernels", "6"]) == 1
+
+    def test_explicit_grid_flags(self, capsys):
+        assert main(["lint", "--nx", "8", "--ny", "64", "--nz", "8"]) == 0
+
+    def test_partial_grid_flags_are_an_error(self, capsys):
+        assert main(["lint", "--nx", "8"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_strict_promotes_warnings(self, capsys):
+        argv = ["lint", "--chunk-width", "1", "--ignore", "RS"]
+        assert main(argv) == 0
+        assert main([*argv, "--strict"]) == 1
+
+    def test_select_and_ignore(self, capsys):
+        assert main(["lint", "--device", "u280", "--kernels", "7",
+                     "--ignore", "RS201"]) == 0
+        assert main(["lint", "--device", "u280", "--kernels", "7",
+                     "--select", "graph"]) == 0
+
+    def test_non_fpga_device_is_usage_error(self, capsys):
+        assert main(["lint", "--device", "cpu"]) == 2
+        assert "not an FPGA" in capsys.readouterr().err
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DF001", "KC101", "RS201", "AC301"):
+            assert code in out
+
+
+class TestSpecLoading:
+    def test_invalid_json_is_lint_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(LintError, match="not valid JSON"):
+            load_spec(bad)
+        assert main(["lint", str(bad)]) == 2
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"kernel": {"cells": "16M"},
+                                    "frobnicate": 1}))
+        with pytest.raises(LintError, match="unknown spec keys"):
+            load_spec(path)
+
+    def test_unknown_size_label_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"kernel": {"cells": "12M"}}))
+        with pytest.raises(LintError, match="unknown problem size"):
+            load_spec(path)
+
+    def test_bad_stream_endpoint_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"graph": {
+            "stages": [{"name": "a", "outputs": ["out"]}],
+            "streams": [{"src": "a", "dst": "a.out"}],
+        }}))
+        with pytest.raises(LintError, match="stage.port"):
+            load_spec(path)
+
+    def test_spec_name_defaults_to_filename(self, tmp_path):
+        path = tmp_path / "mydesign.json"
+        path.write_text(json.dumps({"kernel": {"cells": "16M"}}))
+        assert load_spec(path).name == "mydesign"

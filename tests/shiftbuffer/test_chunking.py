@@ -88,6 +88,81 @@ class TestValidation:
             broken.validate_coverage()
 
 
+class TestCoverageDiagnostics:
+    """Edge cases of the collect-all coverage checker."""
+
+    def test_clean_plan_has_no_errors(self):
+        diags = plan_chunks(64, 16).coverage_diagnostics()
+        assert not [d for d in diags if d.severity.value == "error"]
+
+    def test_chunk_width_smaller_than_halo_warns_not_raises(self):
+        # width 1 < 2*halo: legal (the tail of any odd split looks like
+        # this) but halo-dominated — a warning, never a ChunkingError.
+        plan = plan_chunks(6, 1)
+        plan.validate_coverage()
+        codes = [d.code for d in plan.coverage_diagnostics()]
+        assert "KC101" in codes
+
+    def test_single_chunk_domain_is_informational(self):
+        plan = plan_chunks(10, 64)
+        (diag,) = [d for d in plan.coverage_diagnostics()
+                   if d.code == "KC108"]
+        assert diag.severity.value == "info"
+        plan.validate_coverage()
+
+    def test_indivisible_interior_notes_ragged_tail(self):
+        plan = plan_chunks(10, 4)  # 4 + 4 + 2
+        (diag,) = [d for d in plan.coverage_diagnostics()
+                   if d.code == "KC109"]
+        assert "tail chunk 2" in diag.message
+        plan.validate_coverage()
+
+    def test_divisible_interior_has_no_tail_note(self):
+        codes = [d.code for d in plan_chunks(12, 4).coverage_diagnostics()]
+        assert "KC109" not in codes
+
+    def test_empty_plan_is_an_error(self):
+        broken = ChunkPlan(interior=8, chunk_width=4, chunks=())
+        codes = [d.code for d in broken.coverage_diagnostics()]
+        assert codes == ["KC103"]
+        with pytest.raises(ChunkingError):
+            broken.validate_coverage()
+
+    def test_all_violations_collected_in_one_pass(self):
+        good = plan_chunks(12, 4)
+        # Keep only the middle chunk: a leading gap AND short coverage.
+        broken = ChunkPlan(interior=12, chunk_width=4,
+                           chunks=(good.chunks[1],))
+        codes = [d.code for d in broken.coverage_diagnostics()]
+        assert "KC102" in codes and "KC103" in codes
+        with pytest.raises(ChunkingError) as err:
+            broken.validate_coverage()
+        assert "gap" in str(err.value) and "cover" in str(err.value)
+
+
+class TestWiderHalo:
+    """plan_chunks(halo=r) serves the general radius-r shift buffer."""
+
+    def test_reads_overlap_by_two_halos(self):
+        plan = plan_chunks(16, 4, halo=2)
+        for left, right in zip(plan.chunks, plan.chunks[1:]):
+            assert left.read_stop - right.read_start == 4
+        plan.validate_coverage()
+
+    def test_halo_recorded_on_plan(self):
+        assert plan_chunks(16, 4, halo=3).halo == 3
+        assert plan_chunks(16, 4).halo == HALO
+
+    def test_redundancy_accounts_for_halo(self):
+        narrow = plan_chunks(16, 4, halo=2)
+        assert narrow.overlap_cells == 3 * 4  # 3 seams, 2*halo each
+        assert narrow.redundancy > 1.0
+
+    def test_rejects_nonpositive_halo(self):
+        with pytest.raises(ChunkingError):
+            plan_chunks(16, 4, halo=0)
+
+
 @settings(max_examples=50, deadline=None)
 @given(interior=st.integers(1, 400), chunk_width=st.integers(1, 96))
 def test_property_plans_always_valid(interior, chunk_width):
