@@ -1,0 +1,124 @@
+"""Perf-regression harness for the engine's fast-forward mode.
+
+Runs the full Fig. 2 kernel simulation twice on the same grid — exact
+per-cycle ticking and fast-forward mode — verifies the two are
+bit-for-bit identical (cycle counts, per-stage fires, output arrays), and
+records wall times and the speedup to ``benchmarks/BENCH_dataflow.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py              # 64^3
+    PYTHONPATH=src python benchmarks/bench_engine.py --nx 32 --ny 32 \
+        --nz 32 --min-speedup 5
+
+Exit status is non-zero if the modes disagree or the speedup falls below
+``--min-speedup`` (default 10x, the target the fast path is sized for on
+the 64^3 grid).  ``--smoke`` shrinks the grid for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.kernel.config import KernelConfig
+from repro.kernel.simulate import simulate_kernel
+from repro.perf.bench import BenchRecord, BenchSuite, render_table, speedup
+
+DEFAULT_OUTPUT = "benchmarks/BENCH_dataflow.json"
+
+
+def run_once(config, fields, mode: str):
+    start = time.perf_counter()
+    result = simulate_kernel(config, fields, mode=mode)
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nx", type=int, default=64)
+    parser.add_argument("--ny", type=int, default=64)
+    parser.add_argument("--nz", type=int, default=64)
+    parser.add_argument("--chunk-width", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="fail below this fast/exact speedup")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid + relaxed gate (CI smoke run)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="record file (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.nx, args.ny, args.nz = 16, 16, 16
+        args.min_speedup = min(args.min_speedup, 1.5)
+
+    grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    fields = random_wind(grid, seed=args.seed, magnitude=2.0)
+    config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
+              if args.chunk_width else KernelConfig(grid=grid))
+    label = f"{args.nx}x{args.ny}x{args.nz}"
+
+    exact, t_exact = run_once(config, fields, "exact")
+    fast, t_fast = run_once(config, fields, "fast")
+
+    # The speedup is only meaningful if fast mode is *the same machine*.
+    errors = []
+    if exact.total_cycles != fast.total_cycles:
+        errors.append(f"cycle counts differ: {exact.total_cycles} vs "
+                      f"{fast.total_cycles}")
+    agg_exact, agg_fast = exact.aggregate_stats(), fast.aggregate_stats()
+    if agg_exact.fires != agg_fast.fires:
+        errors.append("per-stage fire counts differ")
+    if agg_exact.stalls != agg_fast.stalls:
+        errors.append("per-stage stall counts differ")
+    for name in ("su", "sv", "sw"):
+        if not np.array_equal(getattr(exact.sources, name),
+                              getattr(fast.sources, name)):
+            errors.append(f"{name} arrays not bit-identical")
+    if errors:
+        for err in errors:
+            print(f"MISMATCH: {err}", file=sys.stderr)
+        return 1
+
+    suite = BenchSuite(context={
+        "grid": label,
+        "chunk_width": config.chunk_width,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    })
+    rec_exact = BenchRecord(
+        name=f"kernel-{label}-exact", wall_seconds=t_exact,
+        cycles=exact.total_cycles, cells=grid.num_cells, mode="exact")
+    rec_fast = BenchRecord(
+        name=f"kernel-{label}-fast", wall_seconds=t_fast,
+        cycles=fast.total_cycles, cells=grid.num_cells, mode="fast",
+        extra={"ff_advances": agg_fast.ff_advances,
+               "ff_cycles": agg_fast.ff_cycles})
+    suite.add(rec_exact)
+    suite.add(rec_fast)
+    gain = speedup(rec_exact, rec_fast)
+    suite.context["speedup"] = round(gain, 2)
+    path = suite.write(args.output)
+
+    print(render_table(suite.records))
+    print(f"\nspeedup: {gain:.2f}x "
+          f"({agg_fast.ff_cycles}/{fast.total_cycles} cycles "
+          f"fast-forwarded in {agg_fast.ff_advances} advances)")
+    print(f"records written to {path}")
+    if gain < args.min_speedup:
+        print(f"FAIL: speedup {gain:.2f}x below the {args.min_speedup:.1f}x "
+              f"floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,9 @@ Commands
     One end-to-end run on a device model, with a Gantt timeline.
 ``validate [--nx 6 --ny 9 --nz 5]``
     Cross-check every kernel execution path against the reference.
+``simulate [--nx 32 --ny 32 --nz 32] [--mode fast] [--kernels N]``
+    Cycle-accurate simulation of one kernel invocation; ``--mode fast``
+    fast-forwards steady-state phases (identical cycle counts and data).
 ``devices``
     Print the device catalog with kernel fits and clocks.
 ``lint [specs...] [--device u280] [--kernels 6] [--json]``
@@ -61,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--ny", type=int, default=9)
     p_val.add_argument("--nz", type=int, default=5)
     p_val.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate",
+                           help="cycle-accurate kernel simulation")
+    p_sim.add_argument("--nx", type=int, default=32)
+    p_sim.add_argument("--ny", type=int, default=32)
+    p_sim.add_argument("--nz", type=int, default=32)
+    p_sim.add_argument("--chunk-width", type=int, default=None)
+    p_sim.add_argument("--read-ii", type=int, default=1,
+                       help="read-stage initiation interval")
+    p_sim.add_argument("--mode", choices=("exact", "fast"), default="exact",
+                       help="'fast' fast-forwards steady-state phases "
+                            "(same results, far less wall time)")
+    p_sim.add_argument("--kernels", type=int, default=None,
+                       help="co-simulate N kernels sharing one memory")
+    p_sim.add_argument("--memory-rate", type=float, default=None,
+                       help="shared-memory cell reads per cycle "
+                            "(multi-kernel only)")
+    p_sim.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("devices", help="print the device catalog")
 
@@ -188,6 +209,49 @@ def _cmd_validate(args) -> int:
         print(f"{name:>28}: {status}")
         failed += diff != 0.0
     return 1 if failed else 0
+
+
+def _cmd_simulate(args) -> int:
+    import time
+
+    from repro.core.grid import Grid
+    from repro.core.wind import random_wind
+    from repro.kernel.config import KernelConfig
+    from repro.kernel.multi_simulate import simulate_multi_kernel
+    from repro.kernel.simulate import simulate_kernel
+
+    grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    fields = random_wind(grid, seed=args.seed, magnitude=2.0)
+    config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
+              if args.chunk_width else KernelConfig(grid=grid))
+
+    start = time.perf_counter()
+    if args.kernels:
+        multi = simulate_multi_kernel(
+            config, fields, num_kernels=args.kernels,
+            memory_cells_per_cycle=args.memory_rate, mode=args.mode)
+        elapsed = time.perf_counter() - start
+        print(f"grid:     {grid.interior_shape}, "
+              f"{args.kernels} kernels, mode={args.mode}")
+        print(f"cycles:   {multi.total_cycles} "
+              f"(chunks: {multi.chunk_cycles})")
+        print(f"memory:   {multi.arbiter.grants} grants, "
+              f"{multi.arbiter.denials} denials "
+              f"({multi.read_starvation_fraction:.1%} starved)")
+    else:
+        result = simulate_kernel(config, fields, read_ii=args.read_ii,
+                                 mode=args.mode)
+        elapsed = time.perf_counter() - start
+        stats = result.aggregate_stats()
+        print(f"grid:     {grid.interior_shape}, mode={args.mode}")
+        print(f"cycles:   {result.total_cycles} "
+              f"({result.cells_per_cycle:.3f} cells/cycle)")
+        if stats.ff_advances:
+            print(f"forward:  {stats.ff_cycles} cycles skipped in "
+                  f"{stats.ff_advances} analytic advances "
+                  f"({stats.ff_cycles / result.total_cycles:.1%} of the run)")
+    print(f"wall:     {elapsed:.2f} s")
+    return 0
 
 
 def _cmd_devices() -> int:
@@ -323,6 +387,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "validate":
             return _cmd_validate(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
         if args.command == "devices":
             return _cmd_devices()
         if args.command == "scorecard":

@@ -7,17 +7,55 @@ It terminates when the whole machine is quiescent — every source exhausted,
 every pipeline drained, every stream empty — and reports cycle counts plus
 stall breakdowns, the numbers the paper uses to argue a design achieves
 II = 1.
+
+Fast-forward mode
+-----------------
+``mode="fast"`` adds steady-state fast-forwarding.  Every library stage's
+firing *counts* depend only on control state (pipeline fill, II timer,
+shift-buffer position), never on data values.  The engine therefore
+fingerprints the complete control state each cycle
+(:meth:`~repro.dataflow.stage.Stage.ff_signature` per stage plus every
+stream occupancy); when the same fingerprint recurs ``P`` cycles later the
+machine is provably periodic — a deterministic system revisiting a state
+replays it exactly — and ``N`` whole periods are advanced in one step:
+
+* counters (fires, retirements, stalls, pushes, pops) grow by ``N`` times
+  their per-period delta, measured between the two matching cycles;
+* data flows through the graph in bulk: each stage's
+  :meth:`~repro.dataflow.stage.Stage.fire_bulk` processes its ``N × F``
+  firings at once (vectorised where the stage supports it), and FIFO
+  semantics pin the few items left in streams and stage pipelines when
+  per-cycle ticking resumes;
+* ``N`` is capped by every stage's remaining capacity
+  (:meth:`~repro.dataflow.stage.Stage.ff_fire_capacity`), so the advance
+  stops exactly at boundary events — source exhaustion, chunk seams — and
+  the engine drops back to exact ticking for ramp-down.
+
+Any stage whose output counts could depend on data values vetoes the whole
+mechanism by returning ``None`` from ``ff_signature`` (the arbitrated
+multi-kernel read stage does so the moment its arbiter has ever starved
+it), and attaching monitors disables fast-forward too: skipped cycles
+cannot be sampled.  In all such cases ``mode="fast"`` silently behaves
+exactly like ``mode="exact"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
+from repro.dataflow.bulk import Bulk, ChainBulk, ListBulk
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.monitors import Monitor
+from repro.dataflow.stage import Stage
 from repro.errors import DataflowError, LintError
 
 __all__ = ["DataflowEngine", "RunStats"]
+
+#: Fast-forward signature table cap: beyond this many distinct control
+#: states the run is clearly not periodic at a useful scale; the table is
+#: cleared to bound memory and detection re-arms from scratch.
+_FF_TABLE_CAP = 65_536
 
 
 @dataclass
@@ -31,6 +69,10 @@ class RunStats:
     stalls: dict[str, dict[str, int]] = field(default_factory=dict)
     #: stream name -> max occupancy observed
     stream_high_water: dict[str, int] = field(default_factory=dict)
+    #: number of analytic steady-state advances performed (fast mode)
+    ff_advances: int = 0
+    #: total cycles skipped by those advances (fast mode)
+    ff_cycles: int = 0
 
     def throughput(self, stage: str) -> float:
         """Average results per cycle for one stage (1.0 == ideal II=1)."""
@@ -41,9 +83,38 @@ class RunStats:
     def total_stalls(self, stage: str) -> int:
         return sum(self.stalls.get(stage, {}).values())
 
+    @classmethod
+    def merge(cls, runs: Iterable["RunStats"]) -> "RunStats":
+        """Aggregate several runs (e.g. per-chunk stats) into one summary.
+
+        Cycles, fires, stalls, and fast-forward counters add up; stream
+        high-water marks take the maximum, matching their meaning as a
+        sizing bound.
+        """
+        merged = cls(cycles=0)
+        for run in runs:
+            merged.cycles += run.cycles
+            for name, fires in run.fires.items():
+                merged.fires[name] = merged.fires.get(name, 0) + fires
+            for name, stalls in run.stalls.items():
+                into = merged.stalls.setdefault(name, {})
+                for kind, count in stalls.items():
+                    into[kind] = into.get(kind, 0) + count
+            for name, high in run.stream_high_water.items():
+                merged.stream_high_water[name] = max(
+                    merged.stream_high_water.get(name, 0), high)
+            merged.ff_advances += run.ff_advances
+            merged.ff_cycles += run.ff_cycles
+        return merged
+
     def summary(self) -> str:
         """Human-readable multi-line run summary."""
         lines = [f"cycles: {self.cycles}"]
+        if self.ff_advances:
+            lines[0] += (
+                f" ({self.ff_cycles} fast-forwarded in "
+                f"{self.ff_advances} advances)"
+            )
         for name in sorted(self.fires):
             stalls = self.stalls.get(name, {})
             lines.append(
@@ -66,7 +137,13 @@ class DataflowEngine:
     max_cycles:
         Hard cap to bound runaway simulations.
     monitors:
-        Optional probes sampled once per cycle.
+        Optional probes sampled once per cycle (honouring each monitor's
+        ``sample_every``/``sample_phase`` stride, when present).
+    mode:
+        ``"exact"`` ticks every cycle; ``"fast"`` additionally
+        fast-forwards provably periodic steady-state phases (see module
+        docstring).  Both modes produce identical :class:`RunStats`
+        (modulo the ``ff_*`` counters) and identical sink data.
     lint:
         When True, run the full graph-family lint pass
         (:func:`repro.lint.lint_graph`) before the first cycle and raise
@@ -78,17 +155,23 @@ class DataflowEngine:
 
     def __init__(self, graph: DataflowGraph, *, max_cycles: int = 10_000_000,
                  monitors: list[Monitor] | None = None,
-                 stall_grace: int | None = None, lint: bool = False) -> None:
+                 stall_grace: int | None = None, mode: str = "exact",
+                 lint: bool = False) -> None:
         if max_cycles < 1:
             raise DataflowError(f"max_cycles must be >= 1, got {max_cycles}")
         if stall_grace is not None and stall_grace < 1:
             raise DataflowError(
                 f"stall_grace must be >= 1, got {stall_grace}"
             )
+        if mode not in ("exact", "fast"):
+            raise DataflowError(
+                f"mode must be 'exact' or 'fast', got {mode!r}"
+            )
         self.graph = graph
         self.max_cycles = max_cycles
         self.monitors = list(monitors or [])
         self.stall_grace = stall_grace
+        self.mode = mode
         self.lint = lint
 
     def run(self) -> RunStats:
@@ -112,6 +195,18 @@ class DataflowEngine:
         grace = self.stall_grace if self.stall_grace is not None else (
             max(s.ii for s in order) + max(s.latency for s in order) + 1
         )
+        # Monitors sampled on a stride skip the call entirely off-phase;
+        # an empty monitor list skips the whole loop.
+        monitor_plan = [
+            (m, getattr(m, "sample_every", 1), getattr(m, "sample_phase", 0))
+            for m in self.monitors
+        ]
+        # Fast-forward requires every cycle to be observable-equivalent;
+        # monitors sample individual cycles, so they force exact ticking.
+        ff_enabled = self.mode == "fast" and not self.monitors
+        ff_table: dict[Any, tuple[int, tuple[dict, dict]]] = {}
+        ff_advances = 0
+        ff_cycles = 0
 
         cycle = 0
         last_progress = 0
@@ -119,8 +214,9 @@ class DataflowEngine:
             progressed = False
             for stage in order:
                 progressed |= stage.tick(cycle)
-            for monitor in self.monitors:
-                monitor.sample(cycle, self.graph)
+            for monitor, every, phase in monitor_plan:
+                if every <= 1 or cycle % every == phase:
+                    monitor.sample(cycle, self.graph)
             if progressed:
                 last_progress = cycle
             else:
@@ -137,6 +233,34 @@ class DataflowEngine:
                             for s in self.graph.streams
                         )
                     )
+            if ff_enabled:
+                sig = self._ff_machine_signature(order, cycle + 1)
+                if sig is None:
+                    # A stage vetoed (data-dependent control, e.g. a
+                    # starved arbiter): exact ticking for the rest of
+                    # the run.
+                    ff_enabled = False
+                    ff_table.clear()
+                elif sig in ff_table:
+                    first_cycle, snapshot = ff_table[sig]
+                    skipped = self._ff_advance(
+                        order, cycle + 1, (cycle + 1) - first_cycle, snapshot)
+                    if skipped > 0:
+                        ff_advances += 1
+                        ff_cycles += skipped
+                        cycle += skipped
+                        last_progress = cycle
+                        # Counters moved: every stored snapshot is stale.
+                        ff_table.clear()
+                    elif skipped < 0:
+                        # No room for even one period (sources at their
+                        # end): the remaining run is short; tick it.
+                        ff_enabled = False
+                        ff_table.clear()
+                else:
+                    if len(ff_table) >= _FF_TABLE_CAP:
+                        ff_table.clear()
+                    ff_table[sig] = (cycle + 1, self._ff_snapshot(order))
             cycle += 1
         else:
             raise DataflowError(
@@ -159,7 +283,151 @@ class DataflowEngine:
             stream_high_water={
                 s.name: s.stats.max_occupancy for s in self.graph.streams
             },
+            ff_advances=ff_advances,
+            ff_cycles=ff_cycles,
         )
+
+    # -- fast-forward internals -------------------------------------------------
+
+    def _ff_machine_signature(self, order: list[Stage],
+                              at_cycle: int) -> tuple | None:
+        """Complete control-state fingerprint, or None if any stage vetoes."""
+        stage_sigs = []
+        append = stage_sigs.append
+        for stage in order:
+            sig = stage.ff_signature(at_cycle)
+            if sig is None:
+                return None
+            append(sig)
+        return (
+            tuple(stage_sigs),
+            tuple([stream.occupancy for stream in self.graph.streams]),
+        )
+
+    def _ff_snapshot(self, order: list[Stage]) -> tuple[tuple, tuple]:
+        """Counter snapshot paired with a signature's first occurrence.
+
+        Flat tuples aligned with ``order`` / ``graph.streams`` — built
+        once per simulated cycle, so no dict overhead.
+        """
+        stage_counts = tuple([
+            (s.stats.fires, s.stats.retired, s.stats.input_stalls,
+             s.stats.output_stalls, s.stats.ii_waits,
+             s.stats.pipeline_full_stalls)
+            for s in order
+        ])
+        stream_counts = tuple([
+            (st.stats.pushes, st.stats.pops, st.stats.full_stalls,
+             st.stats.empty_stalls)
+            for st in self.graph.streams
+        ])
+        return (stage_counts, stream_counts)
+
+    def _ff_advance(self, order: list[Stage], sig_cycle: int, period: int,
+                    snapshot: tuple[dict, dict]) -> int:
+        """Advance as many whole periods as capacity allows.
+
+        Returns the number of cycles skipped, ``0`` when the matched
+        period carried no firings (a parked phase — leave it to the exact
+        engine), or ``-1`` when capacity does not cover one period.
+        """
+        snap_stage, snap_stream = snapshot
+        d_stage = {
+            s.name: tuple(
+                now - then for now, then in zip(
+                    (s.stats.fires, s.stats.retired, s.stats.input_stalls,
+                     s.stats.output_stalls, s.stats.ii_waits,
+                     s.stats.pipeline_full_stalls),
+                    snap)
+            )
+            for s, snap in zip(order, snap_stage)
+        }
+        d_stream = {
+            st.name: tuple(
+                now - then for now, then in zip(
+                    (st.stats.pushes, st.stats.pops, st.stats.full_stalls,
+                     st.stats.empty_stalls),
+                    snap)
+            )
+            for st, snap in zip(self.graph.streams, snap_stream)
+        }
+        if sum(d[0] for d in d_stage.values()) == 0:
+            return 0
+
+        # How many periods fit: bounded by the cycle budget and by each
+        # stage's remaining supply (sources run dry at chunk boundaries).
+        n = (self.max_cycles - sig_cycle - 1) // period
+        for stage in order:
+            fires_per_period = d_stage[stage.name][0]
+            if fires_per_period and n > 0:
+                capacity = stage.ff_fire_capacity(n * fires_per_period)
+                n = min(n, capacity // fires_per_period)
+        if n < 1:
+            return -1
+        target_cycle = sig_cycle + n * period
+
+        # Relay the bulk flow through the graph in topological order.
+        # FIFO semantics make the end state timing-independent: each
+        # stream's final content is the last `occupancy` items pushed,
+        # each pipeline's final entries are the last `fill` produced.
+        pushed: dict[str, Bulk] = {}
+        for stage in order:
+            ds = d_stage[stage.name]
+            fires = ds[0] * n
+            retired = ds[1] * n
+            inputs: dict[str, Bulk] = {}
+            for port, stream in stage.inputs.items():
+                dstr = d_stream[stream.name]
+                pops = dstr[1] * n
+                combined = ChainBulk([
+                    ListBulk(list(stream)),
+                    pushed.get(stream.name, ListBulk([])),
+                ])
+                inputs[port] = combined.slice(0, pops)
+                leftover = combined.slice(pops, len(combined)).materialize()
+                stream.ff_replace(
+                    leftover, pushes=dstr[0] * n, pops=pops,
+                    full_stalls=dstr[2] * n, empty_stalls=dstr[3] * n)
+            if fires:
+                result = stage.fire_bulk(fires, inputs, sig_cycle)
+                if result.producing_firings != retired:
+                    raise DataflowError(
+                        f"stage {stage.name!r}: fast-forward produced "
+                        f"{result.producing_firings} pipeline entries, "
+                        f"expected {retired} — not a data-independent "
+                        f"steady state"
+                    )
+            else:
+                result = None
+                if retired:
+                    raise DataflowError(
+                        f"stage {stage.name!r}: fast-forward retired "
+                        f"{retired} entries without firing"
+                    )
+            fill = stage.in_flight
+            retired_old = min(retired, fill)
+            retired_new = retired - retired_old
+            old_entries = stage.ff_pipeline_entries()
+            for port, stream in stage.outputs.items():
+                old_items = [
+                    item
+                    for entry in old_entries[:retired_old]
+                    for item in entry.get(port, ())
+                ]
+                parts: list[Bulk] = [ListBulk(old_items)]
+                if result is not None and retired_new:
+                    parts.append(result.head_bulk(port, retired_new))
+                pushed[stream.name] = ChainBulk(parts)
+            tail = (result.tail_firings(retired_old)
+                    if result is not None else [])
+            stage.ff_commit(
+                sig_cycle, target_cycle, fires=fires, retired=retired,
+                tail_outputs=old_entries[retired_old:] + tail)
+            stage.stats.input_stalls += ds[2] * n
+            stage.stats.output_stalls += ds[3] * n
+            stage.stats.ii_waits += ds[4] * n
+            stage.stats.pipeline_full_stalls += ds[5] * n
+        return n * period
 
     def _quiescent(self) -> bool:
         """True when nothing can ever happen again."""

@@ -16,7 +16,14 @@ __all__ = ["Monitor", "StreamProbe", "ThroughputMonitor"]
 
 
 class Monitor(Protocol):
-    """Anything with a per-cycle ``sample`` hook."""
+    """Anything with a per-cycle ``sample`` hook.
+
+    A monitor may additionally expose integer attributes ``sample_every``
+    (stride) and ``sample_phase``: the engine then only invokes
+    :meth:`sample` on cycles where ``cycle % sample_every ==
+    sample_phase``, instead of every cycle.  Monitors without the
+    attributes are sampled every cycle, as before.
+    """
 
     def sample(self, cycle: int, graph: "DataflowGraph") -> None:
         """Called by the engine once per cycle after all stages ticked."""
@@ -39,6 +46,9 @@ class StreamProbe:
             raise ValueError(f"stride must be >= 1, got {stride}")
         self.stream_name = stream_name
         self.stride = stride
+        # Let the engine skip the non-sampled cycles entirely.
+        self.sample_every = stride
+        self.sample_phase = 0
         self.samples: list[tuple[int, int]] = []
 
     def sample(self, cycle: int, graph: "DataflowGraph") -> None:
@@ -69,6 +79,9 @@ class ThroughputMonitor:
             raise ValueError(f"window must be >= 1, got {window}")
         self.stage_name = stage_name
         self.window = window
+        # Samples land on the last cycle of each window.
+        self.sample_every = window
+        self.sample_phase = window - 1
         self.rates: list[tuple[int, float]] = []
         self._last_fires = 0
 

@@ -26,6 +26,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.dataflow.bulk import (
+    Bulk,
+    FireBulkResult,
+    ListBulk,
+    ListFireResult,
+    UniformFireResult,
+)
 from repro.dataflow.stream import Stream
 from repro.errors import DataflowError, GraphError
 
@@ -37,6 +44,9 @@ __all__ = [
     "FunctionStage",
     "ConstStage",
 ]
+
+#: Cached entry shape for single-item "out"-port firings (sources).
+_ONE_OUT_SHAPE = (("out", 1),)
 
 
 @dataclass
@@ -91,7 +101,12 @@ class Stage:
         self.inputs: dict[str, Stream] = {}
         self.outputs: dict[str, Stream] = {}
         self.stats = StageStats()
-        self._pipeline: deque[tuple[int, dict[str, list[Any]]]] = deque()
+        # Entries are (ready_cycle, produced, shape) where shape is the
+        # per-port item-count tuple, computed once at fire time so the
+        # fast-forward signature never re-derives it per cycle.
+        self._pipeline: deque[
+            tuple[int, dict[str, list[Any]], tuple]
+        ] = deque()
         self._next_fire_cycle = 0
 
     # -- wiring (called by DataflowGraph) --------------------------------------
@@ -182,7 +197,7 @@ class Stage:
         """
         if not self._pipeline:
             return False
-        ready_cycle, produced = self._pipeline[0]
+        ready_cycle, produced, _shape = self._pipeline[0]
         if ready_cycle > cycle:
             return False
         # All destinations must have room for everything this firing produced.
@@ -233,7 +248,10 @@ class Stage:
         self.stats.fires += 1
         self._next_fire_cycle = cycle + self.ii
         if produced:
-            self._pipeline.append((cycle + self.latency, produced))
+            self._pipeline.append((
+                cycle + self.latency, produced,
+                tuple((p, len(v)) for p, v in produced.items()),
+            ))
         return True
 
     def tick(self, cycle: int) -> bool:
@@ -241,6 +259,104 @@ class Stage:
         progressed = self._retire(cycle)
         progressed |= self._try_fire(cycle)
         return progressed
+
+    # -- fast-forward hooks (see DataflowEngine, mode="fast") -------------------
+
+    def ff_signature(self, cycle: int) -> tuple | None:
+        """Hashable summary of all *control* state, or None to veto.
+
+        The fast-forward engine detects steady state by finding two cycles
+        with identical control state: pipeline fill (entry ages and output
+        shapes), the II timer, and any subclass state that influences
+        *when* or *how many* items the stage produces.  Data values must
+        not influence control for the analytic advance to be exact; a
+        stage whose output counts depend on input values must override
+        this to return ``None`` (vetoing fast-forward for the whole run).
+
+        Ready ages are clamped at zero: an overdue pipeline entry behaves
+        identically however long it has been due.  This runs once per
+        simulated cycle in fast mode, so it leans on the shape tuples
+        cached at fire time instead of re-deriving them.
+        """
+        pipe = tuple([
+            (ready - cycle if ready > cycle else 0, shape)
+            for ready, _produced, shape in self._pipeline
+        ])
+        wait = self._next_fire_cycle - cycle
+        return (wait if wait > 0 else 0, pipe)
+
+    def ff_fire_capacity(self, want: int) -> int:
+        """How many of ``want`` firings this stage could still perform.
+
+        Sources bound this by their remaining items, the shift buffer by
+        its block size; stages fed purely by streams have no cap of their
+        own (the engine already bounds them by upstream supply).
+        """
+        return want
+
+    def ff_pipeline_entries(self) -> list[dict[str, list[Any]]]:
+        """The produced-output dicts currently in the pipeline, in order."""
+        return [produced for _ready, produced, _shape in self._pipeline]
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        """Perform ``count`` firings in one step.
+
+        ``inputs`` holds exactly the items consumed, per port, in stream
+        order.  The default materialises everything and loops
+        :meth:`fire`; stages with a vectorised path override this — the
+        results must be bit-identical to the looped path.
+        """
+        mats = {port: bulk.materialize() for port, bulk in inputs.items()}
+        needed = self.required_inputs()
+        for port, per_fire in needed.items():
+            if len(mats.get(port, ())) != per_fire * count:
+                raise DataflowError(
+                    f"stage {self.name!r} fire_bulk: port {port!r} got "
+                    f"{len(mats.get(port, ()))} items for {count} firings "
+                    f"of {per_fire}"
+                )
+        firings = []
+        for i in range(count):
+            consumed = {
+                port: mats[port][i * per: (i + 1) * per]
+                for port, per in needed.items()
+            }
+            firings.append(dict(self.fire(cycle, consumed)))
+        return ListFireResult(firings)
+
+    def ff_commit(self, old_cycle: int, new_cycle: int, *, fires: int,
+                  retired: int,
+                  tail_outputs: list[dict[str, list[Any]]]) -> None:
+        """Install the post-advance pipeline and counters.
+
+        ``tail_outputs`` are the ``len(self._pipeline)`` output dicts left
+        in flight at the end of the advance (pre-advance entries not yet
+        retired, then the newest producing firings); by periodicity they
+        slot into the pipeline with the same ready ages, in order, that
+        the pre-advance entries had.
+        """
+        if len(tail_outputs) != len(self._pipeline):
+            raise DataflowError(
+                f"stage {self.name!r}: fast-forward pipeline mismatch "
+                f"({len(tail_outputs)} tail firings vs "
+                f"{len(self._pipeline)} entries)"
+            )
+        new_pipe: deque[tuple[int, dict[str, list[Any]], tuple]] = deque()
+        for (ready, _old_prod, shape), produced in zip(self._pipeline,
+                                                       tail_outputs):
+            if tuple((p, len(v)) for p, v in produced.items()) != shape:
+                raise DataflowError(
+                    f"stage {self.name!r}: fast-forward entry shape changed "
+                    f"(not a true steady state)"
+                )
+            new_pipe.append(
+                (new_cycle + max(ready - old_cycle, 0), produced, shape))
+        self._pipeline = new_pipe
+        self._next_fire_cycle = new_cycle + max(
+            self._next_fire_cycle - old_cycle, 0)
+        self.stats.fires += fires
+        self.stats.retired += retired
 
     def reset(self) -> None:
         """Clear simulation state (pipeline, counters, fire schedule)."""
@@ -267,21 +383,19 @@ class SourceStage(Stage):
         super().__init__(name, ii=ii, latency=latency)
         self._iter = iter(items)
         self._exhausted = False
-        self._pending: Any = None
-        self._has_pending = False
+        self._buffer: deque[Any] = deque()
+
+    def _prefetch(self, count: int) -> None:
+        """Pull up to ``count`` items from the iterable into the buffer."""
+        while len(self._buffer) < count and not self._exhausted:
+            try:
+                self._buffer.append(next(self._iter))
+            except StopIteration:
+                self._exhausted = True
 
     def exhausted(self) -> bool:
-        if self._has_pending:
-            return False
-        if self._exhausted:
-            return True
-        try:
-            self._pending = next(self._iter)
-            self._has_pending = True
-            return False
-        except StopIteration:
-            self._exhausted = True
-            return True
+        self._prefetch(1)
+        return not self._buffer
 
     def _try_fire(self, cycle: int) -> bool:
         if cycle < self._next_fire_cycle:
@@ -292,12 +406,31 @@ class SourceStage(Stage):
             return False
         if self.exhausted():
             return False
-        item = self._pending
-        self._has_pending = False
+        item = self._buffer.popleft()
         self.stats.fires += 1
         self._next_fire_cycle = cycle + self.ii
-        self._pipeline.append((cycle + self.latency, {"out": [item]}))
+        self._pipeline.append(
+            (cycle + self.latency, {"out": [item]}, _ONE_OUT_SHAPE))
         return True
+
+    def ff_signature(self, cycle: int) -> tuple | None:
+        base = super().ff_signature(cycle)
+        return base + (not self.exhausted(),) if base is not None else None
+
+    def ff_fire_capacity(self, want: int) -> int:
+        self._prefetch(want)
+        return min(want, len(self._buffer))
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        self._prefetch(count)
+        if len(self._buffer) < count:
+            raise DataflowError(
+                f"source {self.name!r}: fast-forward wants {count} items, "
+                f"only {len(self._buffer)} remain"
+            )
+        items = [self._buffer.popleft() for _ in range(count)]
+        return UniformFireResult({"out": ListBulk(items)})
 
     def fire(self, cycle: int, inputs: Mapping[str, list[Any]]):  # pragma: no cover
         raise DataflowError("SourceStage.fire should never be called")
@@ -367,8 +500,26 @@ class ConstStage(Stage):
         self._remaining -= 1
         self.stats.fires += 1
         self._next_fire_cycle = cycle + self.ii
-        self._pipeline.append((cycle + self.latency, {"out": [self._value]}))
+        self._pipeline.append(
+            (cycle + self.latency, {"out": [self._value]}, _ONE_OUT_SHAPE))
         return True
+
+    def ff_signature(self, cycle: int) -> tuple | None:
+        base = super().ff_signature(cycle)
+        return base + (self._remaining > 0,) if base is not None else None
+
+    def ff_fire_capacity(self, want: int) -> int:
+        return min(want, self._remaining)
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        if count > self._remaining:
+            raise DataflowError(
+                f"const {self.name!r}: fast-forward wants {count} firings, "
+                f"only {self._remaining} remain"
+            )
+        self._remaining -= count
+        return UniformFireResult({"out": ListBulk([self._value] * count)})
 
     def fire(self, cycle: int, inputs: Mapping[str, list[Any]]):  # pragma: no cover
         raise DataflowError("ConstStage.fire should never be called")

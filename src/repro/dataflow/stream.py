@@ -133,6 +133,28 @@ class Stream:
         """Record that a consumer stalled on this stream this cycle."""
         self.stats.empty_stalls += 1
 
+    def ff_replace(self, items: list[Any], *, pushes: int, pops: int,
+                   full_stalls: int = 0, empty_stalls: int = 0) -> None:
+        """Replace contents and bulk-update statistics after a fast-forward.
+
+        Called only by the engine's steady-state fast-forward
+        (:mod:`repro.dataflow.engine`): ``items`` is the FIFO's content at
+        the end of the analytically advanced window, ``pushes``/``pops``
+        the traffic that logically flowed during it.  The high-water mark
+        is untouched — a periodic window repeats occupancies the mark has
+        already seen.
+        """
+        if len(items) > self.depth:
+            raise StreamError(
+                f"fast-forward would leave {len(items)} items in stream "
+                f"{self.name!r} (depth {self.depth})"
+            )
+        self._items = deque(items)
+        self.stats.pushes += pushes
+        self.stats.pops += pops
+        self.stats.full_stalls += full_stalls
+        self.stats.empty_stalls += empty_stalls
+
     def drain(self) -> list[Any]:
         """Remove and return every in-flight item (end-of-run cleanup)."""
         items = list(self._items)

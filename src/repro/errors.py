@@ -50,8 +50,14 @@ class GraphError(DataflowError):
     """The dataflow graph is malformed (unconnected port, cycle, ...)."""
 
 
-class ShiftBufferError(ReproError):
-    """Shift-buffer misuse (feeding out of order, reading before primed)."""
+class ShiftBufferError(DataflowError):
+    """Shift-buffer misuse (feeding out of order, reading before primed).
+
+    A :class:`DataflowError` subclass: the shift buffer is a dataflow
+    stage's internal machine, and callers of the engine layer catch its
+    failures (e.g. a mis-shaped block fed to ``Buffer3D.feed_block``)
+    under the dataflow family.
+    """
 
 
 class PortConflictError(ShiftBufferError):

@@ -88,14 +88,24 @@ def build_advection_graph(config: KernelConfig, fields: FieldSet,
     graph = DataflowGraph(f"{name_prefix}advection[chunk={chunk.index}]")
     read_cls = read_stage_cls or ReadDataStage
 
+    # The chunk's field blocks in streaming layout, shared by the read
+    # stage (cells cut on demand) and the shift stage (batched feeds and
+    # window reconstruction in fast-forward mode).
+    blocks = tuple(
+        np.ascontiguousarray(
+            arr[:, chunk.read_start:chunk.read_stop, :], dtype=float)
+        for arr in (fields.u, fields.v, fields.w)
+    )
+
     read = graph.add(read_cls(
         f"{name_prefix}read_data", chunk_cell_stream(fields, chunk),
-        ii=read_ii, latency=config.memory_latency,
+        block=blocks, ii=read_ii, latency=config.memory_latency,
     ))
     shift = graph.add(ShiftBufferStage(
         f"{name_prefix}shift_buffer", nx_buf, ny_buf, nz,
         ii=config.shift_buffer_ii,
         latency=2, partitioned=config.partitioned, tracker=tracker,
+        backing=blocks,
     ))
     replicate = graph.add(ReplicateStage(f"{name_prefix}replicate"))
     advects = {

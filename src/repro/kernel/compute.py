@@ -15,10 +15,13 @@ each field advection" while the general-purpose buffer forwards all 27.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.coefficients import AdvectionCoefficients
 from repro.shiftbuffer.window import StencilWindow
 
 __all__ = ["advect_u", "advect_v", "advect_w", "advect_cell_windows",
+           "advect_u_block", "advect_v_block", "advect_w_block",
            "UNIQUE_STENCIL_POINTS"]
 
 #: Unique stencil points actually read per field advection (paper: ~8).
@@ -103,3 +106,88 @@ def advect_cell_windows(u: StencilWindow, v: StencilWindow, w: StencilWindow,
         advect_v(u, v, w, coeffs, k, nz),
         advect_w(u, v, w, coeffs, k, nz),
     )
+
+
+# -- batched variants ----------------------------------------------------------
+#
+# The ``*_block`` functions below evaluate the same expression trees over
+# index vectors of cell centres, reading straight from the streamed block
+# arrays (window ``at(di, dj, dk)`` is by construction the block value at
+# ``(cx+di, cy+dj, cz+dk)``, for top windows too).  Order of operations is
+# copied term for term from the scalar forms — numpy's element-wise float64
+# arithmetic performs the identical IEEE-754 operations, so the results are
+# bit-for-bit equal to looping the scalar functions; the equivalence tests
+# enforce this.  The k-branch is expressed with ``np.where`` over terms
+# whose per-lane expression matches the scalar branch taken.
+
+
+def advect_u_block(u: np.ndarray, v: np.ndarray, w: np.ndarray,
+                   coeffs: AdvectionCoefficients, cx: np.ndarray,
+                   cy: np.ndarray, cz: np.ndarray, nz: int) -> np.ndarray:
+    """Vector of U source terms for cell centres ``(cx, cy, cz)``."""
+    tcx, tcy = coeffs.tcx, coeffs.tcy
+    # Clamped +1 level: the lanes that read it (k < nz-1) never clamp;
+    # top lanes gather a discarded in-bounds value instead of faulting.
+    kz = np.minimum(cz + 1, nz - 1)
+    su = tcx * (
+        u[cx - 1, cy, cz] * (u[cx, cy, cz] + u[cx - 1, cy, cz])
+        - u[cx + 1, cy, cz] * (u[cx, cy, cz] + u[cx + 1, cy, cz])
+    )
+    su += tcy * (
+        u[cx, cy - 1, cz] * (v[cx, cy - 1, cz] + v[cx + 1, cy - 1, cz])
+        - u[cx, cy + 1, cz] * (v[cx, cy, cz] + v[cx + 1, cy, cz])
+    )
+    below = (coeffs.tzc1[cz] * u[cx, cy, cz - 1]
+             * (w[cx, cy, cz - 1] + w[cx + 1, cy, cz - 1]))
+    above = (coeffs.tzc2[cz] * u[cx, cy, kz]
+             * (w[cx, cy, cz] + w[cx + 1, cy, cz]))
+    su += np.where(cz < nz - 1, below - above, below)
+    return su
+
+
+def advect_v_block(u: np.ndarray, v: np.ndarray, w: np.ndarray,
+                   coeffs: AdvectionCoefficients, cx: np.ndarray,
+                   cy: np.ndarray, cz: np.ndarray, nz: int) -> np.ndarray:
+    """Vector of V source terms for cell centres ``(cx, cy, cz)``."""
+    tcx, tcy = coeffs.tcx, coeffs.tcy
+    kz = np.minimum(cz + 1, nz - 1)
+    sv = tcy * (
+        v[cx, cy - 1, cz] * (v[cx, cy, cz] + v[cx, cy - 1, cz])
+        - v[cx, cy + 1, cz] * (v[cx, cy, cz] + v[cx, cy + 1, cz])
+    )
+    sv += tcx * (
+        v[cx - 1, cy, cz] * (u[cx - 1, cy, cz] + u[cx - 1, cy + 1, cz])
+        - v[cx + 1, cy, cz] * (u[cx, cy, cz] + u[cx, cy + 1, cz])
+    )
+    below = (coeffs.tzc1[cz] * v[cx, cy, cz - 1]
+             * (w[cx, cy, cz - 1] + w[cx, cy + 1, cz - 1]))
+    above = (coeffs.tzc2[cz] * v[cx, cy, kz]
+             * (w[cx, cy, cz] + w[cx, cy + 1, cz]))
+    sv += np.where(cz < nz - 1, below - above, below)
+    return sv
+
+
+def advect_w_block(u: np.ndarray, v: np.ndarray, w: np.ndarray,
+                   coeffs: AdvectionCoefficients, cx: np.ndarray,
+                   cy: np.ndarray, cz: np.ndarray, nz: int) -> np.ndarray:
+    """Vector of W source terms for cell centres ``(cx, cy, cz)``.
+
+    Zero at column tops, exactly like the scalar form.
+    """
+    tcx, tcy = coeffs.tcx, coeffs.tcy
+    kz = np.minimum(cz + 1, nz - 1)
+    sw = tcx * (
+        w[cx - 1, cy, cz] * (u[cx - 1, cy, cz] + u[cx - 1, cy, kz])
+        - w[cx + 1, cy, cz] * (u[cx, cy, cz] + u[cx, cy, kz])
+    )
+    sw += tcy * (
+        w[cx, cy - 1, cz] * (v[cx, cy - 1, cz] + v[cx, cy - 1, kz])
+        - w[cx, cy + 1, cz] * (v[cx, cy, cz] + v[cx, cy, kz])
+    )
+    sw += (
+        coeffs.tzd1[cz] * w[cx, cy, cz - 1]
+        * (w[cx, cy, cz] + w[cx, cy, cz - 1])
+        - coeffs.tzd2[cz] * w[cx, cy, kz]
+        * (w[cx, cy, cz] + w[cx, cy, kz])
+    )
+    return np.where(cz < nz - 1, sw, 0.0)

@@ -72,10 +72,10 @@ class MemoryArbiter:
 class ArbitratedReadStage(ReadDataStage):
     """A read stage that must win a grant from the shared arbiter."""
 
-    def __init__(self, name: str, cells: Iterator[CellInput], *,
-                 arbiter: MemoryArbiter, ii: int = 1,
+    def __init__(self, name: str, cells: Iterator[CellInput] | None = None,
+                 *, arbiter: MemoryArbiter, block=None, ii: int = 1,
                  latency: int = 16) -> None:
-        super().__init__(name, cells, ii=ii, latency=latency)
+        super().__init__(name, cells, block=block, ii=ii, latency=latency)
         self.arbiter = arbiter
 
     def _try_fire(self, cycle: int) -> bool:
@@ -92,6 +92,27 @@ class ArbitratedReadStage(ReadDataStage):
             self.stats.input_stalls += 1  # starved by the memory system
             return False
         return super()._try_fire(cycle)
+
+    def ff_signature(self, cycle: int) -> tuple | None:
+        # A starved arbiter makes firing data-rate-dependent in ways the
+        # periodicity proof does not cover once denial history differs
+        # between kernels: veto fast-forward for the whole run the moment
+        # any request has ever been denied.  With ample credits the
+        # accumulator is part of the control state (it decides *when*
+        # grants are available), so it joins the signature exactly.
+        if self.arbiter.denials > 0:
+            return None
+        base = super().ff_signature(cycle)
+        if base is None:
+            return None
+        return base + (self.arbiter._credits,)
+
+    def ff_commit(self, old_cycle: int, new_cycle: int, *, fires: int,
+                  retired: int, tail_outputs) -> None:
+        super().ff_commit(old_cycle, new_cycle, fires=fires,
+                          retired=retired, tail_outputs=tail_outputs)
+        # Every fast-forwarded firing would have won one grant.
+        self.arbiter.grants += fires
 
 
 @dataclass
@@ -115,6 +136,7 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                           num_kernels: int,
                           memory_cells_per_cycle: float | None = None,
                           max_cycles_per_chunk: int = 10_000_000,
+                          mode: str = "exact",
                           ) -> MultiKernelSimResult:
     """Co-simulate ``num_kernels`` kernel instances sharing one memory.
 
@@ -126,6 +148,10 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         Shared memory's sustained issue rate in cell reads per cycle
         across all kernels.  ``None`` means one per kernel per cycle
         (no contention, the HBM2 regime).
+    mode:
+        Engine mode (``"exact"`` or ``"fast"``); fast-forward disables
+        itself automatically the moment the arbiter starves any read
+        stage, so a contended memory always simulates exactly.
     """
     grid = config.grid
     if fields.grid.interior_shape != grid.interior_shape:
@@ -170,9 +196,11 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
             part_graph = build_advection_graph(
                 sub_config, sub_fields, chunk, coeffs, out,
                 x_offset=x0, name_prefix=f"k{p}.",
-                read_stage_cls=lambda name, cells, ii=1, latency=16: (
+                read_stage_cls=lambda name, cells, ii=1, latency=16,
+                block=None: (
                     ArbitratedReadStage(name, cells, arbiter=arbiter,
-                                        ii=ii, latency=latency)),
+                                        block=block, ii=ii,
+                                        latency=latency)),
             )
             # Merge the part's stages and streams into one graph so a
             # single engine advances all kernels cycle by cycle.
@@ -182,7 +210,7 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         # deadlock grace accordingly.
         grace = 64 + int(4 * decomp.parts / min(rate, 1.0))
         stats = DataflowEngine(merged, max_cycles=max_cycles_per_chunk,
-                               stall_grace=grace).run()
+                               stall_grace=grace, mode=mode).run()
         chunk_cycles.append(stats.cycles)
         total_cycles += stats.cycles
 

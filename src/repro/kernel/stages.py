@@ -12,11 +12,19 @@ between pragmas and arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
 from repro.core.coefficients import AdvectionCoefficients
+from repro.dataflow.bulk import (
+    Bulk,
+    ChainBulk,
+    FireBulkResult,
+    ListBulk,
+    ListFireResult,
+    UniformFireResult,
+)
 from repro.dataflow.stage import SourceStage, Stage
 from repro.errors import DataflowError
 from repro.shiftbuffer.buffer3d import ShiftBuffer3D
@@ -26,6 +34,9 @@ from repro.shiftbuffer.window import StencilWindow
 __all__ = [
     "CellInput",
     "StencilBundle",
+    "CellBlockBulk",
+    "StencilBulk",
+    "AdvectResultBulk",
     "ReadDataStage",
     "ShiftBufferStage",
     "ReplicateStage",
@@ -54,6 +65,108 @@ class StencilBundle:
     top: bool
 
 
+class CellBlockBulk(Bulk):
+    """A run of :class:`CellInput` items backed by flat block arrays.
+
+    ``start``/``stop`` index into the streaming order of the chunk block;
+    cells are only built as objects when a FIFO leftover materialises.
+    """
+
+    def __init__(self, flats: tuple[np.ndarray, np.ndarray, np.ndarray],
+                 start: int, stop: int) -> None:
+        self.flats = flats
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def slice(self, start: int, stop: int) -> "CellBlockBulk":
+        self._check_range(start, stop)
+        return CellBlockBulk(self.flats, self.start + start,
+                             self.start + stop)
+
+    def materialize(self) -> list[CellInput]:
+        u, v, w = self.flats
+        return [
+            CellInput(float(u[i]), float(v[i]), float(w[i]))
+            for i in range(self.start, self.stop)
+        ]
+
+
+class StencilBulk(Bulk):
+    """A run of :class:`StencilBundle` emissions addressed by flat index.
+
+    Backed by the chunk's block arrays; windows are only cut
+    (:meth:`ShiftBuffer3D.window_at`) for the handful of bundles that end
+    up inside FIFOs or stage pipelines when exact ticking resumes — the
+    bulk of them flow straight into the batched advect compute.
+    """
+
+    def __init__(self, buffers: Mapping[str, ShiftBuffer3D],
+                 blocks: Mapping[str, np.ndarray], start: int,
+                 stop: int) -> None:
+        self.buffers = dict(buffers)
+        self.blocks = dict(blocks)
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def slice(self, start: int, stop: int) -> "StencilBulk":
+        self._check_range(start, stop)
+        return StencilBulk(self.buffers, self.blocks, self.start + start,
+                           self.start + stop)
+
+    def bundle_at(self, index: int) -> StencilBundle:
+        wu = self.buffers["u"].window_at(index, self.blocks["u"])
+        wv = self.buffers["v"].window_at(index, self.blocks["v"])
+        ww = self.buffers["w"].window_at(index, self.blocks["w"])
+        return StencilBundle(u=wu, v=wv, w=ww, center=wu.center, top=wu.top)
+
+    def materialize(self) -> list[StencilBundle]:
+        return [self.bundle_at(i) for i in range(self.start, self.stop)]
+
+    def centers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Centre coordinate vectors of every bundle in this run."""
+        buf = self.buffers["u"]
+        ny, nz = buf.ny, buf.nz
+        indices = np.arange(self.start, self.stop)
+        column, j = np.divmod(indices, nz - 1)
+        cx = column // (ny - 2) + 1
+        cy = column % (ny - 2) + 1
+        cz = j + 1
+        return cx, cy, cz
+
+
+class AdvectResultBulk(Bulk):
+    """A run of ``(center, value)`` advect results backed by arrays."""
+
+    def __init__(self, cx: np.ndarray, cy: np.ndarray, cz: np.ndarray,
+                 values: np.ndarray) -> None:
+        self.cx = cx
+        self.cy = cy
+        self.cz = cz
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def slice(self, start: int, stop: int) -> "AdvectResultBulk":
+        self._check_range(start, stop)
+        return AdvectResultBulk(self.cx[start:stop], self.cy[start:stop],
+                                self.cz[start:stop],
+                                self.values[start:stop])
+
+    def materialize(self) -> list[tuple[tuple[int, int, int], float]]:
+        return [
+            ((int(self.cx[i]), int(self.cy[i]), int(self.cz[i])),
+             float(self.values[i]))
+            for i in range(len(self.values))
+        ]
+
+
 class ReadDataStage(SourceStage):
     """Streams `CellInput` values for one chunk from "external memory".
 
@@ -61,11 +174,162 @@ class ReadDataStage(SourceStage):
     parameter: an external memory that can only supply a cell every other
     cycle is a read stage with II = 2 (the device model computes this from
     bandwidth; see :mod:`repro.hardware.memory`).
+
+    Parameters
+    ----------
+    cells:
+        Legacy item-by-item input, any iterator of :class:`CellInput`.
+    block:
+        The three ``(nx, ny, nz)`` field blocks of the chunk, in streaming
+        layout.  When given, cells are cut from the arrays on demand —
+        value-identical to the iterator path — and batched firings
+        (``fire_bulk``) hand whole runs downstream without building cell
+        objects at all.
     """
 
-    def __init__(self, name: str, cells: Iterator[CellInput], *, ii: int = 1,
+    def __init__(self, name: str, cells: Iterator[CellInput] | None = None,
+                 *, block: tuple[np.ndarray, ...] | None = None, ii: int = 1,
                  latency: int = 16) -> None:
+        if block is not None:
+            self._flats: tuple[np.ndarray, ...] | None = tuple(
+                np.ascontiguousarray(b, dtype=float).reshape(-1)
+                for b in block
+            )
+            if len(self._flats) != 3:
+                raise DataflowError(
+                    f"read stage {name!r}: block must hold the three "
+                    f"(u, v, w) field arrays, got {len(self._flats)}"
+                )
+            self._total = len(self._flats[0])
+            self._cursor = 0
+            cells = iter(())
+        else:
+            if cells is None:
+                raise DataflowError(
+                    f"read stage {name!r} needs either cells or block"
+                )
+            self._flats = None
         super().__init__(name, items=cells, ii=ii, latency=latency)
+
+    def _cell_at(self, index: int) -> CellInput:
+        u, v, w = self._flats  # type: ignore[misc]
+        return CellInput(float(u[index]), float(v[index]), float(w[index]))
+
+    def exhausted(self) -> bool:
+        if self._flats is None:
+            return super().exhausted()
+        return self._cursor >= self._total
+
+    def _try_fire(self, cycle: int) -> bool:
+        if self._flats is None:
+            return super()._try_fire(cycle)
+        if cycle < self._next_fire_cycle:
+            self.stats.ii_waits += 1
+            return False
+        if len(self._pipeline) >= self.latency:
+            self.stats.pipeline_full_stalls += 1
+            return False
+        if self._cursor >= self._total:
+            return False
+        item = self._cell_at(self._cursor)
+        self._cursor += 1
+        self.stats.fires += 1
+        self._next_fire_cycle = cycle + self.ii
+        self._pipeline.append(
+            (cycle + self.latency, {"out": [item]}, (("out", 1),)))
+        return True
+
+    def ff_signature(self, cycle: int) -> tuple | None:
+        if self._flats is None:
+            return super().ff_signature(cycle)
+        base = Stage.ff_signature(self, cycle)
+        return base + (self._cursor < self._total,) if base is not None \
+            else None
+
+    def ff_fire_capacity(self, want: int) -> int:
+        if self._flats is None:
+            return super().ff_fire_capacity(want)
+        return min(want, self._total - self._cursor)
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        if self._flats is None:
+            return super().fire_bulk(count, inputs, cycle)
+        if count > self._total - self._cursor:
+            raise DataflowError(
+                f"read stage {self.name!r}: fast-forward wants {count} "
+                f"cells, only {self._total - self._cursor} remain"
+            )
+        start = self._cursor
+        self._cursor += count
+        return UniformFireResult(
+            {"out": CellBlockBulk(self._flats, start, self._cursor)})
+
+
+def _producing_index(emission: int, nz: int) -> int:
+    """Index of the producing feed that emitted flat emission ``emission``.
+
+    Producing feeds are numbered per interior column: ``nz - 2`` of them,
+    the last of which (the column top) emits two windows — emissions
+    ``nz - 3`` and ``nz - 2`` of its column share one feed.
+    """
+    column, j = divmod(emission, nz - 1)
+    return column * (nz - 2) + min(j, nz - 3)
+
+
+def _emission_stop_of_feed(feed: int, nz: int) -> int:
+    """One past the last flat emission index of producing feed ``feed``."""
+    column, j = divmod(feed, nz - 2)
+    stop = column * (nz - 1) + j + 1
+    if j == nz - 3:
+        stop += 1  # column top: the double emission
+    return stop
+
+
+class _ShiftFireResult(FireBulkResult):
+    """Fire-bulk result of the shift-buffer stage.
+
+    Emissions ``[first, stop)`` map to producing feeds by closed-form
+    arithmetic (column tops emit two bundles per feed); bundles are
+    materialised individually only for the tail that re-enters the stage
+    pipeline.
+    """
+
+    def __init__(self, bulk: StencilBulk, nz: int) -> None:
+        self._bulk = bulk
+        self._nz = nz
+        if bulk.stop == bulk.start:
+            self.producing_firings = 0
+            self._first_feed = 0
+        else:
+            self._first_feed = _producing_index(bulk.start, nz)
+            self.producing_firings = (
+                _producing_index(bulk.stop - 1, nz) - self._first_feed + 1)
+
+    def port_total(self, port: str) -> int:
+        return len(self._bulk) if port == "out" else 0
+
+    def head_bulk(self, port: str, count: int) -> Bulk:
+        if count == 0:
+            return ListBulk([])
+        stop = min(
+            _emission_stop_of_feed(self._first_feed + count - 1, self._nz),
+            self._bulk.stop,
+        )
+        return self._bulk.slice(0, stop - self._bulk.start)
+
+    def tail_firings(self, count: int) -> list[dict[str, list[Any]]]:
+        firings: list[dict[str, list[Any]]] = []
+        for feed in range(self._first_feed + self.producing_firings - count,
+                          self._first_feed + self.producing_firings):
+            stop = min(_emission_stop_of_feed(feed, self._nz),
+                       self._bulk.stop)
+            start = max(_emission_stop_of_feed(feed - 1, self._nz)
+                        if feed > 0 else 0, self._bulk.start)
+            firings.append({
+                "out": [self._bulk.bundle_at(e) for e in range(start, stop)]
+            })
+        return firings
 
 
 class ShiftBufferStage(Stage):
@@ -74,6 +338,11 @@ class ShiftBufferStage(Stage):
     One :class:`CellInput` is consumed per firing; zero, one, or two
     bundles are produced (two at column tops — the burst the downstream
     FIFO absorbs, see the shift-buffer docs).
+
+    ``backing`` (the three chunk blocks in streaming layout) unlocks the
+    batched firing path: the buffers jump ahead analytically
+    (:meth:`ShiftBuffer3D.feed_bulk`) and emissions travel as a
+    :class:`StencilBulk` instead of materialised windows.
     """
 
     input_ports = ("in",)
@@ -81,7 +350,8 @@ class ShiftBufferStage(Stage):
 
     def __init__(self, name: str, nx: int, ny: int, nz: int, *,
                  ii: int = 1, latency: int = 2, partitioned: bool = True,
-                 tracker: MemoryPortTracker | None = None) -> None:
+                 tracker: MemoryPortTracker | None = None,
+                 backing: tuple[np.ndarray, ...] | None = None) -> None:
         super().__init__(name, ii=ii, latency=latency)
         self.tracker = tracker if tracker is not None else MemoryPortTracker(
             enforce=False
@@ -94,6 +364,15 @@ class ShiftBufferStage(Stage):
             for field in ("u", "v", "w")
         }
         self.nz = nz
+        if backing is not None and len(backing) != 3:
+            raise DataflowError(
+                f"shift stage {name!r}: backing must hold the three "
+                f"(u, v, w) field blocks, got {len(backing)}"
+            )
+        self._backing = None if backing is None else {
+            field: np.ascontiguousarray(arr, dtype=float)
+            for field, arr in zip(("u", "v", "w"), backing)
+        }
 
     def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
         (cell,) = inputs["in"]
@@ -110,6 +389,60 @@ class ShiftBufferStage(Stage):
             for wu, wv, ww in zip(wins_u, wins_v, wins_w)
         ]
         return {"out": bundles} if bundles else {}
+
+    def ff_signature(self, cycle: int) -> tuple | None:
+        base = super().ff_signature(cycle)
+        if base is None:
+            return None
+        # Emission control depends on the streaming position only; X
+        # positions >= 2 all behave alike, so clamping X makes every
+        # steady-state plane comparable and the fundamental period one
+        # full (ny * nz) plane of feeds.
+        x, y, z = self._buffers["u"].position
+        return base + (min(x, 2), y, z)
+
+    def ff_fire_capacity(self, want: int) -> int:
+        buffer = self._buffers["u"]
+        return min(want, buffer.expected_feeds - buffer.fed)
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        if self._backing is None:
+            return super().fire_bulk(count, inputs, cycle)
+        if len(inputs.get("in", ())) != count:
+            raise DataflowError(
+                f"shift stage {self.name!r}: fast-forward consumed "
+                f"{len(inputs.get('in', ()))} cells for {count} firings"
+            )
+        # The input run must be the block's own cells, in streaming
+        # order, continuing exactly where the buffers stand — verify the
+        # alignment of every part before discarding item identity.
+        position = self._buffers["u"].fed
+        flat = {f: self._backing[f].reshape(-1) for f in ("u", "v", "w")}
+        for part in inputs["in"].parts():
+            if isinstance(part, CellBlockBulk):
+                if part.start != position:
+                    raise DataflowError(
+                        f"shift stage {self.name!r}: cell block starts at "
+                        f"{part.start}, buffers have consumed {position}"
+                    )
+            elif len(part):
+                cell = part.materialize()[0]
+                if (cell.u != flat["u"][position]
+                        or cell.v != flat["v"][position]
+                        or cell.w != flat["w"][position]):
+                    raise DataflowError(
+                        f"shift stage {self.name!r}: stream cell at "
+                        f"position {position} does not match the backing "
+                        f"block"
+                    )
+            position += len(part)
+        first = stop = 0
+        for field in ("u", "v", "w"):
+            first, stop = self._buffers[field].feed_bulk(
+                count, self._backing[field])
+        return _ShiftFireResult(
+            StencilBulk(self._buffers, self._backing, first, stop), self.nz)
 
     def reset(self) -> None:
         super().reset()
@@ -133,6 +466,16 @@ class ReplicateStage(Stage):
     def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
         (bundle,) = inputs["in"]
         return {"u": [bundle], "v": [bundle], "w": [bundle]}
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        bulk = inputs["in"]
+        if len(bulk) != count:
+            raise DataflowError(
+                f"replicate {self.name!r}: fast-forward consumed "
+                f"{len(bulk)} bundles for {count} firings"
+            )
+        return UniformFireResult({"u": bulk, "v": bulk, "w": bulk})
 
 
 class AdvectStage(Stage):
@@ -175,6 +518,39 @@ class AdvectStage(Stage):
         value = self._fn(bundle.u, bundle.v, bundle.w, self.coeffs, k, self.nz)
         return {"out": [(bundle.center, value)]}
 
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        from repro.kernel import compute
+
+        block_fn = {
+            "u": compute.advect_u_block,
+            "v": compute.advect_v_block,
+            "w": compute.advect_w_block,
+        }[self.field]
+        bulk = inputs["in"]
+        if len(bulk) != count:
+            raise DataflowError(
+                f"advect {self.name!r}: fast-forward consumed "
+                f"{len(bulk)} bundles for {count} firings"
+            )
+        out_parts: list[Bulk] = []
+        for part in bulk.parts():
+            if isinstance(part, StencilBulk):
+                cx, cy, cz = part.centers()
+                values = block_fn(
+                    part.blocks["u"], part.blocks["v"], part.blocks["w"],
+                    self.coeffs, cx, cy, cz, self.nz,
+                )
+                out_parts.append(AdvectResultBulk(cx, cy, cz, values))
+            elif len(part):
+                out_parts.append(ListBulk([
+                    (bundle.center,
+                     self._fn(bundle.u, bundle.v, bundle.w, self.coeffs,
+                              bundle.center[2], self.nz))
+                    for bundle in part.materialize()
+                ]))
+        return UniformFireResult({"out": ChainBulk(out_parts)})
+
 
 class WriteDataStage(Stage):
     """Collects the three source streams and writes them to "external memory".
@@ -206,3 +582,27 @@ class WriteDataStage(Stage):
             ] = value
         self.cells_written += 1
         return {}
+
+    def fire_bulk(self, count: int, inputs: dict[str, Bulk],
+                  cycle: int) -> FireBulkResult:
+        for port in ("su", "sv", "sw"):
+            bulk = inputs[port]
+            if len(bulk) != count:
+                raise DataflowError(
+                    f"write {self.name!r}: fast-forward consumed "
+                    f"{len(bulk)} results on {port!r} for {count} firings"
+                )
+            array = self._arrays[port]
+            for part in bulk.parts():
+                if isinstance(part, AdvectResultBulk):
+                    array[part.cx - 1 + self.x_offset,
+                          part.cy - 1 + self.y_offset,
+                          part.cz] = part.values
+                elif len(part):
+                    for (cx, cy, cz), value in part.materialize():
+                        array[cx - 1 + self.x_offset,
+                              cy - 1 + self.y_offset, cz] = value
+        self.cells_written += count
+        # A write firing produces nothing: it never enters the pipeline
+        # (side effects land at fire time), matching the exact path.
+        return ListFireResult([])

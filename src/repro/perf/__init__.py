@@ -9,6 +9,7 @@ from the paper's published measurements, and verifies the derivations
 numerically.
 """
 
+from repro.perf.bench import BenchRecord, BenchSuite, load_suite, speedup
 from repro.perf.calibration import CALIBRATION, CalibrationEntry
 from repro.perf.metrics import KernelMetrics, compare_to_paper
 from repro.perf.roofline import RooflinePoint, arithmetic_intensity, roofline_gflops
@@ -27,4 +28,8 @@ __all__ = [
     "arithmetic_intensity",
     "roofline_gflops",
     "RooflinePoint",
+    "BenchRecord",
+    "BenchSuite",
+    "load_suite",
+    "speedup",
 ]

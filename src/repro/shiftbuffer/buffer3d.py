@@ -35,12 +35,30 @@ arrays were split (section III-B).
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import ShiftBufferError
 from repro.shiftbuffer.ports import MemoryPortTracker
 from repro.shiftbuffer.window import StencilWindow
 
-__all__ = ["ShiftBuffer3D"]
+__all__ = ["ShiftBuffer3D", "emission_center"]
+
+
+def emission_center(index: int, ny: int, nz: int) -> tuple[int, int, int, bool]:
+    """Map a flat emission index to ``(cx, cy, cz, top)``.
+
+    Emissions of a streaming pass are numbered ``0 .. (nx-2)(ny-2)(nz-1)``
+    in the order :meth:`ShiftBuffer3D.feed` produces them: column by
+    column (Y fastest, then X), ``nz - 1`` per interior column — the
+    ``nz - 2`` full windows at ``cz = 1 .. nz-2`` followed by the
+    column-top window at ``cz = nz - 1``.  This arithmetic is what lets
+    the batched feed path address any window directly.
+    """
+    column, j = divmod(index, nz - 1)
+    cx = column // (ny - 2) + 1
+    cy = column % (ny - 2) + 1
+    cz = j + 1
+    return cx, cy, cz, cz == nz - 1
 
 
 class ShiftBuffer3D:
@@ -216,18 +234,194 @@ class ShiftBuffer3D:
                 self._x += 1
         return emitted
 
-    def feed_block(self, block: np.ndarray) -> list[StencilWindow]:
-        """Stream an entire ``(nx, ny, nz)`` block; return all stencils."""
-        if block.shape != (self.nx, self.ny, self.nz):
+    def _check_block_shape(self, block: np.ndarray) -> None:
+        shape = tuple(block.shape) if hasattr(block, "shape") else None
+        if shape != (self.nx, self.ny, self.nz):
+            hint = ""
+            if shape is not None and sorted(shape) == sorted(
+                    (self.nx, self.ny, self.nz)):
+                hint = (
+                    " — the extents match but the axes are permuted; the "
+                    "buffer streams Z fastest, then Y, then X, so transpose "
+                    "the block to (nx, ny, nz) order before feeding"
+                )
             raise ShiftBufferError(
-                f"block shape {block.shape} does not match buffer extents "
-                f"({self.nx}, {self.ny}, {self.nz})"
+                f"buffer {self.name!r}: block shape {shape} does not match "
+                f"buffer extents ({self.nx}, {self.ny}, {self.nz}){hint}"
             )
-        emitted: list[StencilWindow] = []
-        flat = block.reshape(-1)  # C order == streaming order (z fastest)
-        for value in flat:
-            emitted.extend(self.feed(float(value)))
-        return emitted
+
+    def _access_pattern(self) -> dict[str, int]:
+        """Per-feed memory access counts (a structural constant)."""
+        if self.partitioned:
+            pattern = {
+                f"{self.name}.slab[0]": 2,
+                f"{self.name}.slab[1]": 2,
+                f"{self.name}.slab[2]": 1,
+            }
+            for s in range(3):
+                pattern[f"{self.name}.lines[{s}][0]"] = 2
+                pattern[f"{self.name}.lines[{s}][1]"] = 2
+                pattern[f"{self.name}.lines[{s}][2]"] = 1
+            return pattern
+        pattern = {f"{self.name}.slab": 5}
+        for s in range(3):
+            pattern[f"{self.name}.lines[{s}]"] = 5
+        return pattern
+
+    def _emissions_before(self, feeds: int) -> int:
+        """Windows emitted by the first ``feeds`` values of the block."""
+        ny, nz = self.ny, self.nz
+        x, rest = divmod(feeds, ny * nz)
+        y, z = divmod(rest, nz)
+        total = max(x - 2, 0) * (ny - 2) * (nz - 1)
+        if x >= 2:
+            total += max(y - 2, 0) * (nz - 1)
+            if y >= 2:
+                total += max(z - 2, 0)
+        return total
+
+    def emission_count(self, feeds: int) -> int:
+        """Emissions an additional ``feeds`` values would produce now."""
+        return (self._emissions_before(self._fed + feeds)
+                - self._emissions_before(self._fed))
+
+    def feed_bulk(self, count: int, backing: np.ndarray) -> tuple[int, int]:
+        """Advance ``count`` feeds analytically; return the emission range.
+
+        ``backing`` must be the full ``(nx, ny, nz)`` block whose values
+        are being streamed — the *same* values previous :meth:`feed` calls
+        supplied, in streaming order.  The buffer jumps straight to the
+        state it would reach after ``count`` more scalar feeds: every
+        shift-register slot holds a value at a closed-form position of the
+        backing block, so the state is gathered rather than simulated, and
+        the memory-port tracker replays its per-feed pattern in bulk.
+
+        Returns ``(first, stop)``, the half-open range of flat emission
+        indices (see :func:`emission_center`) the skipped feeds produced;
+        callers materialise any windows they need from the backing block.
+        """
+        self._check_block_shape(backing)
+        if count < 1:
+            raise ShiftBufferError(
+                f"buffer {self.name!r}: feed_bulk count must be >= 1, "
+                f"got {count}"
+            )
+        if self._fed + count > self.expected_feeds:
+            raise ShiftBufferError(
+                f"buffer {self.name!r}: feed_bulk of {count} values "
+                f"overruns the block ({self._fed} of "
+                f"{self.expected_feeds} already consumed)"
+            )
+        first = self._emissions_before(self._fed)
+        new_fed = self._fed + count
+        stop = self._emissions_before(new_fed)
+        self.tracker.record_steady(self._access_pattern(), count)
+
+        nx, ny, nz = self.nx, self.ny, self.nz
+        x, rest = divmod(new_fed, ny * nz)
+        y, z = divmod(rest, nz)
+
+        # Slab slice s holds, at each (y', z'), the value of plane
+        # (x - s) where the streaming front has passed this plane and
+        # (x - 1 - s) where it has not; slots the stream never reached
+        # that deep keep their prior contents.
+        yy, zz = np.meshgrid(np.arange(ny), np.arange(nz), indexing="ij")
+        passed = (yy * nz + zz) < (y * nz + z)
+        for s in range(3):
+            plane = np.where(passed, x - s, x - 1 - s)
+            valid = (plane >= 0) & (plane < nx)
+            self._slab[s][valid] = backing[plane[valid], yy[valid], zz[valid]]
+
+        # Line buffers slide over global row index g = plane * ny + row,
+        # independently per height: depth dy holds the value that entered
+        # dy feeds-at-this-height ago, i.e. row g - dy (wrapping into the
+        # previous plane's last rows at plane seams).
+        heights = np.arange(nz)
+        last_row = np.where(heights < z, x * ny + y,
+                            x * ny + y - 1)  # last feed at each height
+        for s in range(3):
+            for dy in range(3):
+                g = last_row - dy
+                plane_idx, row_idx = np.divmod(g, ny)
+                src_plane = plane_idx - s
+                valid = (g >= 0) & (src_plane >= 0) & (src_plane < nx)
+                self._lines[s, dy, valid] = backing[
+                    src_plane[valid], row_idx[valid], heights[valid]]
+
+        # Register windows: column dz was loaded by the feed dz steps ago.
+        for dz in range(3):
+            f = new_fed - 1 - dz
+            if f < 0:
+                continue
+            fx, frest = divmod(f, ny * nz)
+            fy, fz = divmod(frest, nz)
+            for s in range(3):
+                for dy in range(3):
+                    g = fx * ny + fy - dy
+                    if g < 0:
+                        continue
+                    gx, gy = divmod(g, ny)
+                    if 0 <= gx - s < nx:
+                        self._windows[s, dy, dz] = backing[gx - s, gy, fz]
+
+        self._fed = new_fed
+        self._x, self._y, self._z = x, y, z
+        return first, stop
+
+    def window_at(self, index: int, backing: np.ndarray) -> StencilWindow:
+        """Materialise the window of one flat emission index from backing.
+
+        Bit-identical to the window :meth:`feed` emits at that point of
+        the stream: the registers hold the 3x3x3 neighbourhood of the feed
+        position reversed on every axis (newest value at raw index 0).
+        """
+        cx, cy, cz, top = emission_center(index, self.ny, self.nz)
+        z0 = self.nz - 3 if top else cz - 1
+        raw = backing[cx - 1:cx + 2, cy - 1:cy + 2, z0:z0 + 3]
+        return StencilWindow(
+            raw=np.ascontiguousarray(raw[::-1, ::-1, ::-1]),
+            center=(cx, cy, cz),
+            top=top,
+        )
+
+    def feed_block(self, block: np.ndarray) -> list[StencilWindow]:
+        """Stream an entire ``(nx, ny, nz)`` block; return all stencils.
+
+        On a fresh buffer this takes the batched path: state advances
+        analytically (:meth:`feed_bulk`) and every window is cut from a
+        ``sliding_window_view`` of the block — identical results to the
+        scalar loop at a fraction of the cost.  A partially fed buffer
+        falls back to scalar feeds.
+        """
+        self._check_block_shape(block)
+        if self._fed != 0:
+            emitted: list[StencilWindow] = []
+            for value in block.reshape(-1):
+                emitted.extend(self.feed(float(value)))
+            return emitted
+
+        block = np.asarray(block, dtype=float)
+        first, stop = self.feed_bulk(self.expected_feeds, block)
+        if first == stop:
+            return []
+        ny, nz = self.ny, self.nz
+        view = sliding_window_view(block, (3, 3, 3))
+        indices = np.arange(first, stop)
+        column, j = np.divmod(indices, nz - 1)
+        cx = column // (ny - 2) + 1
+        cy = column % (ny - 2) + 1
+        cz = j + 1
+        top = cz == nz - 1
+        z0 = np.where(top, nz - 3, cz - 1)
+        raws = view[cx - 1, cy - 1, z0][:, ::-1, ::-1, ::-1]
+        return [
+            StencilWindow(
+                raw=raws[i],
+                center=(int(cx[i]), int(cy[i]), int(cz[i])),
+                top=bool(top[i]),
+            )
+            for i in range(len(indices))
+        ]
 
     def reset(self) -> None:
         """Clear all state for a new block."""

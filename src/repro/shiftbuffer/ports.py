@@ -100,6 +100,42 @@ class MemoryPortTracker:
             report.cycles += 1
         self._cycle_open = False
 
+    def record_steady(self, pattern: dict[str, int], cycles: int) -> None:
+        """Replay ``cycles`` identical cycles of ``pattern`` in one step.
+
+        The shift buffer's per-feed access pattern is a compile-time
+        constant, so batched feeds (``feed_bulk``/``feed_block``) account
+        for it in bulk instead of opening one window per value.  The
+        result is identical to ``cycles`` begin/access/end rounds:
+        conflicts are counted (and raised, when enforcing) per cycle, and
+        every known report ages by ``cycles`` like :meth:`end_cycle` does.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        if cycles == 0:
+            return
+        if self._cycle_open:
+            raise PortConflictError(
+                "record_steady() called inside a begin_cycle/end_cycle window"
+            )
+        for memory, count in pattern.items():
+            if count > self.ports:
+                self.conflicts += cycles
+                if self.enforce:
+                    raise PortConflictError(
+                        f"memory {memory!r} accessed {count} times in one "
+                        f"cycle but has only {self.ports} ports; partition "
+                        f"the array (HLS array_partition / manual split on "
+                        f"Intel)"
+                    )
+        for memory, count in pattern.items():
+            report = self._reports.setdefault(memory, PortReport(memory))
+            report.total_accesses += count * cycles
+            if count > report.max_accesses_per_cycle:
+                report.max_accesses_per_cycle = count
+        for report in self._reports.values():
+            report.cycles += cycles
+
     # -- results -----------------------------------------------------------------
 
     def report(self, memory: str) -> PortReport:
