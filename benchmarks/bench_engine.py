@@ -14,6 +14,11 @@ Usage::
 Exit status is non-zero if the modes disagree or the speedup falls below
 ``--min-speedup`` (default 10x, the target the fast path is sized for on
 the 64^3 grid).  ``--smoke`` shrinks the grid for CI.
+
+A third, resilient run arms the checkpoint/restart machinery with an
+empty fault plan and gates its fault-free overhead against the plain
+exact run (``--max-resilience-overhead``, default 3%): recovery must be
+free when nothing fails.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import numpy as np
 
 from repro.core.grid import Grid
 from repro.core.wind import random_wind
+from repro.faults import FaultPlan, RetryPolicy
 from repro.kernel.config import KernelConfig
 from repro.kernel.simulate import simulate_kernel
 from repro.perf.bench import BenchRecord, BenchSuite, render_table, speedup
@@ -34,9 +40,9 @@ from repro.perf.bench import BenchRecord, BenchSuite, render_table, speedup
 DEFAULT_OUTPUT = "benchmarks/BENCH_dataflow.json"
 
 
-def run_once(config, fields, mode: str):
+def run_once(config, fields, mode: str, **kwargs):
     start = time.perf_counter()
-    result = simulate_kernel(config, fields, mode=mode)
+    result = simulate_kernel(config, fields, mode=mode, **kwargs)
     return result, time.perf_counter() - start
 
 
@@ -49,15 +55,29 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--min-speedup", type=float, default=10.0,
                         help="fail below this fast/exact speedup")
+    parser.add_argument("--max-resilience-overhead", type=float,
+                        default=0.03,
+                        help="fail when the fault-free resilient run is "
+                             "more than this fraction slower than exact "
+                             "(default: %(default)s)")
+    parser.add_argument("--overhead-repeats", type=int, default=3,
+                        help="interleaved exact/resilient timing pairs "
+                             "for the overhead gate (default: %(default)s)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny grid + relaxed gate (CI smoke run)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="record file (default: %(default)s)")
     args = parser.parse_args(argv)
 
+    if args.overhead_repeats < 1:
+        parser.error("--overhead-repeats must be >= 1")
     if args.smoke:
         args.nx, args.ny, args.nz = 16, 16, 16
         args.min_speedup = min(args.min_speedup, 1.5)
+        # Tiny grids amplify timer noise; the 3% gate only means
+        # something on paper-scale runs.
+        args.max_resilience_overhead = max(
+            args.max_resilience_overhead, 0.5)
 
     grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
     fields = random_wind(grid, seed=args.seed, magnitude=2.0)
@@ -67,6 +87,18 @@ def main(argv=None) -> int:
 
     exact, t_exact = run_once(config, fields, "exact")
     fast, t_fast = run_once(config, fields, "fast")
+    # The resilient overhead is a few-percent effect buried under
+    # comparable wall-time noise, so measure it from interleaved pairs
+    # and compare the minimums (systematic machine drift then cancels).
+    resilient, t_resilient = run_once(
+        config, fields, "exact",
+        fault_plan=FaultPlan([]), retry=RetryPolicy())
+    exact_times, resilient_times = [t_exact], [t_resilient]
+    for _ in range(args.overhead_repeats - 1):
+        exact_times.append(run_once(config, fields, "exact")[1])
+        resilient_times.append(run_once(
+            config, fields, "exact",
+            fault_plan=FaultPlan([]), retry=RetryPolicy())[1])
 
     # The speedup is only meaningful if fast mode is *the same machine*.
     errors = []
@@ -82,6 +114,13 @@ def main(argv=None) -> int:
         if not np.array_equal(getattr(exact.sources, name),
                               getattr(fast.sources, name)):
             errors.append(f"{name} arrays not bit-identical")
+        if not np.array_equal(getattr(exact.sources, name),
+                              getattr(resilient.sources, name)):
+            errors.append(f"{name} differs under the resilient path")
+    if resilient.total_cycles != exact.total_cycles:
+        errors.append("resilient path changed the cycle count")
+    if resilient.chunk_retries != 0:
+        errors.append("resilient path retried on a fault-free run")
     if errors:
         for err in errors:
             print(f"MISMATCH: {err}", file=sys.stderr)
@@ -102,22 +141,40 @@ def main(argv=None) -> int:
         cycles=fast.total_cycles, cells=grid.num_cells, mode="fast",
         extra={"ff_advances": agg_fast.ff_advances,
                "ff_cycles": agg_fast.ff_cycles})
+    best_exact, best_resilient = min(exact_times), min(resilient_times)
+    overhead = (best_resilient / best_exact - 1.0 if best_exact > 0
+                else 0.0)
+    rec_resilient = BenchRecord(
+        name=f"kernel-{label}-resilient", wall_seconds=best_resilient,
+        cycles=resilient.total_cycles, cells=grid.num_cells, mode="exact",
+        extra={"chunk_retries": resilient.chunk_retries,
+               "overhead_vs_exact": round(overhead, 4),
+               "timing_pairs": args.overhead_repeats})
     suite.add(rec_exact)
     suite.add(rec_fast)
+    suite.add(rec_resilient)
     gain = speedup(rec_exact, rec_fast)
     suite.context["speedup"] = round(gain, 2)
+    suite.context["resilience_overhead"] = round(overhead, 4)
     path = suite.write(args.output)
 
     print(render_table(suite.records))
     print(f"\nspeedup: {gain:.2f}x "
           f"({agg_fast.ff_cycles}/{fast.total_cycles} cycles "
           f"fast-forwarded in {agg_fast.ff_advances} advances)")
+    print(f"fault-free resilience overhead: {overhead * 100:+.2f}%")
     print(f"records written to {path}")
+    failed = False
     if gain < args.min_speedup:
         print(f"FAIL: speedup {gain:.2f}x below the {args.min_speedup:.1f}x "
               f"floor", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if overhead > args.max_resilience_overhead:
+        print(f"FAIL: fault-free resilience overhead {overhead * 100:.2f}% "
+              f"exceeds the {args.max_resilience_overhead * 100:.1f}% "
+              f"budget", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -16,6 +16,11 @@ Commands
 ``lint [specs...] [--device u280] [--kernels 6] [--json]``
     Synthesis-time static diagnostics over dataflow graphs, kernel
     configurations, and device budgets (non-zero exit on errors).
+``chaos [--seeds 4] [--families fifo-corrupt,rank-drop] [--json]``
+    Seeded fault-injection sweep asserting the resilience invariant:
+    every run completes bit-identical to the fault-free golden output or
+    raises a typed error within its watchdog budget (non-zero exit on
+    any violation).
 """
 
 from __future__ import annotations
@@ -128,6 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="non-zero exit on warnings too")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep over the resilient runtime",
+    )
+    p_chaos.add_argument("--seeds", type=int, default=4,
+                         help="seeds per scenario family (default 4)")
+    p_chaos.add_argument("--seed-base", type=int, default=0,
+                         help="first seed of the sweep (CI shards "
+                              "disjoint bases; default 0)")
+    p_chaos.add_argument("--families", default=None, metavar="NAMES",
+                         help="comma-separated family subset "
+                              "(default: all families)")
+    p_chaos.add_argument("--nx", type=int, default=6)
+    p_chaos.add_argument("--ny", type=int, default=9)
+    p_chaos.add_argument("--nz", type=int, default=5)
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="quick sweep: 2 seeds over the smoke "
+                              "family subset")
     return parser
 
 
@@ -238,6 +264,8 @@ def _cmd_simulate(args) -> int:
         print(f"memory:   {multi.arbiter.grants} grants, "
               f"{multi.arbiter.denials} denials "
               f"({multi.read_starvation_fraction:.1%} starved)")
+        if multi.ff_veto_reason:
+            print(f"demoted:  {multi.ff_veto_reason}")
     else:
         result = simulate_kernel(config, fields, read_ii=args.read_ii,
                                  mode=args.mode)
@@ -250,6 +278,8 @@ def _cmd_simulate(args) -> int:
             print(f"forward:  {stats.ff_cycles} cycles skipped in "
                   f"{stats.ff_advances} analytic advances "
                   f"({stats.ff_cycles / result.total_cycles:.1%} of the run)")
+        if stats.ff_veto_reason:
+            print(f"demoted:  {stats.ff_veto_reason}")
     print(f"wall:     {elapsed:.2f} s")
     return 0
 
@@ -362,6 +392,29 @@ def _cmd_lint(args) -> int:
     return max(r.exit_code(strict=args.strict) for r in reports)
 
 
+def _cmd_chaos(args) -> int:
+    import json as json_module
+
+    from repro.faults.chaos import SMOKE_FAMILIES, run_chaos
+
+    families = None
+    if args.families:
+        families = tuple(name.strip() for name in args.families.split(",")
+                         if name.strip())
+    seeds = args.seeds
+    if args.smoke:
+        families = families or SMOKE_FAMILIES
+        seeds = min(seeds, 2)
+    report = run_chaos(families=families, seeds=seeds,
+                       seed_base=args.seed_base,
+                       nx=args.nx, ny=args.ny, nz=args.nz)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_scorecard(args) -> int:
     from repro.experiments.summary import (
         build_scorecard,
@@ -395,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_scorecard(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "report":
             from repro.experiments.markdown_report import main as report_main
 

@@ -34,21 +34,26 @@ replays it exactly — and ``N`` whole periods are advanced in one step:
 Any stage whose output counts could depend on data values vetoes the whole
 mechanism by returning ``None`` from ``ff_signature`` (the arbitrated
 multi-kernel read stage does so the moment its arbiter has ever starved
-it), and attaching monitors disables fast-forward too: skipped cycles
-cannot be sampled.  In all such cases ``mode="fast"`` silently behaves
-exactly like ``mode="exact"``.
+it), and attaching monitors or a fault plan disables fast-forward too:
+skipped cycles can be neither sampled nor faulted.  In all such cases
+``mode="fast"`` behaves exactly like ``mode="exact"`` and the reason for
+the demotion is surfaced on :attr:`RunStats.ff_veto_reason` (and by
+``repro simulate``) rather than being swallowed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.dataflow.bulk import Bulk, ChainBulk, ListBulk
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.monitors import Monitor
 from repro.dataflow.stage import Stage
-from repro.errors import DataflowError, LintError
+from repro.errors import DataflowError, FaultError, LintError, WatchdogTimeout
+
+if TYPE_CHECKING:  # imported lazily to keep dataflow import-cycle free
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["DataflowEngine", "RunStats"]
 
@@ -73,6 +78,10 @@ class RunStats:
     ff_advances: int = 0
     #: total cycles skipped by those advances (fast mode)
     ff_cycles: int = 0
+    #: why a ``mode="fast"`` run was (partly) demoted to exact ticking:
+    #: a monitor, an active fault plan, or a data-dependent stage veto.
+    #: ``None`` for exact-mode runs and undemoted fast runs.
+    ff_veto_reason: str | None = None
 
     def throughput(self, stage: str) -> float:
         """Average results per cycle for one stage (1.0 == ideal II=1)."""
@@ -105,6 +114,8 @@ class RunStats:
                     merged.stream_high_water.get(name, 0), high)
             merged.ff_advances += run.ff_advances
             merged.ff_cycles += run.ff_cycles
+            if merged.ff_veto_reason is None:
+                merged.ff_veto_reason = run.ff_veto_reason
         return merged
 
     def summary(self) -> str:
@@ -115,6 +126,8 @@ class RunStats:
                 f" ({self.ff_cycles} fast-forwarded in "
                 f"{self.ff_advances} advances)"
             )
+        if self.ff_veto_reason is not None:
+            lines.append(f"  fast-forward demoted: {self.ff_veto_reason}")
         for name in sorted(self.fires):
             stalls = self.stalls.get(name, {})
             lines.append(
@@ -151,12 +164,25 @@ class DataflowEngine:
         synthesis-time pre-flight the HLS tools would perform.  Off by
         default: :meth:`DataflowGraph.validate` already covers the hard
         structural errors, and tests deliberately run odd graphs.
+    watchdog:
+        Optional cycle budget for the whole run.  Where ``max_cycles``
+        models the simulator's own runaway guard, the watchdog models the
+        *host's* patience: exceeding it raises
+        :class:`~repro.errors.WatchdogTimeout` (a
+        :class:`~repro.errors.FaultError`), which the checkpointed layers
+        treat as a retriable fault.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  At run start the
+        engine arms matching FIFO fault hooks and stage freeze windows;
+        an active plan demotes ``mode="fast"`` to exact ticking (skipped
+        cycles could not be faulted).
     """
 
     def __init__(self, graph: DataflowGraph, *, max_cycles: int = 10_000_000,
                  monitors: list[Monitor] | None = None,
                  stall_grace: int | None = None, mode: str = "exact",
-                 lint: bool = False) -> None:
+                 lint: bool = False, watchdog: int | None = None,
+                 fault_plan: "FaultPlan | None" = None) -> None:
         if max_cycles < 1:
             raise DataflowError(f"max_cycles must be >= 1, got {max_cycles}")
         if stall_grace is not None and stall_grace < 1:
@@ -167,12 +193,18 @@ class DataflowEngine:
             raise DataflowError(
                 f"mode must be 'exact' or 'fast', got {mode!r}"
             )
+        if watchdog is not None and watchdog < 1:
+            raise DataflowError(
+                f"watchdog must be >= 1, got {watchdog}"
+            )
         self.graph = graph
         self.max_cycles = max_cycles
         self.monitors = list(monitors or [])
         self.stall_grace = stall_grace
         self.mode = mode
         self.lint = lint
+        self.watchdog = watchdog
+        self.fault_plan = fault_plan
 
     def run(self) -> RunStats:
         """Simulate until quiescence and return run statistics."""
@@ -187,6 +219,19 @@ class DataflowEngine:
                 )
         self.graph.validate()
         order = self.graph.topological_order()
+        # Arm the fault plan: FIFO word hooks and stage freeze windows.
+        plan = self.fault_plan
+        plan_active = plan is not None and plan.active
+        freeze: dict[str, tuple[int, int | None]] = {}
+        if plan is not None and plan_active:
+            for stream in self.graph.streams:
+                hook = plan.stream_hook(stream.name)
+                if hook is not None:
+                    stream.fault_hook = hook
+            for stage in order:
+                window = plan.freeze_window(stage.name)
+                if window is not None:
+                    freeze[stage.name] = window
         # A machine can legitimately make no visible progress for up to the
         # largest II (waiting out the interval); anything longer without
         # progress while non-idle is a deadlock (e.g. an undersized FIFO).
@@ -202,18 +247,37 @@ class DataflowEngine:
             for m in self.monitors
         ]
         # Fast-forward requires every cycle to be observable-equivalent;
-        # monitors sample individual cycles, so they force exact ticking.
-        ff_enabled = self.mode == "fast" and not self.monitors
+        # monitors sample individual cycles and fault plans strike them,
+        # so either forces exact ticking — with the reason surfaced.
+        veto_reason: str | None = None
+        if self.mode == "fast":
+            if self.monitors:
+                veto_reason = ("monitors attached: per-cycle sampling "
+                               "requires exact ticking")
+            elif plan_active:
+                veto_reason = ("fault injection active: skipped cycles "
+                               "could not be faulted")
+        ff_enabled = self.mode == "fast" and veto_reason is None
         ff_table: dict[Any, tuple[int, tuple[dict, dict]]] = {}
         ff_advances = 0
         ff_cycles = 0
+        cap = (self.max_cycles if self.watchdog is None
+               else min(self.max_cycles, self.watchdog))
 
         cycle = 0
         last_progress = 0
-        while cycle < self.max_cycles:
+        while cycle < cap:
             progressed = False
-            for stage in order:
-                progressed |= stage.tick(cycle)
+            if not freeze:
+                for stage in order:
+                    progressed |= stage.tick(cycle)
+            else:
+                for stage in order:
+                    window = freeze.get(stage.name)
+                    if window is not None and window[0] <= cycle and (
+                            window[1] is None or cycle < window[1]):
+                        continue  # frozen: the stage does nothing
+                    progressed |= stage.tick(cycle)
             for monitor, every, phase in monitor_plan:
                 if every <= 1 or cycle % every == phase:
                     monitor.sample(cycle, self.graph)
@@ -234,13 +298,17 @@ class DataflowEngine:
                         )
                     )
             if ff_enabled:
-                sig = self._ff_machine_signature(order, cycle + 1)
+                sig, veto_stage = self._ff_machine_signature(order, cycle + 1)
                 if sig is None:
                     # A stage vetoed (data-dependent control, e.g. a
                     # starved arbiter): exact ticking for the rest of
                     # the run.
                     ff_enabled = False
                     ff_table.clear()
+                    veto_reason = (
+                        f"stage {veto_stage!r} vetoed steady-state "
+                        f"detection (data-dependent control)"
+                    )
                 elif sig in ff_table:
                     first_cycle, snapshot = ff_table[sig]
                     skipped = self._ff_advance(
@@ -263,10 +331,30 @@ class DataflowEngine:
                     ff_table[sig] = (cycle + 1, self._ff_snapshot(order))
             cycle += 1
         else:
+            if self.watchdog is not None and cap == self.watchdog:
+                raise WatchdogTimeout(
+                    f"graph {self.graph.name!r} exceeded its watchdog "
+                    f"budget of {self.watchdog} cycles without quiescing"
+                )
             raise DataflowError(
                 f"graph {self.graph.name!r} did not quiesce within "
                 f"{self.max_cycles} cycles"
             )
+
+        if plan is not None and plan.active:
+            # End-of-run accounting: a healthy quiescent stream has seen
+            # every pushed word popped (or still holds it).  A shortfall
+            # means an injected drop swallowed data that nothing checked
+            # downstream — surface it as a typed error, never silently.
+            for stream in self.graph.streams:
+                lost = (stream.stats.pushes - stream.stats.pops
+                        - stream.occupancy)
+                if lost > 0:
+                    raise FaultError(
+                        f"{lost} word(s) lost in flight on stream "
+                        f"{stream.name!r} (push/pop accounting mismatch "
+                        f"at quiescence)"
+                    )
 
         return RunStats(
             cycles=cycle,
@@ -285,24 +373,25 @@ class DataflowEngine:
             },
             ff_advances=ff_advances,
             ff_cycles=ff_cycles,
+            ff_veto_reason=veto_reason,
         )
 
     # -- fast-forward internals -------------------------------------------------
 
-    def _ff_machine_signature(self, order: list[Stage],
-                              at_cycle: int) -> tuple | None:
-        """Complete control-state fingerprint, or None if any stage vetoes."""
+    def _ff_machine_signature(self, order: list[Stage], at_cycle: int
+                              ) -> tuple[tuple | None, str | None]:
+        """``(fingerprint, None)``, or ``(None, stage_name)`` on a veto."""
         stage_sigs = []
         append = stage_sigs.append
         for stage in order:
             sig = stage.ff_signature(at_cycle)
             if sig is None:
-                return None
+                return None, stage.name
             append(sig)
         return (
             tuple(stage_sigs),
             tuple([stream.occupancy for stream in self.graph.streams]),
-        )
+        ), None
 
     def _ff_snapshot(self, order: list[Stage]) -> tuple[tuple, tuple]:
         """Counter snapshot paired with a signature's first occurrence.

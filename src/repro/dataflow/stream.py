@@ -13,11 +13,34 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
-from repro.errors import StreamError
+from repro.errors import FaultError, StreamError
 
-__all__ = ["Stream", "StreamStats"]
+__all__ = ["Stream", "StreamStats", "CorruptedWord", "DROP_WORD"]
+
+#: Sentinel a fault hook returns to make a pushed word vanish in flight:
+#: the producer's push is counted, the consumer never sees the item.
+DROP_WORD: Any = object()
+
+
+class CorruptedWord:
+    """A FIFO word flipped in flight, detectable at the consumer side.
+
+    Models ECC/CRC-protected links: corruption is *detected*, not
+    silently consumed — popping a corrupted word raises
+    :class:`~repro.errors.FaultError`, which the checkpointed layers
+    catch and turn into a chunk retry.  The original value is kept so
+    diagnostics can show what was lost.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CorruptedWord({self.original!r})"
 
 #: Default FIFO depth, matching the Vitis HLS default stream depth of 2
 #: (one producer register plus one consumer register).
@@ -54,7 +77,7 @@ class Stream:
         always provide at least one register.
     """
 
-    __slots__ = ("name", "depth", "_items", "stats")
+    __slots__ = ("name", "depth", "_items", "stats", "fault_hook")
 
     def __init__(self, name: str, depth: int = DEFAULT_DEPTH) -> None:
         if depth < 1:
@@ -63,6 +86,12 @@ class Stream:
         self.depth = depth
         self._items: deque[Any] = deque()
         self.stats = StreamStats()
+        #: Optional fault injector (armed by the engine from a
+        #: :class:`~repro.faults.plan.FaultPlan`): called once per pushed
+        #: word, it returns the word unchanged, a :class:`CorruptedWord`
+        #: wrapper, or :data:`DROP_WORD`.  ``None`` (the default) keeps
+        #: push/pop on the unhooked fast path.
+        self.fault_hook: Callable[[Any], Any] | None = None
 
     # -- state ---------------------------------------------------------------
 
@@ -106,6 +135,15 @@ class Stream:
             raise StreamError(
                 f"push to full stream {self.name!r} (depth {self.depth})"
             )
+        if self.fault_hook is not None:
+            item = self.fault_hook(item)
+            if item is DROP_WORD:
+                # Lost in flight: the producer's push happened, the word
+                # never arrives.  Downstream accounting goes short, which
+                # the engine's deadlock guard or the chunk-seam integrity
+                # check turns into a typed error.
+                self.stats.pushes += 1
+                return
         self._items.append(item)
         self.stats.pushes += 1
         if len(self._items) > self.stats.max_occupancy:
@@ -117,7 +155,13 @@ class Stream:
             self.stats.empty_stalls += 1
             raise StreamError(f"pop from empty stream {self.name!r}")
         self.stats.pops += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self.fault_hook is not None and type(item) is CorruptedWord:
+            raise FaultError(
+                f"corrupted word detected on stream {self.name!r} "
+                f"(consumer-side ECC check)"
+            )
+        return item
 
     def peek(self) -> Any:
         """Return (without removing) the oldest item; raises when empty."""

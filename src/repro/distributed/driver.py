@@ -16,7 +16,7 @@ processor-grid shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -26,7 +26,11 @@ from repro.core.flops import grid_flops
 from repro.core.reference import advect_reference
 from repro.distributed.comm import CommCostModel, LocalCluster
 from repro.distributed.topology import ProcessGrid
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReplicaLostError
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["DistributedAdvection", "DistributedStepReport"]
 
@@ -42,6 +46,8 @@ class DistributedStepReport:
     compute_seconds: float
     comm_seconds: float
     halo_bytes: int
+    #: ranks that dropped mid-compute and were respawned successfully.
+    recovered_ranks: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -66,13 +72,24 @@ class DistributedAdvection:
         Modelled per-rank compute rate (for the step report's timing).
     cost_model:
         Interconnect cost model for the halo exchange.
+    fault_plan:
+        Optional fault-injection plan.  ``rank``/``drop`` faults strike a
+        rank's compute: the rank is respawned and its domain recomputed
+        under ``retry`` (transient drops recover bit-identically,
+        persistent drops exhaust the budget and raise
+        :class:`~repro.errors.RetryExhaustedError`).
+    retry:
+        Rank-respawn budget; defaults to ``RetryPolicy()`` when a fault
+        plan is given.
     """
 
     def __init__(self, topology: ProcessGrid, *,
                  backend: RankBackend | None = None,
                  coeffs: AdvectionCoefficients | None = None,
                  rank_gflops: float = 2.09,
-                 cost_model: CommCostModel | None = None) -> None:
+                 cost_model: CommCostModel | None = None,
+                 fault_plan: "FaultPlan | None" = None,
+                 retry: "RetryPolicy | None" = None) -> None:
         if rank_gflops <= 0:
             raise ConfigurationError("rank_gflops must be positive")
         self.topology = topology
@@ -82,6 +99,12 @@ class DistributedAdvection:
         self.backend = backend or (
             lambda fields: advect_reference(fields, self.coeffs))
         self.rank_gflops = rank_gflops
+        self.fault_plan = fault_plan
+        if retry is None and fault_plan is not None:
+            from repro.faults.retry import RetryPolicy as _RetryPolicy
+
+            retry = _RetryPolicy()
+        self.retry = retry
         self.last_report: DistributedStepReport | None = None
 
     def compute(self, global_fields: FieldSet) -> SourceSet:
@@ -103,27 +126,62 @@ class DistributedAdvection:
 
         out = SourceSet.zeros(grid)
         worst_compute = 0.0
-        for domain, local in zip(self.topology.domains(),
-                                 self.cluster.fields):
-            local_sources = self.backend(local)
+        recovered = 0
+        for rank, (domain, local) in enumerate(
+                zip(self.topology.domains(), self.cluster.fields)):
+            local_sources = self._compute_rank(rank, local)
+            rank_failures = self._rank_failures
+            recovered += 1 if rank_failures else 0
             x0, x1 = domain.x_range
             y0, y1 = domain.y_range
             out.su[x0:x1, y0:y1, :] = local_sources.su
             out.sv[x0:x1, y0:y1, :] = local_sources.sv
             out.sw[x0:x1, y0:y1, :] = local_sources.sw
-            worst_compute = max(
-                worst_compute,
+            rank_seconds = (
                 grid_flops(domain.local_grid(grid)) /
-                (self.rank_gflops * 1e9),
-            )
+                (self.rank_gflops * 1e9))
+            if rank_failures and self.retry is not None:
+                # A respawned rank recomputes its whole domain and sits
+                # through the policy's backoff first.
+                rank_seconds *= 1 + rank_failures
+                rank_seconds += self.retry.total_delay(rank_failures)
+            worst_compute = max(worst_compute, rank_seconds)
 
         self.last_report = DistributedStepReport(
             ranks=self.topology.size,
             compute_seconds=worst_compute,
             comm_seconds=comm_seconds,
             halo_bytes=self.cluster.stats.bytes_sent - bytes_before,
+            recovered_ranks=recovered,
         )
         return out
+
+    def _compute_rank(self, rank: int, local: FieldSet) -> SourceSet:
+        """One rank's backend call, with drop-fault injection and respawn.
+
+        Sets ``self._rank_failures`` to the number of injected drops this
+        rank survived (0 on the fault-free path).
+        """
+        self._rank_failures = 0
+
+        def attempt() -> SourceSet:
+            if self.fault_plan is not None:
+                spec = self.fault_plan.rank_fault(rank)
+                if spec is not None:
+                    raise ReplicaLostError(
+                        f"rank {rank} dropped mid-compute (injected fault)"
+                    )
+            return self.backend(local)
+
+        if self.fault_plan is None or not self.fault_plan.targets("rank"):
+            return attempt()
+        assert self.retry is not None
+
+        def respawn(failure_index: int, error: BaseException) -> None:
+            self._rank_failures = failure_index + 1
+
+        return self.retry.call(attempt, describe=f"rank {rank} compute",
+                               on_retry=respawn)
 
     def scaling_efficiency(self) -> float:
         """Parallel efficiency of the last step vs a single rank.

@@ -23,6 +23,12 @@ __all__ = [
     "CalibrationError",
     "ExperimentError",
     "LintError",
+    "FaultError",
+    "TransferError",
+    "RetryExhaustedError",
+    "WatchdogTimeout",
+    "ReplicaLostError",
+    "CheckpointError",
 ]
 
 
@@ -90,3 +96,35 @@ class ExperimentError(ReproError):
 
 class LintError(ReproError):
     """A lint pass failed: error diagnostics, or an unreadable design spec."""
+
+
+class FaultError(ReproError):
+    """Base class for runtime faults (injected or real) and their recovery.
+
+    Everything the resilience layer raises derives from this class, so a
+    host loop can catch the whole family while still telling a failed
+    transfer from a lost replica.  The chaos invariant is stated in these
+    terms: a faulted run either completes bit-identical to the fault-free
+    golden output or raises a typed :class:`ReproError` within its
+    watchdog budget.
+    """
+
+
+class TransferError(FaultError):
+    """A PCIe transfer failed (DMA error, dropped completion, bad CRC)."""
+
+
+class RetryExhaustedError(FaultError):
+    """An operation kept failing until its retry budget ran out."""
+
+
+class WatchdogTimeout(FaultError):
+    """A watchdog budget (cycles or seconds) elapsed without completion."""
+
+
+class ReplicaLostError(FaultError):
+    """A kernel replica (or rank) died and no survivor can take its work."""
+
+
+class CheckpointError(FaultError):
+    """A checkpoint could not be taken, restored, or verified."""

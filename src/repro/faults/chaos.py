@@ -1,0 +1,283 @@
+"""Chaos harness: seeded fault scenarios checked against one invariant.
+
+Every scenario injects faults from a deterministic
+:class:`~repro.faults.plan.FaultPlan` into one of the runtime layers and
+asserts the resilience invariant:
+
+    every run either completes **bit-identical** to the fault-free golden
+    output, or raises a **typed** :class:`~repro.errors.ReproError`
+    within its watchdog budget — never a hang, never silent corruption.
+
+Scenario families cover the injection sites end to end: PCIe transfer
+fails/stalls/hangs through the schedule simulator, FIFO word corruption
+and loss through the dataflow engine (with chunk-seam checkpoint
+recovery), permanent stage freezes caught by the cycle watchdog, kernel
+replica slow-downs and kills (quarantine + rescheduling onto survivors),
+and rank drops in the distributed driver (respawn under the retry
+policy).  Each scenario is executed twice with the same seed and must
+reproduce the identical fault trace and outcome — the determinism half
+of the contract.
+
+Timing-only families (``transfer-*``) have no numerical product; for
+them "completes" means the schedule finishes inside its watchdog budget.
+Data integrity under transfer faults is a property of the data-plane
+families, which do compare bitwise against the golden output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["CHAOS_FAMILIES", "ChaosOutcome", "ChaosReport", "run_chaos"]
+
+#: Every scenario family the harness knows, in sweep order.
+CHAOS_FAMILIES: tuple[str, ...] = (
+    "transfer-fail",
+    "transfer-stall",
+    "transfer-hang",
+    "fifo-corrupt",
+    "fifo-drop",
+    "fifo-persistent",
+    "stage-freeze",
+    "replica-kill",
+    "replica-slow",
+    "rank-drop",
+)
+
+#: Families quick enough for the CI smoke sweep (one engine run each).
+SMOKE_FAMILIES: tuple[str, ...] = (
+    "transfer-fail",
+    "transfer-hang",
+    "fifo-corrupt",
+    "fifo-drop",
+    "replica-kill",
+    "rank-drop",
+)
+
+#: Generous per-engine-run cycle budget for the tiny chaos grids.
+_WATCHDOG_CYCLES: int = 200_000
+
+
+@dataclass
+class ChaosOutcome:
+    """Verdict of one seeded scenario (and its determinism replay)."""
+
+    family: str
+    seed: int
+    #: ``identical`` | ``completed`` | ``error`` | a violation label.
+    status: str
+    #: exception class name when ``status == "error"``.
+    error: str | None
+    #: number of fault events actually injected.
+    events: int
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "seed": self.seed,
+            "status": self.status,
+            "error": self.error,
+            "events": self.events,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """All outcomes of one chaos sweep."""
+
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def violations(self) -> list[ChaosOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "scenarios": len(self.outcomes),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for outcome in self.outcomes:
+            verdict = "ok  " if outcome.ok else "FAIL"
+            what = outcome.status
+            if outcome.error:
+                what += f"[{outcome.error}]"
+            line = (f"{verdict} {outcome.family:>16} seed={outcome.seed}  "
+                    f"{what}  ({outcome.events} faults)")
+            if outcome.detail:
+                line += f"  {outcome.detail}"
+            lines.append(line)
+        good = sum(outcome.ok for outcome in self.outcomes)
+        lines.append(f"{good}/{len(self.outcomes)} scenarios uphold the "
+                     f"invariant")
+        return "\n".join(lines)
+
+
+# -- per-family execution -----------------------------------------------------
+
+
+def _specs_for(family: str) -> list[FaultSpec]:
+    if family == "transfer-fail":
+        return [FaultSpec("transfer", "fail", match="h2d*",
+                          probability=0.5, count=2)]
+    if family == "transfer-stall":
+        return [FaultSpec("transfer", "stall", match="*",
+                          probability=0.5, count=3, seconds=1e-3)]
+    if family == "transfer-hang":
+        return [FaultSpec("transfer", "stall", match="d2h*",
+                          probability=0.5, count=1)]  # seconds=None: hang
+    if family == "fifo-corrupt":
+        return [FaultSpec("fifo", "corrupt", match="*",
+                          probability=0.05, count=1)]
+    if family == "fifo-drop":
+        return [FaultSpec("fifo", "drop", match="*",
+                          probability=0.05, count=1)]
+    if family == "fifo-persistent":
+        # Strikes every retry too: recovery cannot converge, the budget
+        # must exhaust into a typed error.
+        return [FaultSpec("fifo", "corrupt", match="*",
+                          probability=0.05, count=None)]
+    if family == "stage-freeze":
+        return [FaultSpec("stage", "freeze", match="*",
+                          probability=0.3, count=1, at_cycle=50)]
+    if family == "replica-kill":
+        return [FaultSpec("replica", "kill", match="k1:*",
+                          probability=0.5, count=1)]
+    if family == "replica-slow":
+        return [FaultSpec("replica", "slow", match="*",
+                          probability=0.5, count=2, factor=3.0)]
+    if family == "rank-drop":
+        return [FaultSpec("rank", "drop", match="*",
+                          probability=0.3, count=2)]
+    raise ConfigurationError(
+        f"unknown chaos family {family!r}; known: {list(CHAOS_FAMILIES)}"
+    )
+
+
+def _run_once(family: str, seed: int, nx: int, ny: int,
+              nz: int) -> tuple[str, str | None, tuple, str]:
+    """One scenario execution.
+
+    Returns ``(status, error_name, trace_key, detail)`` where ``status``
+    is ``identical``/``completed``/``error``/``silent-corruption``.
+    """
+    from repro.core.grid import Grid
+    from repro.core.reference import advect_reference
+    from repro.core.wind import random_wind
+
+    plan = FaultPlan(_specs_for(family), seed=seed)
+    retry = RetryPolicy(max_attempts=4)
+
+    if family.startswith("transfer"):
+        from repro.hardware.pcie import PCIeLink
+        from repro.runtime.overlap import ChunkWork, build_overlapped_schedule
+        from repro.runtime.simulator import simulate_schedule
+
+        link = PCIeLink(streamed_bandwidth=8e9, synchronous_bandwidth=2e9)
+
+        def build():
+            chunks = [ChunkWork(index=i, in_bytes=1.5e6, out_bytes=0.75e6,
+                                kernel_seconds=0.4e-3) for i in range(6)]
+            return build_overlapped_schedule(chunks, link)
+
+        golden = simulate_schedule(build())
+        budget = golden.makespan * 20 + 0.1
+        try:
+            result = simulate_schedule(build(), fault_plan=plan, retry=retry,
+                                       watchdog_seconds=budget)
+        except ReproError as error:
+            return "error", type(error).__name__, plan.trace_key(), ""
+        if result.makespan > budget:
+            return ("watchdog-breach", None, plan.trace_key(),
+                    f"makespan {result.makespan:.4g}s past {budget:.4g}s")
+        return "completed", None, plan.trace_key(), ""
+
+    grid = Grid(nx=nx, ny=ny, nz=nz)
+    fields = random_wind(grid, seed=seed, magnitude=2.0)
+    golden_sources = advect_reference(fields)
+
+    try:
+        if family.startswith("replica"):
+            from repro.kernel.config import KernelConfig
+            from repro.kernel.multi_simulate import simulate_multi_kernel
+
+            config = KernelConfig(grid=grid, chunk_width=max(2, ny // 3))
+            result = simulate_multi_kernel(
+                config, fields, num_kernels=2, fault_plan=plan, retry=retry,
+                watchdog=_WATCHDOG_CYCLES)
+            sources = result.sources
+        elif family == "rank-drop":
+            from repro.distributed.driver import DistributedAdvection
+            from repro.distributed.topology import ProcessGrid
+
+            topology = ProcessGrid(grid, 2, 3)
+            driver = DistributedAdvection(topology, fault_plan=plan,
+                                          retry=retry)
+            sources = driver.compute(fields)
+        else:
+            from repro.kernel.config import KernelConfig
+            from repro.kernel.simulate import simulate_kernel
+
+            config = KernelConfig(grid=grid, chunk_width=max(2, ny // 3))
+            result = simulate_kernel(config, fields, fault_plan=plan,
+                                     retry=retry,
+                                     watchdog=_WATCHDOG_CYCLES)
+            sources = result.sources
+    except ReproError as error:
+        return "error", type(error).__name__, plan.trace_key(), ""
+
+    diff = sources.max_abs_difference(golden_sources)
+    if diff != 0.0:
+        return ("silent-corruption", None, plan.trace_key(),
+                f"max abs difference {diff:g} vs golden")
+    return "identical", None, plan.trace_key(), ""
+
+
+def run_chaos(*, families: tuple[str, ...] | list[str] | None = None,
+              seeds: int = 4, seed_base: int = 0, nx: int = 6, ny: int = 9,
+              nz: int = 5) -> ChaosReport:
+    """Sweep ``seeds`` seeded scenarios per family and judge each one.
+
+    Seeds run from ``seed_base`` to ``seed_base + seeds - 1`` (CI shards
+    the sweep across disjoint bases).  Every scenario runs **twice** with
+    the same seed; diverging outcomes or fault traces are reported as
+    ``nondeterministic`` violations.
+    """
+    if seeds < 1:
+        raise ConfigurationError(f"seeds must be >= 1, got {seeds}")
+    chosen = tuple(families) if families is not None else CHAOS_FAMILIES
+    for family in chosen:
+        _specs_for(family)  # validate names before running anything
+    report = ChaosReport()
+    for family in chosen:
+        for seed in range(seed_base, seed_base + seeds):
+            first = _run_once(family, seed, nx, ny, nz)
+            second = _run_once(family, seed, nx, ny, nz)
+            status, error, trace, detail = first
+            events = len(trace)
+            if first != second:
+                report.outcomes.append(ChaosOutcome(
+                    family=family, seed=seed, status="nondeterministic",
+                    error=None, events=events, ok=False,
+                    detail=f"replay diverged: {first[:2]} vs {second[:2]}"))
+                continue
+            ok = status in ("identical", "completed", "error")
+            report.outcomes.append(ChaosOutcome(
+                family=family, seed=seed, status=status, error=error,
+                events=events, ok=ok, detail=detail))
+    return report

@@ -1,0 +1,268 @@
+"""The deterministic fault-injection plane.
+
+A :class:`FaultPlan` holds declarative :class:`FaultSpec` entries and is
+consulted by the runtime layers at well-defined *opportunities*:
+
+========  =============================================  ==================
+site      one opportunity per                            kinds
+========  =============================================  ==================
+transfer  transfer attempt in the schedule simulator     ``fail``, ``stall``
+fifo      word pushed into a matching dataflow stream    ``corrupt``, ``drop``
+stage     engine run, per matching stage                 ``freeze``
+replica   (kernel replica, chunk) seam                   ``slow``, ``kill``
+rank      rank compute in the distributed driver         ``drop``
+========  =============================================  ==================
+
+Whether a spec fires at an opportunity is a pure function of
+``(plan seed, spec index, site, name, occurrence index)`` — a keyed-hash
+draw, not a shared RNG stream — so decisions do not depend on the order
+in which unrelated sites are queried, and identical seeds reproduce
+identical fault traces.  Every firing is appended to :attr:`FaultPlan.trace`.
+
+Specs are *transient* by default (``count=1``): after firing once they go
+inert, which is what lets retry/checkpoint recovery succeed and the run
+finish bit-identical to the fault-free golden output.  ``count=None``
+makes a fault persistent, driving the retry budget to exhaustion and a
+typed :class:`~repro.errors.RetryExhaustedError` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Iterable
+
+from repro.dataflow.stream import DROP_WORD, CorruptedWord
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultEvent"]
+
+#: Legal fault kinds per injection site.
+SITE_KINDS: dict[str, frozenset[str]] = {
+    "transfer": frozenset({"fail", "stall"}),
+    "fifo": frozenset({"corrupt", "drop"}),
+    "stage": frozenset({"freeze"}),
+    "replica": frozenset({"slow", "kill"}),
+    "rank": frozenset({"drop"}),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: where it strikes, how, and how often.
+
+    Parameters
+    ----------
+    site:
+        Injection site (see module table).
+    kind:
+        Fault kind, legal for the site.
+    match:
+        ``fnmatch`` glob against the opportunity name (a command name,
+        stream name, stage name, ``k<p>:chunk<j>`` replica seam, or
+        ``rank<r>``).
+    probability:
+        Per-opportunity firing chance in (0, 1]; drawn deterministically.
+    count:
+        Total firings before the spec goes inert (``None`` = persistent).
+    seconds:
+        ``transfer``/``stall`` only: extra modelled seconds the transfer
+        hangs for; ``None`` means it never completes (the schedule
+        watchdog fires instead).
+    cycles:
+        ``stage``/``freeze`` only: cycles the stage stays frozen
+        (``None`` = forever, surfacing as a deadlock or watchdog trip).
+    at_cycle:
+        ``stage``/``freeze`` only: first frozen cycle (default 0).
+    factor:
+        ``replica``/``slow`` only: read-stage II multiplier (>= 1).
+    """
+
+    site: str
+    kind: str
+    match: str = "*"
+    probability: float = 1.0
+    count: int | None = 1
+    seconds: float | None = None
+    cycles: int | None = None
+    at_cycle: int = 0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        kinds = SITE_KINDS.get(self.site)
+        if kinds is None:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known: "
+                f"{sorted(SITE_KINDS)}"
+            )
+        if self.kind not in kinds:
+            raise ConfigurationError(
+                f"site {self.site!r} does not support kind {self.kind!r}; "
+                f"legal: {sorted(kinds)}"
+            )
+        if not 0 < self.probability <= 1:
+            raise ConfigurationError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ConfigurationError(
+                f"count must be >= 1 or None, got {self.count}"
+            )
+        if self.seconds is not None and self.seconds < 0:
+            raise ConfigurationError(
+                f"seconds must be >= 0, got {self.seconds}"
+            )
+        if self.cycles is not None and self.cycles < 1:
+            raise ConfigurationError(
+                f"cycles must be >= 1 or None, got {self.cycles}"
+            )
+        if self.at_cycle < 0:
+            raise ConfigurationError(
+                f"at_cycle must be >= 0, got {self.at_cycle}"
+            )
+        if self.factor < 1:
+            raise ConfigurationError(
+                f"factor must be >= 1, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the plan's trace."""
+
+    site: str
+    name: str
+    kind: str
+    spec_index: int
+    occurrence: int
+
+    def key(self) -> tuple[str, str, str, int, int]:
+        """Hashable identity used for trace-equality checks."""
+        return (self.site, self.name, self.kind, self.spec_index,
+                self.occurrence)
+
+
+class FaultPlan:
+    """A seeded set of fault specs plus the trace of what actually fired.
+
+    The plan is mutable state shared across one faulted run (including
+    its retries): occurrence counters advance monotonically, so a
+    count-capped spec that struck an operation once stays inert when the
+    recovery layer re-attempts it — the definition of a transient fault.
+    Call :meth:`reset` to replay the identical fault sequence from the
+    start (the chaos harness does, to verify trace determinism).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], *, seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.trace: list[FaultEvent] = []
+        self._fired = [0] * len(self.specs)
+        self._seen: dict[tuple[int, str], int] = {}
+        self._sites = frozenset(spec.site for spec in self.specs)
+
+    @property
+    def active(self) -> bool:
+        """True when any spec exists (fault-free plans cost nothing)."""
+        return bool(self.specs)
+
+    def targets(self, site: str) -> bool:
+        """True when any spec could strike ``site`` at all."""
+        return site in self._sites
+
+    def matches(self, site: str, name: str) -> bool:
+        """True when some spec's glob covers this opportunity name."""
+        return any(spec.site == site and fnmatchcase(name, spec.match)
+                   for spec in self.specs)
+
+    def reset(self) -> None:
+        """Forget all firings; the next run replays the same sequence."""
+        self.trace.clear()
+        self._fired = [0] * len(self.specs)
+        self._seen.clear()
+
+    def trace_key(self) -> tuple[tuple[str, str, str, int, int], ...]:
+        """The whole trace as a comparable tuple (determinism checks)."""
+        return tuple(event.key() for event in self.trace)
+
+    # -- the single decision primitive ----------------------------------------
+
+    def _chance(self, spec_index: int, site: str, name: str,
+                occurrence: int, probability: float) -> bool:
+        # blake2b, not a CRC: checksums of near-identical short keys are
+        # strongly correlated, which would make all of one run's draws
+        # rise and fall together.
+        digest = hashlib.blake2b(
+            f"{self.seed}|{spec_index}|{site}|{name}|{occurrence}".encode(),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64 < probability
+
+    def draw(self, site: str, name: str) -> FaultSpec | None:
+        """Consume one opportunity; return the spec that fires, if any.
+
+        Occurrence counters advance for *every* matching spec whether or
+        not it fires, keeping each spec's probability draws independent
+        of what other specs did — the property that makes traces stable
+        under spec-list edits that only append.
+        """
+        hit: FaultSpec | None = None
+        for index, spec in enumerate(self.specs):
+            if spec.site != site or not fnmatchcase(name, spec.match):
+                continue
+            key = (index, name)
+            occurrence = self._seen.get(key, 0) + 1
+            self._seen[key] = occurrence
+            if hit is not None:
+                continue
+            if spec.count is not None and self._fired[index] >= spec.count:
+                continue
+            if spec.probability < 1.0 and not self._chance(
+                    index, site, name, occurrence, spec.probability):
+                continue
+            self._fired[index] += 1
+            self.trace.append(FaultEvent(
+                site=site, name=name, kind=spec.kind,
+                spec_index=index, occurrence=occurrence))
+            hit = spec
+        return hit
+
+    # -- site-specific conveniences --------------------------------------------
+
+    def stream_hook(self, stream_name: str) -> Callable[[Any], Any] | None:
+        """A push hook for one stream, or None when no spec matches it."""
+        if not self.matches("fifo", stream_name):
+            return None
+
+        def hook(item: Any) -> Any:
+            spec = self.draw("fifo", stream_name)
+            if spec is None:
+                return item
+            if spec.kind == "drop":
+                return DROP_WORD
+            return CorruptedWord(item)
+
+        return hook
+
+    def freeze_window(self, stage_name: str) -> tuple[int, int | None] | None:
+        """Freeze window ``(start, stop)`` for one stage this run, if any.
+
+        One opportunity per engine run per matching stage; ``stop`` is
+        ``None`` for a permanent freeze.
+        """
+        if not self.matches("stage", stage_name):
+            return None
+        spec = self.draw("stage", stage_name)
+        if spec is None or spec.kind != "freeze":
+            return None
+        start = spec.at_cycle
+        stop = None if spec.cycles is None else start + spec.cycles
+        return (start, stop)
+
+    def replica_fault(self, replica: int, chunk: int) -> FaultSpec | None:
+        """The fault striking replica ``replica`` at chunk ``chunk``, if any."""
+        return self.draw("replica", f"k{replica}:chunk{chunk}")
+
+    def rank_fault(self, rank: int) -> FaultSpec | None:
+        """The fault striking ``rank``'s compute this attempt, if any."""
+        return self.draw("rank", f"rank{rank}")

@@ -1,0 +1,131 @@
+"""Budget-capped retry with exponential backoff and deterministic jitter.
+
+One policy object serves every recovery path in the runtime: PCIe
+transfer retries in the schedule simulator, chunk restarts in the
+checkpointed kernel simulation, and rank respawns in the distributed
+driver.  Delays are *modelled* seconds — nothing here sleeps; the
+discrete-event layers add the delay to their simulated timelines.
+
+Jitter is deterministic: the per-attempt factor is derived from a keyed
+hash of ``(seed, attempt)``, so two runs with the same policy produce identical
+backoff sequences — a requirement of the chaos harness's reproducible
+fault traces (plain ``random`` jitter would make retry timing differ
+between the run and its golden replay).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError, FaultError, RetryExhaustedError
+
+__all__ = ["RetryPolicy"]
+
+
+def _unit_draw(*key: object) -> float:
+    """Deterministic uniform draw in [0, 1) from a tuple of key parts."""
+    digest = hashlib.blake2b(
+        "|".join(str(part) for part in key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed operation, and how long to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (>= 1).  ``max_attempts=1``
+        means "never retry": the first failure raises immediately.
+    base_delay:
+        Modelled seconds before the first retry.
+    backoff:
+        Multiplier applied per subsequent retry (>= 1).
+    jitter:
+        Fractional spread of each delay, in [0, 1): the k-th delay is
+        scaled by a deterministic factor in ``[1 - jitter, 1 + jitter]``.
+    max_delay:
+        Optional cap on any single delay (the backoff budget).
+    seed:
+        Seed for the deterministic jitter factors.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1e-3
+    backoff: float = 2.0
+    jitter: float = 0.1
+    max_delay: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ConfigurationError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.backoff < 1:
+            raise ConfigurationError(
+                f"backoff must be >= 1, got {self.backoff}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.max_delay is not None and self.max_delay < 0:
+            raise ConfigurationError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+
+    def delay(self, failure_index: int) -> float:
+        """Modelled seconds to wait after the ``failure_index``-th failure."""
+        if failure_index < 0:
+            raise ConfigurationError(
+                f"failure_index must be >= 0, got {failure_index}"
+            )
+        raw = self.base_delay * self.backoff**failure_index
+        if self.max_delay is not None:
+            raw = min(raw, self.max_delay)
+        factor = 1.0 + self.jitter * (
+            2.0 * _unit_draw(self.seed, failure_index) - 1.0)
+        return raw * factor
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff sequence (``max_attempts - 1`` delays)."""
+        for k in range(self.max_attempts - 1):
+            yield self.delay(k)
+
+    def total_delay(self, failures: int) -> float:
+        """Modelled seconds of backoff spent on ``failures`` failures."""
+        return sum(self.delay(k) for k in range(failures))
+
+    def call(self, fn: Callable[[], Any], *,
+             retry_on: tuple[type[BaseException], ...] = (FaultError,),
+             describe: str = "operation",
+             on_retry: Callable[[int, BaseException], None] | None = None,
+             ) -> Any:
+        """Run ``fn`` until it succeeds or the attempt budget is spent.
+
+        Catches only ``retry_on`` exceptions; anything else propagates
+        unchanged.  On budget exhaustion raises
+        :class:`~repro.errors.RetryExhaustedError` chained to the last
+        failure.  ``on_retry(failure_index, error)`` is invoked before
+        each re-attempt (restore a checkpoint, respawn a rank, ...).
+        """
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if attempt and on_retry is not None and last is not None:
+                on_retry(attempt - 1, last)
+            try:
+                return fn()
+            except retry_on as error:
+                last = error
+        raise RetryExhaustedError(
+            f"{describe} failed after {self.max_attempts} attempts "
+            f"(last error: {last})"
+        ) from last

@@ -18,17 +18,29 @@ model to within that bound (asserted in the tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
 
 from repro.core.coefficients import AdvectionCoefficients
 from repro.core.fields import FieldSet, SourceSet
 from repro.core.grid import GridDecomposition
-from repro.dataflow.engine import DataflowEngine
+from repro.dataflow.engine import DataflowEngine, RunStats
 from repro.dataflow.graph import DataflowGraph
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DataflowError,
+    FaultError,
+    ReplicaLostError,
+    RetryExhaustedError,
+)
 from repro.kernel.builder import build_advection_graph
 from repro.kernel.config import KernelConfig
 from repro.kernel.stages import CellInput, ReadDataStage
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["MemoryArbiter", "MultiKernelSimResult", "simulate_multi_kernel"]
 
@@ -124,6 +136,14 @@ class MultiKernelSimResult:
     num_kernels: int
     arbiter: MemoryArbiter
     chunk_cycles: list[int] = field(default_factory=list)
+    #: replicas killed by fault injection, in quarantine order.
+    quarantined: list[int] = field(default_factory=list)
+    #: chunk-sized work items re-run on survivors after a quarantine.
+    rescheduled_chunks: int = 0
+    #: chunk re-runs performed by the checkpoint/restart machinery.
+    chunk_retries: int = 0
+    #: why fast mode demoted to exact ticking (None when it did not).
+    ff_veto_reason: str | None = None
 
     @property
     def read_starvation_fraction(self) -> float:
@@ -137,6 +157,9 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                           memory_cells_per_cycle: float | None = None,
                           max_cycles_per_chunk: int = 10_000_000,
                           mode: str = "exact",
+                          fault_plan: "FaultPlan | None" = None,
+                          retry: "RetryPolicy | None" = None,
+                          watchdog: int | None = None,
                           ) -> MultiKernelSimResult:
     """Co-simulate ``num_kernels`` kernel instances sharing one memory.
 
@@ -152,6 +175,25 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         Engine mode (``"exact"`` or ``"fast"``); fast-forward disables
         itself automatically the moment the arbiter starves any read
         stage, so a contended memory always simulates exactly.
+    fault_plan:
+        Optional fault-injection plan.  ``replica`` faults are drawn at
+        chunk seams: ``slow`` multiplies the replica's read II for that
+        chunk, ``kill`` quarantines it — its X-slab is rescheduled onto
+        the surviving replicas (run serially after their own chunk work,
+        so throughput drops but the result stays bit-identical).  FIFO
+        and stage faults are threaded into every engine run.
+    retry:
+        Retry budget for faulted chunk runs; defaults to
+        ``RetryPolicy()`` when a fault plan is given.  Supplying either
+        argument turns chunk-seam checkpointing on.
+    watchdog:
+        Per-run cycle watchdog passed to the engine.
+
+    Raises
+    ------
+    ReplicaLostError
+        When every replica has been quarantined and no survivor remains
+        to take over the work.
     """
     grid = config.grid
     if fields.grid.interior_shape != grid.interior_shape:
@@ -167,6 +209,12 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
     rate = (float(num_kernels) if memory_cells_per_cycle is None
             else memory_cells_per_cycle)
     arbiter = MemoryArbiter(rate)
+
+    resilient = fault_plan is not None or retry is not None
+    if resilient and retry is None:
+        from repro.faults.retry import RetryPolicy as _RetryPolicy
+
+        retry = _RetryPolicy()
 
     decomp = GridDecomposition(grid, min(num_kernels, grid.nx))
     out = SourceSet.zeros(grid)
@@ -188,31 +236,123 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
     chunk_plan = config.for_grid(parts[0][1]).chunk_plan()
     total_cycles = 0
     chunk_cycles: list[int] = []
+    live = list(range(decomp.parts))
+    quarantined: list[int] = []
+    rescheduled_chunks = 0
+    chunk_retries = 0
+    veto_reason: str | None = None
+    # A heavily starved arbiter can stall every read stage for
+    # ~kernels/rate cycles between grants; widen the engine's
+    # deadlock grace accordingly.
+    grace = 64 + int(4 * decomp.parts / min(rate, 1.0))
+
+    def build_part(p: int, chunk, read_ii: int = 1) -> DataflowGraph:
+        x0, sub_grid, sub_fields = parts[p]
+        sub_config = config.for_grid(sub_grid)
+        return build_advection_graph(
+            sub_config, sub_fields, chunk, coeffs, out,
+            x_offset=x0, name_prefix=f"k{p}.", read_ii=read_ii,
+            read_stage_cls=lambda name, cells, ii=1, latency=16,
+            block=None: (
+                ArbitratedReadStage(name, cells, arbiter=arbiter,
+                                    block=block, ii=ii,
+                                    latency=latency)),
+        )
+
+    def run_resilient(build: Callable[[], DataflowGraph],
+                      check_parts: list[int], chunk) -> RunStats:
+        """One engine run with chunk-seam checkpoint/retry semantics."""
+        nonlocal chunk_retries, veto_reason
+        attempt = 0
+        while True:
+            checkpoint = (
+                (out.su.copy(), out.sv.copy(), out.sw.copy())
+                if resilient else None
+            )
+            graph = build()
+            try:
+                stats = DataflowEngine(
+                    graph, max_cycles=max_cycles_per_chunk,
+                    stall_grace=grace, mode=mode,
+                    fault_plan=fault_plan, watchdog=watchdog,
+                ).run()
+                if resilient:
+                    for p in check_parts:
+                        sub_grid = parts[p][1]
+                        # One firing per (x, y) column and above-surface
+                        # z level (see simulate.py).
+                        expected = (sub_grid.nx * chunk.write_width
+                                    * (sub_grid.nz - 1))
+                        written = graph.stage(f"k{p}.write_data").cells_written  # type: ignore[attr-defined]
+                        if written != expected:
+                            raise FaultError(
+                                f"replica {p}, chunk {chunk.index}: wrote "
+                                f"{written} of {expected} cells (words "
+                                f"lost in flight)"
+                            )
+            except (FaultError, DataflowError) as error:
+                if not resilient:
+                    raise
+                assert retry is not None and checkpoint is not None
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    raise RetryExhaustedError(
+                        f"chunk {chunk.index} failed after {attempt} "
+                        f"attempts (last error: {error})"
+                    ) from error
+                np.copyto(out.su, checkpoint[0])
+                np.copyto(out.sv, checkpoint[1])
+                np.copyto(out.sw, checkpoint[2])
+                chunk_retries += 1
+                continue
+            if stats.ff_veto_reason is not None and veto_reason is None:
+                veto_reason = stats.ff_veto_reason
+            return stats
 
     for chunk in chunk_plan.chunks:
-        merged = DataflowGraph(f"multi[chunk={chunk.index}]")
-        for p, (x0, sub_grid, sub_fields) in enumerate(parts):
-            sub_config = config.for_grid(sub_grid)
-            part_graph = build_advection_graph(
-                sub_config, sub_fields, chunk, coeffs, out,
-                x_offset=x0, name_prefix=f"k{p}.",
-                read_stage_cls=lambda name, cells, ii=1, latency=16,
-                block=None: (
-                    ArbitratedReadStage(name, cells, arbiter=arbiter,
-                                        block=block, ii=ii,
-                                        latency=latency)),
+        # Replica faults strike at chunk seams: a killed replica is
+        # quarantined from this chunk onward, a slowed one reads at a
+        # multiplied II for this chunk only.
+        slow_ii: dict[int, int] = {}
+        if fault_plan is not None:
+            for p in list(live):
+                spec = fault_plan.replica_fault(p, chunk.index)
+                if spec is None:
+                    continue
+                if spec.kind == "kill":
+                    live.remove(p)
+                    quarantined.append(p)
+                else:
+                    slow_ii[p] = max(1, round(spec.factor))
+        if not live:
+            raise ReplicaLostError(
+                f"all {decomp.parts} kernel replicas lost by chunk "
+                f"{chunk.index}; no survivor to reschedule onto"
             )
-            # Merge the part's stages and streams into one graph so a
-            # single engine advances all kernels cycle by cycle.
-            merged.merge(part_graph)
-        # A heavily starved arbiter can stall every read stage for
-        # ~kernels/rate cycles between grants; widen the engine's
-        # deadlock grace accordingly.
-        grace = 64 + int(4 * decomp.parts / min(rate, 1.0))
-        stats = DataflowEngine(merged, max_cycles=max_cycles_per_chunk,
-                               stall_grace=grace, mode=mode).run()
+
+        def build_merged(chunk=chunk, slow_ii=slow_ii) -> DataflowGraph:
+            merged = DataflowGraph(f"multi[chunk={chunk.index}]")
+            for p in live:
+                # Merge the part's stages and streams into one graph so a
+                # single engine advances all kernels cycle by cycle.
+                merged.merge(build_part(p, chunk, slow_ii.get(p, 1)))
+            return merged
+
+        stats = run_resilient(build_merged, list(live), chunk)
         chunk_cycles.append(stats.cycles)
         total_cycles += stats.cycles
+
+        # Graceful degradation: survivors pick up the quarantined
+        # replicas' X-slabs, serialised after their own chunk work.  The
+        # rescheduled graph is numerically identical to the one the dead
+        # replica would have run, so the output stays bit-identical —
+        # only the cycle count grows.
+        for p in quarantined:
+            extra = run_resilient(
+                lambda p=p, chunk=chunk: build_part(p, chunk), [p], chunk)
+            total_cycles += extra.cycles
+            chunk_cycles[-1] += extra.cycles
+            rescheduled_chunks += 1
 
     return MultiKernelSimResult(
         sources=out,
@@ -220,4 +360,8 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         num_kernels=decomp.parts,
         arbiter=arbiter,
         chunk_cycles=chunk_cycles,
+        quarantined=quarantined,
+        rescheduled_chunks=rescheduled_chunks,
+        chunk_retries=chunk_retries,
+        ff_veto_reason=veto_reason,
     )

@@ -5,18 +5,40 @@ producing both the numerical result and the measured cycle counts.  Used
 on small grids to validate the closed-form
 :class:`~repro.kernel.cycle_model.KernelCycleModel` that the paper-scale
 benchmarks rely on.
+
+Checkpoint/restart
+------------------
+Chunk seams are natural checkpoints: each chunk's graph is rebuilt from
+the (immutable) input fields and only writes its own slab of the output.
+With a :class:`~repro.faults.plan.FaultPlan` or
+:class:`~repro.faults.retry.RetryPolicy` supplied, the simulation
+snapshots the output arrays before each chunk, verifies the chunk wrote
+its full complement of cells, and on any :class:`~repro.errors.FaultError`
+or :class:`~repro.errors.DataflowError` restores the snapshot and retries
+*that chunk only* — completed chunks are never replayed.  Transient
+faults (the plan default) therefore cost one chunk re-run and leave the
+result bit-identical; persistent faults exhaust the retry budget and
+raise :class:`~repro.errors.RetryExhaustedError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.coefficients import AdvectionCoefficients
 from repro.core.fields import FieldSet, SourceSet
 from repro.dataflow.engine import DataflowEngine, RunStats
+from repro.errors import DataflowError, FaultError, RetryExhaustedError
 from repro.kernel.builder import build_advection_graph
 from repro.kernel.config import KernelConfig
 from repro.shiftbuffer.ports import MemoryPortTracker
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["KernelSimResult", "simulate_kernel"]
 
@@ -29,6 +51,8 @@ class KernelSimResult:
     total_cycles: int
     chunk_stats: list[RunStats] = field(default_factory=list)
     port_tracker: MemoryPortTracker | None = None
+    #: chunk re-runs performed by the checkpoint/restart machinery.
+    chunk_retries: int = 0
 
     @property
     def cells_per_cycle(self) -> float:
@@ -52,6 +76,9 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
                     read_ii: int = 1, enforce_ports: bool = True,
                     max_cycles_per_chunk: int = 10_000_000,
                     mode: str = "exact",
+                    fault_plan: "FaultPlan | None" = None,
+                    retry: "RetryPolicy | None" = None,
+                    watchdog: int | None = None,
                     ) -> KernelSimResult:
     """Simulate one kernel invocation cycle by cycle.
 
@@ -73,6 +100,17 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
         steady-state phases analytically — same results, same cycle
         counts, far less wall time on paper-scale grids (see
         :mod:`repro.dataflow.engine`).
+    fault_plan:
+        Optional fault-injection plan, threaded into every chunk's engine
+        run (FIFO word faults, stage freezes) and enabling the
+        checkpoint/restart path described in the module docstring.
+    retry:
+        Retry budget for faulted chunks; defaults to
+        ``RetryPolicy()`` when a fault plan is given.  Supplying either
+        argument turns checkpointing on.
+    watchdog:
+        Per-chunk cycle watchdog passed to the engine (typed
+        :class:`~repro.errors.WatchdogTimeout` instead of spinning).
 
     Notes
     -----
@@ -89,18 +127,64 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
     if coeffs is None:
         coeffs = AdvectionCoefficients.uniform(grid)
 
+    resilient = fault_plan is not None or retry is not None
+    if resilient and retry is None:
+        from repro.faults.retry import RetryPolicy as _RetryPolicy
+
+        retry = _RetryPolicy()
+
     out = SourceSet.zeros(grid)
     tracker = MemoryPortTracker(enforce=enforce_ports)
     chunk_stats: list[RunStats] = []
     total_cycles = 0
+    chunk_retries = 0
 
     for chunk in config.chunk_plan().chunks:
-        graph = build_advection_graph(
-            config, fields, chunk, coeffs, out, read_ii=read_ii,
-            tracker=tracker,
+        # Chunk-seam checkpoint: the output slabs of every *completed*
+        # chunk.  A failed attempt restores it, so retries never see the
+        # partial writes of the attempt that died.
+        checkpoint = (
+            (out.su.copy(), out.sv.copy(), out.sw.copy())
+            if resilient else None
         )
-        stats = DataflowEngine(graph, max_cycles=max_cycles_per_chunk,
-                               mode=mode).run()
+        # One write firing per (x, y) column and z level above the
+        # surface — the surface level rides along with level 1, so a
+        # healthy chunk fires exactly nx * write_width * (nz - 1) times.
+        expected_cells = grid.nx * chunk.write_width * (grid.nz - 1)
+        attempt = 0
+        while True:
+            graph = build_advection_graph(
+                config, fields, chunk, coeffs, out, read_ii=read_ii,
+                tracker=tracker,
+            )
+            try:
+                stats = DataflowEngine(
+                    graph, max_cycles=max_cycles_per_chunk, mode=mode,
+                    fault_plan=fault_plan, watchdog=watchdog,
+                ).run()
+                if resilient:
+                    written = graph.stage("write_data").cells_written  # type: ignore[attr-defined]
+                    if written != expected_cells:
+                        raise FaultError(
+                            f"chunk {chunk.index}: wrote {written} of "
+                            f"{expected_cells} cells (words lost in flight)"
+                        )
+            except (FaultError, DataflowError) as error:
+                if not resilient:
+                    raise
+                assert retry is not None and checkpoint is not None
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    raise RetryExhaustedError(
+                        f"chunk {chunk.index} failed after {attempt} "
+                        f"attempts (last error: {error})"
+                    ) from error
+                np.copyto(out.su, checkpoint[0])
+                np.copyto(out.sv, checkpoint[1])
+                np.copyto(out.sw, checkpoint[2])
+                chunk_retries += 1
+                continue
+            break
         chunk_stats.append(stats)
         total_cycles += stats.cycles
 
@@ -109,4 +193,5 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
         total_cycles=total_cycles,
         chunk_stats=chunk_stats,
         port_tracker=tracker,
+        chunk_retries=chunk_retries,
     )

@@ -63,7 +63,8 @@ def build_sequential_schedule(in_bytes: float, out_bytes: float,
 
 
 def build_overlapped_schedule(chunks: list[ChunkWork],
-                              pcie: PCIeLink) -> CommandQueue:
+                              pcie: PCIeLink, *,
+                              kernel_banks: int = 1) -> CommandQueue:
     """Chunked, event-chained schedule that overlaps transfer and compute.
 
     Dependencies per chunk ``i``:
@@ -76,9 +77,18 @@ def build_overlapped_schedule(chunks: list[ChunkWork],
     registration), so input for later chunks is in flight while earlier
     chunks compute.  On a duplex link the D2H engine is a second resource;
     otherwise both directions serialise on one link.
+
+    ``kernel_banks`` > 1 round-robins chunk kernels across independent
+    bank resources (``kernel0`` .. ``kernel{N-1}``), so chunk executions
+    themselves overlap — the multi-kernel device regime.  The default of
+    one bank keeps the single serial ``kernel`` resource.
     """
     if not chunks:
         raise ScheduleError("overlapped schedule needs at least one chunk")
+    if kernel_banks < 1:
+        raise ScheduleError(
+            f"kernel_banks must be >= 1, got {kernel_banks}"
+        )
     queue = CommandQueue("overlapped")
     h2d_res = "pcie_h2d"
     d2h_res = "pcie_d2h" if pcie.duplex else "pcie_h2d"
@@ -88,8 +98,11 @@ def build_overlapped_schedule(chunks: list[ChunkWork],
             pcie.transfer_time(chunk.in_bytes, streamed=True),
             resource=h2d_res,
         )
+        kernel_res = ("kernel" if kernel_banks == 1
+                      else f"kernel{chunk.index % kernel_banks}")
         ev_k = queue.enqueue_kernel(
-            f"kernel[{chunk.index}]", chunk.kernel_seconds, wait_for=[ev_in],
+            f"kernel[{chunk.index}]", chunk.kernel_seconds,
+            wait_for=[ev_in], resource=kernel_res,
         )
         queue.enqueue_read(
             f"d2h[{chunk.index}]",

@@ -14,6 +14,7 @@ time steps "on the device".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.coefficients import AdvectionCoefficients
 from repro.core.fields import FieldSet, SourceSet
@@ -32,6 +33,10 @@ from repro.runtime.overlap import (
     build_sequential_schedule,
 )
 from repro.runtime.simulator import ScheduleResult, simulate_schedule
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["AdvectionSession", "RunResult"]
 
@@ -137,8 +142,17 @@ class AdvectionSession:
             return self.device.kernel_time(chunk_grid)
         raise ConfigurationError("CPU has no kernel-invocation path")
 
-    def run(self, grid: Grid, *, overlapped: bool) -> RunResult:
-        """Simulate one end-to-end advection invocation over ``grid``."""
+    def run(self, grid: Grid, *, overlapped: bool,
+            fault_plan: "FaultPlan | None" = None,
+            retry: "RetryPolicy | None" = None,
+            watchdog_seconds: float | None = None) -> RunResult:
+        """Simulate one end-to-end advection invocation over ``grid``.
+
+        ``fault_plan``/``retry``/``watchdog_seconds`` are threaded into
+        the schedule simulator: injected transfer faults occupy the PCIe
+        engines for their retries, and the whole schedule is bounded by
+        the watchdog (see :func:`repro.runtime.simulator.simulate_schedule`).
+        """
         flops = grid_flops(grid)
 
         # ---- CPU: host-resident data, no transfers ------------------------
@@ -185,8 +199,13 @@ class AdvectionSession:
                 self._chunk_kernel_seconds(grid, memory), pcie,
             )
 
-        schedule = simulate_schedule(queue)
-        kernel_busy = schedule.busy.get("kernel", 0.0)
+        schedule = simulate_schedule(queue, fault_plan=fault_plan,
+                                     retry=retry,
+                                     watchdog_seconds=watchdog_seconds)
+        kernel_busy = sum(
+            seconds for resource, seconds in schedule.busy.items()
+            if resource.startswith("kernel")
+        )
         transfer_busy = sum(
             seconds for resource, seconds in schedule.busy.items()
             if resource.startswith("pcie")

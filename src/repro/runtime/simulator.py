@@ -5,15 +5,36 @@ List scheduling over serial resources: a command starts at the latest of
 Commands on one resource keep their enqueue order (in-order engines); the
 makespan and per-resource busy times fall out, which is all the
 performance figures of Figs. 5 and 6 need.
+
+With a :class:`~repro.faults.plan.FaultPlan`, ``transfer`` faults strike
+PCIe commands as they execute: a *stall* adds its modelled seconds to the
+transfer (a stall with ``seconds=None`` hangs — surfaced as a typed
+:class:`~repro.errors.WatchdogTimeout`, never an actual hang); a *fail*
+aborts the attempt, and the transfer is re-driven under the
+:class:`~repro.faults.retry.RetryPolicy` (occupying the link for each
+attempt plus the policy's backoff).  Without a policy a failed transfer
+raises :class:`~repro.errors.TransferError` immediately; with one, budget
+exhaustion raises :class:`~repro.errors.RetryExhaustedError` chained to
+the last failure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import ScheduleError
+from repro.errors import (
+    RetryExhaustedError,
+    ScheduleError,
+    TransferError,
+    WatchdogTimeout,
+)
 from repro.runtime.event import Command
 from repro.runtime.queue import CommandQueue
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["ScheduleResult", "simulate_schedule"]
 
@@ -27,6 +48,8 @@ class ScheduleResult:
     busy: dict[str, float] = field(default_factory=dict)
     #: (name, resource, start, end) per command, in completion order.
     timeline: list[tuple[str, str, float, float]] = field(default_factory=list)
+    #: command name -> re-drives performed after injected transfer fails.
+    retries: dict[str, int] = field(default_factory=dict)
 
     def utilisation(self, resource: str) -> float:
         """Busy fraction of one resource over the makespan."""
@@ -45,12 +68,79 @@ class ScheduleResult:
         return total
 
 
-def simulate_schedule(queue: CommandQueue) -> ScheduleResult:
-    """Execute every command in ``queue`` and return the timeline."""
+def _transfer_occupancy(command: Command, fault_plan: "FaultPlan",
+                        retry: "RetryPolicy | None") -> tuple[float, int]:
+    """Seconds the link is occupied by ``command`` under injected faults.
+
+    Returns ``(occupancy_seconds, redrives)``.  Each re-driven attempt is
+    a fresh fault opportunity, so a persistent fail spec keeps striking
+    until the budget is spent.
+    """
+    occupancy = command.duration
+    failures = 0
+    while True:
+        spec = fault_plan.draw("transfer", command.name)
+        if spec is None:
+            return occupancy, failures
+        if spec.kind == "stall":
+            if spec.seconds is None:
+                raise WatchdogTimeout(
+                    f"transfer {command.name!r} stalled and never "
+                    f"completed (injected hang); schedule watchdog fired"
+                )
+            occupancy += spec.seconds
+            return occupancy, failures  # delayed, but this attempt lands
+        error = TransferError(
+            f"transfer {command.name!r} failed in flight (injected fault)"
+        )
+        if retry is None:
+            raise error
+        failures += 1
+        if failures >= retry.max_attempts:
+            raise RetryExhaustedError(
+                f"transfer {command.name!r} failed after {failures} "
+                f"attempts (last error: {error})"
+            ) from error
+        # The failed attempt occupied the link in full, then the policy
+        # backs off before the re-drive.
+        occupancy += command.duration + retry.delay(failures - 1)
+
+
+def simulate_schedule(queue: CommandQueue, *,
+                      fault_plan: "FaultPlan | None" = None,
+                      retry: "RetryPolicy | None" = None,
+                      watchdog_seconds: float | None = None,
+                      ) -> ScheduleResult:
+    """Execute every command in ``queue`` and return the timeline.
+
+    Parameters
+    ----------
+    queue:
+        The command queue; :meth:`~repro.runtime.queue.CommandQueue.validate`
+        runs first, so phantom waits and dependency cycles raise a typed
+        :class:`~repro.errors.ScheduleError` before any timing is computed.
+    fault_plan:
+        Optional fault-injection plan; ``transfer`` faults strike
+        commands on ``pcie*`` resources (see module docstring).
+    retry:
+        Re-drive budget for failed transfers.  Deliberately *not*
+        defaulted: a fail with no policy raises
+        :class:`~repro.errors.TransferError` at once.
+    watchdog_seconds:
+        Modelled wall-clock budget for the whole schedule; the first
+        command to finish past it raises
+        :class:`~repro.errors.WatchdogTimeout`.
+    """
+    queue.validate()
+    if watchdog_seconds is not None and watchdog_seconds <= 0:
+        raise ScheduleError(
+            f"watchdog_seconds must be positive, got {watchdog_seconds}"
+        )
     pending: list[Command] = list(queue.commands)
     resource_free: dict[str, float] = {}
     busy: dict[str, float] = {}
     timeline: list[tuple[str, str, float, float]] = []
+    retries: dict[str, int] = {}
     makespan = 0.0
 
     # In-order per resource: the first unscheduled command of each resource
@@ -64,17 +154,31 @@ def simulate_schedule(queue: CommandQueue) -> ScheduleResult:
             seen_resources.add(command.resource)
             if not all(ev.complete for ev in command.wait_for):
                 continue
+            occupancy = command.duration
+            if (fault_plan is not None
+                    and command.resource.startswith("pcie")):
+                occupancy, redrives = _transfer_occupancy(
+                    command, fault_plan, retry)
+                if redrives:
+                    retries[command.name] = redrives
             start = resource_free.get(command.resource, 0.0)
             for ev in command.wait_for:
                 start = max(start, ev.time)  # type: ignore[arg-type]
             command.start = start
-            command.end = start + command.duration
+            command.end = start + occupancy
             command.event.time = command.end
             resource_free[command.resource] = command.end
-            busy[command.resource] = busy.get(command.resource, 0.0) + command.duration
+            busy[command.resource] = busy.get(command.resource, 0.0) + occupancy
             timeline.append((command.name, command.resource,
                              command.start, command.end))
             makespan = max(makespan, command.end)
+            if (watchdog_seconds is not None
+                    and command.end > watchdog_seconds):
+                raise WatchdogTimeout(
+                    f"schedule exceeded its watchdog budget: "
+                    f"{command.name!r} finishes at {command.end:.6g}s > "
+                    f"{watchdog_seconds:.6g}s"
+                )
             pending.remove(command)
             progressed = True
             break
@@ -87,4 +191,5 @@ def simulate_schedule(queue: CommandQueue) -> ScheduleResult:
             )
 
     timeline.sort(key=lambda item: item[3])
-    return ScheduleResult(makespan=makespan, busy=busy, timeline=timeline)
+    return ScheduleResult(makespan=makespan, busy=busy, timeline=timeline,
+                          retries=retries)

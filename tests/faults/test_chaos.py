@@ -1,0 +1,84 @@
+"""The chaos harness and its invariant.
+
+Every seeded scenario must either complete bit-identical to the golden
+run or raise a typed ReproError within its watchdog budget — and the
+same seed must replay the same outcome and fault trace.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.chaos import (
+    CHAOS_FAMILIES,
+    SMOKE_FAMILIES,
+    ChaosReport,
+    run_chaos,
+)
+
+
+class TestSweep:
+    def test_smoke_families_uphold_invariant(self):
+        report = run_chaos(families=SMOKE_FAMILIES, seeds=2)
+        assert isinstance(report, ChaosReport)
+        assert len(report.outcomes) == 2 * len(SMOKE_FAMILIES)
+        assert report.ok, report.render_text()
+        assert report.violations == []
+
+    def test_recovery_families_actually_inject(self):
+        report = run_chaos(families=("fifo-corrupt", "replica-kill"),
+                           seeds=2)
+        assert report.ok, report.render_text()
+        assert any(outcome.events > 0 for outcome in report.outcomes)
+
+    def test_persistent_family_errors_typed(self):
+        report = run_chaos(families=("fifo-persistent",), seeds=1)
+        assert report.ok, report.render_text()
+        outcome = report.outcomes[0]
+        assert outcome.status == "error"
+        assert outcome.error == "RetryExhaustedError"
+
+    def test_hang_family_hits_watchdog_not_a_hang(self):
+        report = run_chaos(families=("transfer-hang",), seeds=2)
+        assert report.ok, report.render_text()
+        for outcome in report.outcomes:
+            assert outcome.status in ("error", "completed", "identical")
+            if outcome.status == "error":
+                assert outcome.error == "WatchdogTimeout"
+
+
+class TestDeterminism:
+    def test_same_seeds_same_report(self):
+        first = run_chaos(families=("fifo-corrupt", "rank-drop"), seeds=2)
+        second = run_chaos(families=("fifo-corrupt", "rank-drop"), seeds=2)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="family"):
+            run_chaos(families=("warp-core-breach",), seeds=1)
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="seeds"):
+            run_chaos(seeds=0)
+
+    def test_family_list_is_complete(self):
+        assert set(SMOKE_FAMILIES) <= set(CHAOS_FAMILIES)
+        assert len(set(CHAOS_FAMILIES)) == len(CHAOS_FAMILIES)
+
+
+class TestRendering:
+    def test_report_text_counts_scenarios(self):
+        report = run_chaos(families=("transfer-fail",), seeds=1)
+        text = report.render_text()
+        assert "1/1 scenarios uphold the invariant" in text
+        assert "transfer-fail" in text
+
+    def test_to_dict_round_trip_fields(self):
+        report = run_chaos(families=("transfer-fail",), seeds=1)
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["scenarios"] == 1
+        outcome = payload["outcomes"][0]
+        assert {"family", "seed", "status", "error", "events",
+                "ok", "detail"} <= set(outcome)

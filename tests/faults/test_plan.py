@@ -1,0 +1,138 @@
+"""The fault plan's decision primitive: deterministic, traced, capped."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="site"):
+            FaultSpec("dma", "fail")
+
+    def test_kind_must_be_legal_for_site(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultSpec("fifo", "fail")
+
+    @pytest.mark.parametrize("probability", [0.0, -0.5, 1.5])
+    def test_probability_bounds(self, probability):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSpec("fifo", "corrupt", probability=probability)
+
+    def test_count_zero_rejected(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            FaultSpec("fifo", "corrupt", count=0)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            FaultSpec("replica", "slow", factor=0.5)
+
+
+class TestDraws:
+    def test_certain_spec_fires_and_is_traced(self):
+        plan = FaultPlan([FaultSpec("fifo", "corrupt")])
+        spec = plan.draw("fifo", "s1")
+        assert spec is plan.specs[0]
+        assert len(plan.trace) == 1
+        event = plan.trace[0]
+        assert (event.site, event.name, event.kind) == ("fifo", "s1",
+                                                        "corrupt")
+
+    def test_count_caps_firings(self):
+        plan = FaultPlan([FaultSpec("fifo", "corrupt", count=2)])
+        hits = [plan.draw("fifo", "s") for _ in range(5)]
+        assert sum(spec is not None for spec in hits) == 2
+        assert hits[2] is None  # inert after the cap
+
+    def test_glob_scopes_the_spec(self):
+        plan = FaultPlan([FaultSpec("fifo", "drop", match="k1.*",
+                                    count=None)])
+        assert plan.draw("fifo", "k0.read_to_shift") is None
+        assert plan.draw("fifo", "k1.read_to_shift") is not None
+        assert plan.matches("fifo", "k1.x")
+        assert not plan.matches("fifo", "k0.x")
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan([FaultSpec("fifo", "corrupt", count=None)])
+        assert plan.targets("fifo")
+        assert not plan.targets("rank")
+        assert plan.draw("rank", "rank0") is None
+
+    def test_inactive_plan(self):
+        plan = FaultPlan([])
+        assert not plan.active
+        assert plan.draw("fifo", "s") is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def sweep(seed):
+            plan = FaultPlan([FaultSpec("fifo", "corrupt",
+                                        probability=0.3, count=None)],
+                             seed=seed)
+            for i in range(50):
+                plan.draw("fifo", f"s{i % 4}")
+            return plan.trace_key()
+
+        assert sweep(7) == sweep(7)
+        assert sweep(7) != sweep(8)
+
+    def test_draws_are_order_independent(self):
+        """The decision for (site, name, occurrence) does not depend on
+        what other opportunities were consumed in between."""
+        plan_a = FaultPlan([FaultSpec("fifo", "corrupt", probability=0.5,
+                                      count=None)], seed=3)
+        plan_b = FaultPlan([FaultSpec("fifo", "corrupt", probability=0.5,
+                                      count=None)], seed=3)
+        fires_a = [plan_a.draw("fifo", "target") is not None
+                   for _ in range(20)]
+        fires_b = []
+        for i in range(20):
+            plan_b.draw("fifo", f"noise{i}")  # interleaved other names
+            fires_b.append(plan_b.draw("fifo", "target") is not None)
+        assert fires_a == fires_b
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultSpec("fifo", "drop", probability=0.4,
+                                    count=3)], seed=11)
+        for i in range(30):
+            plan.draw("fifo", f"s{i % 3}")
+        first = plan.trace_key()
+        plan.reset()
+        assert plan.trace == []
+        for i in range(30):
+            plan.draw("fifo", f"s{i % 3}")
+        assert plan.trace_key() == first
+
+    def test_transient_spec_stays_inert_across_retries(self):
+        """Occurrence counters advance monotonically, so a count-capped
+        spec that struck once does not strike the recovery re-attempt."""
+        plan = FaultPlan([FaultSpec("fifo", "corrupt", count=1)])
+        assert plan.draw("fifo", "s") is not None
+        assert plan.draw("fifo", "s") is None  # the retry sees no fault
+
+
+class TestConveniences:
+    def test_stream_hook_none_when_unmatched(self):
+        plan = FaultPlan([FaultSpec("fifo", "corrupt", match="other")])
+        assert plan.stream_hook("this") is None
+
+    def test_freeze_window_finite_and_permanent(self):
+        plan = FaultPlan([
+            FaultSpec("stage", "freeze", match="a", at_cycle=10, cycles=5),
+            FaultSpec("stage", "freeze", match="b", at_cycle=0),
+        ])
+        assert plan.freeze_window("a") == (10, 15)
+        assert plan.freeze_window("b") == (0, None)
+        assert plan.freeze_window("c") is None
+
+    def test_replica_and_rank_naming(self):
+        plan = FaultPlan([
+            FaultSpec("replica", "kill", match="k1:chunk2", count=None),
+            FaultSpec("rank", "drop", match="rank3", count=None),
+        ])
+        assert plan.replica_fault(1, 2) is not None
+        assert plan.replica_fault(0, 2) is None
+        assert plan.rank_fault(3) is not None
+        assert plan.rank_fault(2) is None

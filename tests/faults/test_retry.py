@@ -1,0 +1,100 @@
+"""Retry policy: deterministic backoff and budget-capped execution."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    FaultError,
+    RetryExhaustedError,
+    TransferError,
+)
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_backoff_below_one(self):
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+
+    def test_rejects_jitter_of_one(self):
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+
+class TestDelays:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, backoff=2.0,
+                             jitter=0.0)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0]
+
+    def test_max_delay_caps_the_sequence(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, backoff=10.0,
+                             jitter=0.0, max_delay=3.0)
+        assert list(policy.delays()) == [1.0, 3.0, 3.0, 3.0]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, backoff=1.0,
+                             jitter=0.25, seed=5)
+        first = list(policy.delays())
+        again = list(policy.delays())
+        assert first == again  # same seed, same jitter factors
+        for delay in first:
+            assert 0.75 <= delay <= 1.25
+
+    def test_different_seeds_differ(self):
+        a = list(RetryPolicy(jitter=0.3, seed=1).delays())
+        b = list(RetryPolicy(jitter=0.3, seed=2).delays())
+        assert a != b
+
+    def test_total_delay_sums_failures(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, backoff=2.0,
+                             jitter=0.0)
+        assert policy.total_delay(3) == pytest.approx(1.0 + 2.0 + 4.0)
+
+
+class TestCall:
+    def test_success_passes_through(self):
+        assert RetryPolicy().call(lambda: 42) == 42
+
+    def test_transient_failure_recovers(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise FaultError("boom")
+            return "ok"
+
+        assert RetryPolicy(max_attempts=3).call(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        def always():
+            raise TransferError("link down")
+
+        with pytest.raises(RetryExhaustedError, match="3 attempts") as info:
+            RetryPolicy(max_attempts=3).call(always, describe="h2d")
+        assert isinstance(info.value.__cause__, TransferError)
+
+    def test_unlisted_exceptions_propagate_unwrapped(self):
+        def broken():
+            raise ValueError("not a fault")
+
+        with pytest.raises(ValueError):
+            RetryPolicy().call(broken)
+
+    def test_on_retry_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise FaultError("x")
+            return None
+
+        RetryPolicy(max_attempts=4).call(
+            flaky, on_retry=lambda k, err: seen.append((k, str(err))))
+        assert seen == [(0, "x"), (1, "x")]
