@@ -19,6 +19,11 @@ A third, resilient run arms the checkpoint/restart machinery with an
 empty fault plan and gates its fault-free overhead against the plain
 exact run (``--max-resilience-overhead``, default 3%): recovery must be
 free when nothing fails.
+
+A fourth, observed run threads a *disabled* tracer and metric registry
+through the whole stack and gates their compiled-in-but-off cost the
+same way (``--max-observe-overhead``, default 3%): observability must be
+free when nobody is watching.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.core.wind import random_wind
 from repro.faults import FaultPlan, RetryPolicy
 from repro.kernel.config import KernelConfig
 from repro.kernel.simulate import simulate_kernel
+from repro.observe import MetricRegistry, Tracer
 from repro.perf.bench import BenchRecord, BenchSuite, render_table, speedup
 
 DEFAULT_OUTPUT = "benchmarks/BENCH_dataflow.json"
@@ -60,9 +66,16 @@ def main(argv=None) -> int:
                         help="fail when the fault-free resilient run is "
                              "more than this fraction slower than exact "
                              "(default: %(default)s)")
+    parser.add_argument("--max-observe-overhead", type=float,
+                        default=0.03,
+                        help="fail when the run with a disabled tracer + "
+                             "metric registry attached is more than this "
+                             "fraction slower than exact "
+                             "(default: %(default)s)")
     parser.add_argument("--overhead-repeats", type=int, default=3,
-                        help="interleaved exact/resilient timing pairs "
-                             "for the overhead gate (default: %(default)s)")
+                        help="interleaved exact/resilient/observed timing "
+                             "tuples for the overhead gates "
+                             "(default: %(default)s)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny grid + relaxed gate (CI smoke run)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
@@ -74,10 +87,11 @@ def main(argv=None) -> int:
     if args.smoke:
         args.nx, args.ny, args.nz = 16, 16, 16
         args.min_speedup = min(args.min_speedup, 1.5)
-        # Tiny grids amplify timer noise; the 3% gate only means
+        # Tiny grids amplify timer noise; the 3% gates only mean
         # something on paper-scale runs.
         args.max_resilience_overhead = max(
             args.max_resilience_overhead, 0.5)
+        args.max_observe_overhead = max(args.max_observe_overhead, 0.5)
 
     grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
     fields = random_wind(grid, seed=args.seed, magnitude=2.0)
@@ -93,12 +107,24 @@ def main(argv=None) -> int:
     resilient, t_resilient = run_once(
         config, fields, "exact",
         fault_plan=FaultPlan([]), retry=RetryPolicy())
+
+    def observed_kwargs():
+        # Compiled in, switched off: the gate measures exactly the cost a
+        # production run pays for carrying the observability plane.
+        return {"tracer": Tracer(enabled=False),
+                "metrics": MetricRegistry(enabled=False)}
+
+    observed, t_observed = run_once(config, fields, "exact",
+                                    **observed_kwargs())
     exact_times, resilient_times = [t_exact], [t_resilient]
+    observed_times = [t_observed]
     for _ in range(args.overhead_repeats - 1):
         exact_times.append(run_once(config, fields, "exact")[1])
         resilient_times.append(run_once(
             config, fields, "exact",
             fault_plan=FaultPlan([]), retry=RetryPolicy())[1])
+        observed_times.append(run_once(config, fields, "exact",
+                                       **observed_kwargs())[1])
 
     # The speedup is only meaningful if fast mode is *the same machine*.
     errors = []
@@ -121,6 +147,12 @@ def main(argv=None) -> int:
         errors.append("resilient path changed the cycle count")
     if resilient.chunk_retries != 0:
         errors.append("resilient path retried on a fault-free run")
+    if observed.total_cycles != exact.total_cycles:
+        errors.append("disabled observability changed the cycle count")
+    for name in ("su", "sv", "sw"):
+        if not np.array_equal(getattr(exact.sources, name),
+                              getattr(observed.sources, name)):
+            errors.append(f"{name} differs with disabled observability")
     if errors:
         for err in errors:
             print(f"MISMATCH: {err}", file=sys.stderr)
@@ -150,12 +182,23 @@ def main(argv=None) -> int:
         extra={"chunk_retries": resilient.chunk_retries,
                "overhead_vs_exact": round(overhead, 4),
                "timing_pairs": args.overhead_repeats})
+    best_observed = min(observed_times)
+    observe_overhead = (best_observed / best_exact - 1.0
+                        if best_exact > 0 else 0.0)
+    rec_observed = BenchRecord(
+        name=f"kernel-{label}-observed", wall_seconds=best_observed,
+        cycles=observed.total_cycles, cells=grid.num_cells, mode="exact",
+        extra={"overhead_vs_exact": round(observe_overhead, 4),
+               "timing_pairs": args.overhead_repeats,
+               "instruments": "tracer+metrics, disabled"})
     suite.add(rec_exact)
     suite.add(rec_fast)
     suite.add(rec_resilient)
+    suite.add(rec_observed)
     gain = speedup(rec_exact, rec_fast)
     suite.context["speedup"] = round(gain, 2)
     suite.context["resilience_overhead"] = round(overhead, 4)
+    suite.context["observe_overhead"] = round(observe_overhead, 4)
     path = suite.write(args.output)
 
     print(render_table(suite.records))
@@ -163,6 +206,8 @@ def main(argv=None) -> int:
           f"({agg_fast.ff_cycles}/{fast.total_cycles} cycles "
           f"fast-forwarded in {agg_fast.ff_advances} advances)")
     print(f"fault-free resilience overhead: {overhead * 100:+.2f}%")
+    print(f"disabled observability overhead: "
+          f"{observe_overhead * 100:+.2f}%")
     print(f"records written to {path}")
     failed = False
     if gain < args.min_speedup:
@@ -173,6 +218,12 @@ def main(argv=None) -> int:
         print(f"FAIL: fault-free resilience overhead {overhead * 100:.2f}% "
               f"exceeds the {args.max_resilience_overhead * 100:.1f}% "
               f"budget", file=sys.stderr)
+        failed = True
+    if observe_overhead > args.max_observe_overhead:
+        print(f"FAIL: disabled observability overhead "
+              f"{observe_overhead * 100:.2f}% exceeds the "
+              f"{args.max_observe_overhead * 100:.1f}% budget",
+              file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

@@ -21,6 +21,15 @@ Commands
     every run completes bit-identical to the fault-free golden output or
     raises a typed error within its watchdog budget (non-zero exit on
     any violation).
+``trace --out trace.json [--nx 64 ...] [--device u280]``
+    Cycle-accurate run under the observability tracer, merged with the
+    device's command-queue schedule into one Chrome/Perfetto JSON:
+    engine-stage spans, shift-buffer prime/steady phases, kernel chunk
+    spans and host transfer/compute events, all in one file.
+``metrics [--nx 64 ...] [--json]``
+    Metric-registry dump of one cycle-accurate run plus the
+    achieved-vs-theoretical ops-per-cycle roofline report (the paper's
+    62.875 figure at the default column height).
 """
 
 from __future__ import annotations
@@ -154,6 +163,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--smoke", action="store_true",
                          help="quick sweep: 2 seeds over the smoke "
                               "family subset")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="emit one Chrome/Perfetto JSON of engine spans + schedule",
+    )
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="output JSON path (default trace.json)")
+    p_trace.add_argument("--nx", type=int, default=64)
+    p_trace.add_argument("--ny", type=int, default=64)
+    p_trace.add_argument("--nz", type=int, default=64)
+    p_trace.add_argument("--chunk-width", type=int, default=None)
+    p_trace.add_argument("--mode", choices=("exact", "fast"),
+                         default="fast",
+                         help="engine mode (fast keeps 64^3 tractable; "
+                              "identical spans modulo fast-forward marks)")
+    p_trace.add_argument("--device", default="u280",
+                         help="device whose schedule and clock to trace "
+                              "(u280 | stratix10)")
+    p_trace.add_argument("--no-overlap", action="store_true",
+                         help="trace the sequential (Fig. 5) schedule")
+    p_trace.add_argument("--seed", type=int, default=0)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="metric-registry dump + ops-per-cycle roofline report",
+    )
+    p_metrics.add_argument("--nx", type=int, default=64)
+    p_metrics.add_argument("--ny", type=int, default=64)
+    p_metrics.add_argument("--nz", type=int, default=64)
+    p_metrics.add_argument("--chunk-width", type=int, default=None)
+    p_metrics.add_argument("--mode", choices=("exact", "fast"),
+                          default="fast")
+    p_metrics.add_argument("--clock-mhz", type=float, default=None,
+                           help="also report achieved GFLOPS at this "
+                                "kernel clock")
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--json", action="store_true",
+                           help="emit the registry snapshot and roofline "
+                                "report as JSON")
     return parser
 
 
@@ -415,6 +463,85 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.core.grid import Grid
+    from repro.core.wind import random_wind
+    from repro.hardware import device_by_name
+    from repro.kernel.config import KernelConfig
+    from repro.kernel.simulate import simulate_kernel
+    from repro.observe import Tracer, write_trace
+    from repro.runtime.session import AdvectionSession
+
+    grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    fields = random_wind(grid, seed=args.seed, magnitude=2.0)
+    config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
+              if args.chunk_width else KernelConfig(grid=grid))
+    device = device_by_name(args.device)
+
+    tracer = Tracer()
+    result = simulate_kernel(config, fields, mode=args.mode, tracer=tracer)
+
+    session = AdvectionSession(device, config)
+    run = session.run(grid, overlapped=not args.no_overlap)
+    clock_mhz = device.clock.frequency_mhz(run.num_kernels)
+
+    path = write_trace(
+        args.out, tracer, run.schedule,
+        process_name=f"{args.device}-{grid.nx}x{grid.ny}x{grid.nz}",
+        cycle_time_us=1.0 / clock_mhz)
+    schedule_events = len(run.schedule.timeline) if run.schedule else 0
+    print(f"grid:     {grid.interior_shape}, mode={args.mode}, "
+          f"device={args.device}")
+    print(f"engine:   {result.total_cycles} cycles, "
+          f"{len(tracer.spans)} spans on {len(tracer.tracks())} tracks")
+    print(f"schedule: {schedule_events} transfer/compute events "
+          f"at {clock_mhz:.0f} MHz")
+    print(f"wrote chrome://tracing / Perfetto file: {path}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json as json_module
+
+    from repro.core.grid import Grid
+    from repro.core.wind import random_wind
+    from repro.kernel.config import KernelConfig
+    from repro.kernel.simulate import simulate_kernel
+    from repro.observe import MetricRegistry, ops_per_cycle_report
+
+    grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    fields = random_wind(grid, seed=args.seed, magnitude=2.0)
+    config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
+              if args.chunk_width else KernelConfig(grid=grid))
+
+    registry = MetricRegistry()
+    result = simulate_kernel(config, fields, mode=args.mode,
+                             metrics=registry)
+    report = ops_per_cycle_report(result.aggregate_stats(), nz=grid.nz,
+                                  cycles=result.total_cycles)
+
+    if args.json:
+        payload = {
+            "grid": list(grid.interior_shape),
+            "mode": args.mode,
+            "ops_per_cycle": report.to_dict(),
+            "metrics": registry.snapshot(),
+        }
+        if args.clock_mhz:
+            payload["achieved_gflops"] = round(
+                report.achieved_gflops(args.clock_mhz), 3)
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(f"grid:     {grid.interior_shape}, mode={args.mode}")
+        print(report.summary())
+        if args.clock_mhz:
+            print(f"at {args.clock_mhz:.0f} MHz: "
+                  f"{report.achieved_gflops(args.clock_mhz):.2f} GFLOPS")
+        print()
+        print(registry.render_text())
+    return 0
+
+
 def _cmd_scorecard(args) -> int:
     from repro.experiments.summary import (
         build_scorecard,
@@ -450,6 +577,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         if args.command == "report":
             from repro.experiments.markdown_report import main as report_main
 

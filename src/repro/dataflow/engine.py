@@ -54,6 +54,8 @@ from repro.errors import DataflowError, FaultError, LintError, WatchdogTimeout
 
 if TYPE_CHECKING:  # imported lazily to keep dataflow import-cycle free
     from repro.faults.plan import FaultPlan
+    from repro.observe.metrics import MetricRegistry
+    from repro.observe.trace import Tracer
 
 __all__ = ["DataflowEngine", "RunStats"]
 
@@ -98,9 +100,12 @@ class RunStats:
 
         Cycles, fires, stalls, and fast-forward counters add up; stream
         high-water marks take the maximum, matching their meaning as a
-        sizing bound.
+        sizing bound.  Distinct ``ff_veto_reason`` values are all kept
+        (joined with ``"; "`` in first-seen order) — different chunks can
+        demote for different causes and each deserves to surface.
         """
         merged = cls(cycles=0)
+        reasons: list[str] = []
         for run in runs:
             merged.cycles += run.cycles
             for name, fires in run.fires.items():
@@ -114,9 +119,28 @@ class RunStats:
                     merged.stream_high_water.get(name, 0), high)
             merged.ff_advances += run.ff_advances
             merged.ff_cycles += run.ff_cycles
-            if merged.ff_veto_reason is None:
-                merged.ff_veto_reason = run.ff_veto_reason
+            if run.ff_veto_reason is not None \
+                    and run.ff_veto_reason not in reasons:
+                reasons.append(run.ff_veto_reason)
+        merged.ff_veto_reason = "; ".join(reasons) if reasons else None
         return merged
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (stable key order for golden snapshots)."""
+        return {
+            "cycles": self.cycles,
+            "fires": {name: self.fires[name] for name in sorted(self.fires)},
+            "stalls": {
+                name: dict(self.stalls[name]) for name in sorted(self.stalls)
+            },
+            "stream_high_water": {
+                name: self.stream_high_water[name]
+                for name in sorted(self.stream_high_water)
+            },
+            "ff_advances": self.ff_advances,
+            "ff_cycles": self.ff_cycles,
+            "ff_veto_reason": self.ff_veto_reason,
+        }
 
     def summary(self) -> str:
         """Human-readable multi-line run summary."""
@@ -176,13 +200,31 @@ class DataflowEngine:
         engine arms matching FIFO fault hooks and stage freeze windows;
         an active plan demotes ``mode="fast"`` to exact ticking (skipped
         cycles could not be faulted).
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer`.  When enabled, the
+        run emits one activity span per stage (first to last progressing
+        cycle, with fire/stall counts attached), prime/steady phase spans
+        for stages exposing ``first_emit_cycle`` (the shift buffer),
+        fast-forward advance spans, and demotion markers — all on the
+        engine's cycle clock.  Unlike monitors, a tracer does *not* veto
+        ``mode="fast"``: it records phase boundaries and aggregates that
+        analytic advances preserve exactly, never per-cycle samples.
+    metrics:
+        Optional :class:`~repro.observe.metrics.MetricRegistry`.  At the
+        end of the run the engine feeds ``engine_cycles``,
+        ``stage_fires``/``stage_stalls`` counters, ``fifo_high_water``
+        gauges and a ``stage_throughput`` histogram — a once-per-run
+        cost, so an attached registry (enabled or not) leaves the tick
+        loop untouched.
     """
 
     def __init__(self, graph: DataflowGraph, *, max_cycles: int = 10_000_000,
                  monitors: list[Monitor] | None = None,
                  stall_grace: int | None = None, mode: str = "exact",
                  lint: bool = False, watchdog: int | None = None,
-                 fault_plan: "FaultPlan | None" = None) -> None:
+                 fault_plan: "FaultPlan | None" = None,
+                 tracer: "Tracer | None" = None,
+                 metrics: "MetricRegistry | None" = None) -> None:
         if max_cycles < 1:
             raise DataflowError(f"max_cycles must be >= 1, got {max_cycles}")
         if stall_grace is not None and stall_grace < 1:
@@ -205,6 +247,8 @@ class DataflowEngine:
         self.lint = lint
         self.watchdog = watchdog
         self.fault_plan = fault_plan
+        self.tracer = tracer
+        self.metrics = metrics
 
     def run(self) -> RunStats:
         """Simulate until quiescence and return run statistics."""
@@ -263,12 +307,32 @@ class DataflowEngine:
         ff_cycles = 0
         cap = (self.max_cycles if self.watchdog is None
                else min(self.max_cycles, self.watchdog))
+        # Activity tracking (stage name -> [first, last] progressing cycle)
+        # only runs with an *enabled* tracer: the flag is hoisted here so a
+        # compiled-in-but-disabled tracer costs nothing inside the loop.
+        tracer = self.tracer
+        trace_on = tracer is not None and tracer.enabled
+        activity: dict[str, list[int]] = {}
+        veto_cycle: int | None = None
 
         cycle = 0
         last_progress = 0
         while cycle < cap:
             progressed = False
-            if not freeze:
+            if trace_on:
+                for stage in order:
+                    window = freeze.get(stage.name) if freeze else None
+                    if window is not None and window[0] <= cycle and (
+                            window[1] is None or cycle < window[1]):
+                        continue  # frozen: the stage does nothing
+                    if stage.tick(cycle):
+                        progressed = True
+                        slot = activity.get(stage.name)
+                        if slot is None:
+                            activity[stage.name] = [cycle, cycle]
+                        else:
+                            slot[1] = cycle
+            elif not freeze:
                 for stage in order:
                     progressed |= stage.tick(cycle)
             else:
@@ -309,13 +373,33 @@ class DataflowEngine:
                         f"stage {veto_stage!r} vetoed steady-state "
                         f"detection (data-dependent control)"
                     )
+                    veto_cycle = cycle
                 elif sig in ff_table:
                     first_cycle, snapshot = ff_table[sig]
+                    fires_before = ({s.name: s.stats.fires for s in order}
+                                    if trace_on else None)
                     skipped = self._ff_advance(
                         order, cycle + 1, (cycle + 1) - first_cycle, snapshot)
                     if skipped > 0:
                         ff_advances += 1
                         ff_cycles += skipped
+                        if trace_on:
+                            assert fires_before is not None
+                            tracer.add_span(
+                                f"fast-forward x{skipped}", "engine",
+                                cycle + 1, cycle + 1 + skipped,
+                                category="fast-forward",
+                                period=(cycle + 1) - first_cycle)
+                            for stage in order:
+                                if stage.stats.fires \
+                                        <= fires_before[stage.name]:
+                                    continue
+                                slot = activity.get(stage.name)
+                                if slot is None:
+                                    activity[stage.name] = [cycle + 1,
+                                                            cycle + skipped]
+                                else:
+                                    slot[1] = cycle + skipped
                         cycle += skipped
                         last_progress = cycle
                         # Counters moved: every stored snapshot is stale.
@@ -356,7 +440,7 @@ class DataflowEngine:
                         f"at quiescence)"
                     )
 
-        return RunStats(
+        stats = RunStats(
             cycles=cycle,
             fires={s.name: s.stats.fires for s in order},
             stalls={
@@ -375,6 +459,90 @@ class DataflowEngine:
             ff_cycles=ff_cycles,
             ff_veto_reason=veto_reason,
         )
+        if trace_on:
+            self._emit_spans(stats, order, activity, veto_cycle)
+        if self.metrics is not None and self.metrics.enabled:
+            self._emit_metrics(stats)
+        return stats
+
+    # -- observability (end-of-run, never in the tick loop) ---------------------
+
+    def _emit_spans(self, stats: RunStats, order: list[Stage],
+                    activity: dict[str, list[int]],
+                    veto_cycle: int | None) -> None:
+        """Emit the run's spans onto the attached (enabled) tracer."""
+        tracer = self.tracer
+        assert tracer is not None
+        tracer.add_span(
+            self.graph.name, "engine", 0, stats.cycles, category="run",
+            cycles=stats.cycles, ff_advances=stats.ff_advances,
+            ff_cycles=stats.ff_cycles)
+        if stats.ff_veto_reason is not None:
+            tracer.instant("fast-forward demoted", "engine",
+                           ts=float(veto_cycle if veto_cycle is not None
+                                    else 0),
+                           reason=stats.ff_veto_reason)
+        for stage in order:
+            window = activity.get(stage.name)
+            if window is None:
+                continue
+            first, last = window[0], window[1] + 1
+            stalls = stats.stalls[stage.name]
+            tracer.add_span(
+                "active", stage.name, first, last, category="stage",
+                fires=stats.fires[stage.name],
+                throughput=round(stats.throughput(stage.name), 4),
+                **stalls)
+            # Stages exposing first_emit_cycle (the shift buffer) split
+            # into the paper's prime/steady phases: priming consumes
+            # without producing, steady state emits every cycle.
+            first_emit = getattr(stage, "first_emit_cycle", None)
+            if first_emit is not None and first <= first_emit <= last:
+                tracer.add_span("prime", stage.name, first, first_emit,
+                                category="phase")
+                tracer.add_span("steady", stage.name, first_emit, last,
+                                category="phase")
+        for stream in self.graph.streams:
+            if stream.stats.max_occupancy:
+                tracer.counter("fifo_high_water", "fifo",
+                               ts=float(stats.cycles),
+                               **{stream.name: stream.stats.max_occupancy})
+
+    def _emit_metrics(self, stats: RunStats) -> None:
+        """Fold the run's statistics into the attached registry."""
+        registry = self.metrics
+        assert registry is not None
+        registry.counter(
+            "engine_cycles", "simulated cycles to quiescence",
+        ).inc(stats.cycles)
+        registry.counter(
+            "engine_runs", "engine runs folded into this registry",
+        ).inc()
+        fires = registry.counter("stage_fires", "firings per stage")
+        stalls = registry.counter(
+            "stage_stalls", "stall cycles per stage and kind")
+        throughput = registry.histogram(
+            "stage_throughput", "per-run fires/cycle per stage")
+        for name, count in stats.fires.items():
+            fires.inc(count, stage=name)
+            throughput.observe(stats.throughput(name), stage=name)
+        for name, kinds in stats.stalls.items():
+            for kind, count in kinds.items():
+                stalls.inc(count, stage=name, kind=kind)
+        high_water = registry.gauge(
+            "fifo_high_water", "max FIFO occupancy per stream")
+        for name, high in stats.stream_high_water.items():
+            high_water.set_max(high, stream=name)
+        registry.counter(
+            "ff_advances", "analytic steady-state advances",
+        ).inc(stats.ff_advances)
+        registry.counter(
+            "ff_cycles", "cycles skipped by fast-forward",
+        ).inc(stats.ff_cycles)
+        if stats.ff_veto_reason is not None:
+            registry.counter(
+                "ff_demotions", "fast-mode runs demoted to exact ticking",
+            ).inc(reason=stats.ff_veto_reason)
 
     # -- fast-forward internals -------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.errors import ConfigurationError, ReplicaLostError
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
     from repro.faults.retry import RetryPolicy
+    from repro.observe.trace import Tracer
 
 __all__ = ["DistributedAdvection", "DistributedStepReport"]
 
@@ -81,6 +82,13 @@ class DistributedAdvection:
     retry:
         Rank-respawn budget; defaults to ``RetryPolicy()`` when a fault
         plan is given.
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer` on the *modelled
+        seconds* clock.  Each :meth:`compute` step emits the halo
+        exchange on a ``comm`` track, one compute span per rank on its
+        own ``rank{r}`` lane (ranks run in parallel, so lanes share a
+        start), respawn markers for recovered ranks, and the whole step
+        on a ``driver`` track; successive steps are laid end to end.
     """
 
     def __init__(self, topology: ProcessGrid, *,
@@ -89,7 +97,8 @@ class DistributedAdvection:
                  rank_gflops: float = 2.09,
                  cost_model: CommCostModel | None = None,
                  fault_plan: "FaultPlan | None" = None,
-                 retry: "RetryPolicy | None" = None) -> None:
+                 retry: "RetryPolicy | None" = None,
+                 tracer: "Tracer | None" = None) -> None:
         if rank_gflops <= 0:
             raise ConfigurationError("rank_gflops must be positive")
         self.topology = topology
@@ -105,7 +114,9 @@ class DistributedAdvection:
 
             retry = _RetryPolicy()
         self.retry = retry
+        self.tracer = tracer
         self.last_report: DistributedStepReport | None = None
+        self._trace_clock = 0.0  # where the next step's spans start
 
     def compute(self, global_fields: FieldSet) -> SourceSet:
         """Distributed PW advection of ``global_fields``.
@@ -124,6 +135,9 @@ class DistributedAdvection:
         bytes_before = self.cluster.stats.bytes_sent
         comm_seconds = self.cluster.halo_exchange()
 
+        tracer = self.tracer
+        trace_on = tracer is not None and tracer.enabled
+        step_start = self._trace_clock
         out = SourceSet.zeros(grid)
         worst_compute = 0.0
         recovered = 0
@@ -146,6 +160,29 @@ class DistributedAdvection:
                 rank_seconds *= 1 + rank_failures
                 rank_seconds += self.retry.total_delay(rank_failures)
             worst_compute = max(worst_compute, rank_seconds)
+            if trace_on:
+                assert tracer is not None
+                compute_start = step_start + comm_seconds
+                tracer.add_span(
+                    "compute", f"rank{rank}", compute_start,
+                    compute_start + rank_seconds, category="rank",
+                    cells=domain.local_grid(grid).num_cells,
+                    respawns=rank_failures)
+                if rank_failures:
+                    tracer.instant("rank respawned", f"rank{rank}",
+                                   ts=compute_start, failures=rank_failures)
+
+        if trace_on:
+            assert tracer is not None
+            tracer.add_span(
+                "halo exchange", "comm", step_start,
+                step_start + comm_seconds, category="comm",
+                bytes=self.cluster.stats.bytes_sent - bytes_before)
+            tracer.add_span(
+                "step", "driver", step_start,
+                step_start + comm_seconds + worst_compute, category="step",
+                ranks=self.topology.size, recovered=recovered)
+            self._trace_clock = step_start + comm_seconds + worst_compute
 
         self.last_report = DistributedStepReport(
             ranks=self.topology.size,

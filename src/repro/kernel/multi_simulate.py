@@ -41,6 +41,8 @@ from repro.kernel.stages import CellInput, ReadDataStage
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
     from repro.faults.retry import RetryPolicy
+    from repro.observe.metrics import MetricRegistry
+    from repro.observe.trace import Tracer
 
 __all__ = ["MemoryArbiter", "MultiKernelSimResult", "simulate_multi_kernel"]
 
@@ -160,6 +162,8 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                           fault_plan: "FaultPlan | None" = None,
                           retry: "RetryPolicy | None" = None,
                           watchdog: int | None = None,
+                          tracer: "Tracer | None" = None,
+                          metrics: "MetricRegistry | None" = None,
                           ) -> MultiKernelSimResult:
     """Co-simulate ``num_kernels`` kernel instances sharing one memory.
 
@@ -188,6 +192,16 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         argument turns chunk-seam checkpointing on.
     watchdog:
         Per-run cycle watchdog passed to the engine.
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer`.  Stage names carry
+        their ``k{p}.`` replica prefix, so each replica's stages land on
+        their own lanes automatically; per-chunk spans (including
+        rescheduled quarantine work) and quarantine markers go on the
+        ``kernel`` track, all shifted onto one global cycle axis.
+    metrics:
+        Optional :class:`~repro.observe.metrics.MetricRegistry`, threaded
+        into every engine run and fed arbiter grant/denial counters and
+        the read-starvation fraction at the end.
 
     Raises
     ------
@@ -241,6 +255,7 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
     rescheduled_chunks = 0
     chunk_retries = 0
     veto_reason: str | None = None
+    trace_on = tracer is not None and tracer.enabled
     # A heavily starved arbiter can stall every read stage for
     # ~kernels/rate cycles between grants; widen the engine's
     # deadlock grace accordingly.
@@ -270,12 +285,19 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                 if resilient else None
             )
             graph = build()
+            engine = DataflowEngine(
+                graph, max_cycles=max_cycles_per_chunk,
+                stall_grace=grace, mode=mode,
+                fault_plan=fault_plan, watchdog=watchdog,
+                tracer=tracer, metrics=metrics,
+            )
             try:
-                stats = DataflowEngine(
-                    graph, max_cycles=max_cycles_per_chunk,
-                    stall_grace=grace, mode=mode,
-                    fault_plan=fault_plan, watchdog=watchdog,
-                ).run()
+                if trace_on:
+                    assert tracer is not None
+                    with tracer.shifted(total_cycles):
+                        stats = engine.run()
+                else:
+                    stats = engine.run()
                 if resilient:
                     for p in check_parts:
                         sub_grid = parts[p][1]
@@ -304,6 +326,12 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                 np.copyto(out.sv, checkpoint[1])
                 np.copyto(out.sw, checkpoint[2])
                 chunk_retries += 1
+                if trace_on:
+                    assert tracer is not None
+                    tracer.instant(
+                        "chunk retry", "kernel", ts=float(total_cycles),
+                        chunk=chunk.index, attempt=attempt,
+                        error=str(error))
                 continue
             if stats.ff_veto_reason is not None and veto_reason is None:
                 veto_reason = stats.ff_veto_reason
@@ -322,6 +350,12 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                 if spec.kind == "kill":
                     live.remove(p)
                     quarantined.append(p)
+                    if trace_on:
+                        assert tracer is not None
+                        tracer.instant(
+                            "replica quarantined", "kernel",
+                            ts=float(total_cycles), replica=p,
+                            chunk=chunk.index)
                 else:
                     slow_ii[p] = max(1, round(spec.factor))
         if not live:
@@ -338,9 +372,16 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                 merged.merge(build_part(p, chunk, slow_ii.get(p, 1)))
             return merged
 
+        chunk_start = total_cycles
         stats = run_resilient(build_merged, list(live), chunk)
         chunk_cycles.append(stats.cycles)
         total_cycles += stats.cycles
+        if trace_on:
+            assert tracer is not None
+            tracer.add_span(
+                f"chunk {chunk.index}", "kernel", chunk_start,
+                total_cycles, category="chunk",
+                replicas=len(live), write_width=chunk.write_width)
 
         # Graceful degradation: survivors pick up the quarantined
         # replicas' X-slabs, serialised after their own chunk work.  The
@@ -348,11 +389,37 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         # replica would have run, so the output stays bit-identical —
         # only the cycle count grows.
         for p in quarantined:
+            resched_start = total_cycles
             extra = run_resilient(
                 lambda p=p, chunk=chunk: build_part(p, chunk), [p], chunk)
             total_cycles += extra.cycles
             chunk_cycles[-1] += extra.cycles
             rescheduled_chunks += 1
+            if trace_on:
+                assert tracer is not None
+                tracer.add_span(
+                    f"chunk {chunk.index} resched k{p}", "kernel",
+                    resched_start, total_cycles, category="reschedule",
+                    replica=p)
+
+    if metrics is not None and metrics.enabled:
+        metrics.counter(
+            "arbiter_grants", "cell-read grants issued by the shared memory",
+        ).inc(arbiter.grants)
+        metrics.counter(
+            "arbiter_denials", "cell-read requests the shared memory denied",
+        ).inc(arbiter.denials)
+        total_requests = arbiter.grants + arbiter.denials
+        metrics.gauge(
+            "read_starvation_fraction",
+            "fraction of read requests denied by the arbiter",
+        ).set(arbiter.denials / total_requests if total_requests else 0.0)
+        metrics.counter(
+            "replica_quarantines", "kernel replicas lost to faults",
+        ).inc(len(quarantined))
+        metrics.counter(
+            "rescheduled_chunks", "quarantined work re-run on survivors",
+        ).inc(rescheduled_chunks)
 
     return MultiKernelSimResult(
         sources=out,

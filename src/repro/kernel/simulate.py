@@ -39,6 +39,8 @@ from repro.shiftbuffer.ports import MemoryPortTracker
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
     from repro.faults.retry import RetryPolicy
+    from repro.observe.metrics import MetricRegistry
+    from repro.observe.trace import Tracer
 
 __all__ = ["KernelSimResult", "simulate_kernel"]
 
@@ -79,6 +81,8 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
                     fault_plan: "FaultPlan | None" = None,
                     retry: "RetryPolicy | None" = None,
                     watchdog: int | None = None,
+                    tracer: "Tracer | None" = None,
+                    metrics: "MetricRegistry | None" = None,
                     ) -> KernelSimResult:
     """Simulate one kernel invocation cycle by cycle.
 
@@ -111,6 +115,17 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
     watchdog:
         Per-chunk cycle watchdog passed to the engine (typed
         :class:`~repro.errors.WatchdogTimeout` instead of spinning).
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer`.  Each chunk's
+        engine spans are shifted onto one global cycle axis (chunks run
+        back to back), topped by a per-chunk span on the ``kernel`` track
+        carrying seam geometry and halo-read overhead, plus retry
+        markers when the checkpoint/restart path re-runs a chunk.
+    metrics:
+        Optional :class:`~repro.observe.metrics.MetricRegistry`, threaded
+        into every chunk's engine run and fed kernel-level counters
+        (``kernel_chunks``, ``kernel_chunk_retries``,
+        ``kernel_halo_read_cells``).
 
     Notes
     -----
@@ -138,8 +153,10 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
     chunk_stats: list[RunStats] = []
     total_cycles = 0
     chunk_retries = 0
+    trace_on = tracer is not None and tracer.enabled
 
-    for chunk in config.chunk_plan().chunks:
+    plan = config.chunk_plan()
+    for chunk in plan.chunks:
         # Chunk-seam checkpoint: the output slabs of every *completed*
         # chunk.  A failed attempt restores it, so retries never see the
         # partial writes of the attempt that died.
@@ -157,11 +174,20 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
                 config, fields, chunk, coeffs, out, read_ii=read_ii,
                 tracker=tracker,
             )
+            engine = DataflowEngine(
+                graph, max_cycles=max_cycles_per_chunk, mode=mode,
+                fault_plan=fault_plan, watchdog=watchdog,
+                tracer=tracer, metrics=metrics,
+            )
             try:
-                stats = DataflowEngine(
-                    graph, max_cycles=max_cycles_per_chunk, mode=mode,
-                    fault_plan=fault_plan, watchdog=watchdog,
-                ).run()
+                if trace_on:
+                    assert tracer is not None
+                    # Chunks run back to back: shift this chunk's engine
+                    # spans from local cycle 0 onto the global axis.
+                    with tracer.shifted(total_cycles):
+                        stats = engine.run()
+                else:
+                    stats = engine.run()
                 if resilient:
                     written = graph.stage("write_data").cells_written  # type: ignore[attr-defined]
                     if written != expected_cells:
@@ -183,10 +209,37 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
                 np.copyto(out.sv, checkpoint[1])
                 np.copyto(out.sw, checkpoint[2])
                 chunk_retries += 1
+                if trace_on:
+                    assert tracer is not None
+                    tracer.instant(
+                        "chunk retry", "kernel", ts=float(total_cycles),
+                        chunk=chunk.index, attempt=attempt,
+                        error=str(error))
                 continue
             break
         chunk_stats.append(stats)
+        if trace_on:
+            assert tracer is not None
+            halo_cells = chunk.read_width - chunk.write_width
+            tracer.add_span(
+                f"chunk {chunk.index}", "kernel", total_cycles,
+                total_cycles + stats.cycles, category="chunk",
+                read_width=chunk.read_width, write_width=chunk.write_width,
+                halo_overhead=round(halo_cells / chunk.read_width, 4),
+                retries=attempt)
         total_cycles += stats.cycles
+
+    if metrics is not None and metrics.enabled:
+        metrics.counter(
+            "kernel_chunks", "chunks simulated per kernel invocation",
+        ).inc(len(plan.chunks))
+        metrics.counter(
+            "kernel_chunk_retries", "chunk re-runs by checkpoint/restart",
+        ).inc(chunk_retries)
+        metrics.counter(
+            "kernel_halo_read_cells",
+            "redundant cells streamed for chunk-seam halos",
+        ).inc(plan.overlap_cells * (grid.nx + 2) * grid.nz)
 
     return KernelSimResult(
         sources=out,

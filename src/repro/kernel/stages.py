@@ -373,6 +373,10 @@ class ShiftBufferStage(Stage):
             field: np.ascontiguousarray(arr, dtype=float)
             for field, arr in zip(("u", "v", "w"), backing)
         }
+        #: Cycle of the first window emission — the prime/steady boundary
+        #: the observability plane splits this stage's activity span at.
+        #: ``None`` until the buffers first produce (and after reset).
+        self.first_emit_cycle: int | None = None
 
     def fire(self, cycle: int, inputs: Mapping[str, list]) -> Mapping[str, list]:
         (cell,) = inputs["in"]
@@ -388,6 +392,8 @@ class ShiftBufferStage(Stage):
             StencilBundle(u=wu, v=wv, w=ww, center=wu.center, top=wu.top)
             for wu, wv, ww in zip(wins_u, wins_v, wins_w)
         ]
+        if bundles and self.first_emit_cycle is None:
+            self.first_emit_cycle = cycle
         return {"out": bundles} if bundles else {}
 
     def ff_signature(self, cycle: int) -> tuple | None:
@@ -441,11 +447,14 @@ class ShiftBufferStage(Stage):
         for field in ("u", "v", "w"):
             first, stop = self._buffers[field].feed_bulk(
                 count, self._backing[field])
+        if stop > first and self.first_emit_cycle is None:
+            self.first_emit_cycle = cycle
         return _ShiftFireResult(
             StencilBulk(self._buffers, self._backing, first, stop), self.nz)
 
     def reset(self) -> None:
         super().reset()
+        self.first_emit_cycle = None
         for buffer in self._buffers.values():
             buffer.reset()
 

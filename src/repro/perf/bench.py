@@ -107,28 +107,39 @@ class BenchSuite:
                 return record
         raise ConfigurationError(f"no benchmark record named {name!r}")
 
-    def write(self, path: str | pathlib.Path) -> pathlib.Path:
-        path = pathlib.Path(path)
-        payload = {
+    def to_dict(self) -> dict[str, Any]:
+        """The on-disk payload (schema + context + records)."""
+        return {
             "schema": SCHEMA_VERSION,
             "context": dict(self.context),
             "records": [r.to_dict() for r in self.records],
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchSuite":
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported benchmark schema {data.get('schema')!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            records=[BenchRecord.from_dict(r)
+                     for r in data.get("records", ())],
+            context=dict(data.get("context", {})),
+        )
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
         return path
 
 
 def load_suite(path: str | pathlib.Path) -> BenchSuite:
     data = json.loads(pathlib.Path(path).read_text())
-    if data.get("schema") != SCHEMA_VERSION:
-        raise ConfigurationError(
-            f"{path}: unsupported benchmark schema "
-            f"{data.get('schema')!r} (expected {SCHEMA_VERSION})"
-        )
-    return BenchSuite(
-        records=[BenchRecord.from_dict(r) for r in data.get("records", ())],
-        context=dict(data.get("context", {})),
-    )
+    try:
+        return BenchSuite.from_dict(data)
+    except ConfigurationError as error:
+        raise ConfigurationError(f"{path}: {error}") from error
 
 
 def render_table(records: Iterable[BenchRecord]) -> str:

@@ -27,15 +27,21 @@ def _row_id(resource: str) -> int:
 
 
 def to_trace_events(schedule: ScheduleResult, *,
-                    process_name: str = "advection") -> list[dict]:
-    """Convert a schedule to a list of Trace Event Format dicts."""
+                    process_name: str = "advection",
+                    pid: int = 1) -> list[dict]:
+    """Convert a schedule to a list of Trace Event Format dicts.
+
+    ``pid`` sets the Chrome process the rows land in, so this timeline
+    can share a file with other processes (the observability plane's
+    merged export puts the engine in pid 1 and the schedule in pid 2).
+    """
     if not schedule.timeline:
         raise ConfigurationError("cannot export an empty schedule")
     events: list[dict] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "args": {"name": process_name},
         }
     ]
@@ -46,7 +52,7 @@ def to_trace_events(schedule: ScheduleResult, *,
             events.append({
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": _row_id(resource),
                 "args": {"name": resource},
             })
@@ -54,7 +60,7 @@ def to_trace_events(schedule: ScheduleResult, *,
             "name": name,
             "cat": resource,
             "ph": "X",  # complete event
-            "pid": 1,
+            "pid": pid,
             "tid": _row_id(resource),
             "ts": start * 1e6,          # microseconds
             "dur": (end - start) * 1e6,

@@ -177,6 +177,22 @@ class TestRunStatsMerge:
         assert m.cycles == 0
         assert m.fires == {}
 
+    def test_merge_keeps_two_distinct_veto_reasons(self):
+        runs = [
+            RunStats(cycles=10, ff_veto_reason="monitors attached"),
+            RunStats(cycles=10),
+            RunStats(cycles=10, ff_veto_reason="fault plan active"),
+        ]
+        m = RunStats.merge(runs)
+        assert m.ff_veto_reason == "monitors attached; fault plan active"
+
+    def test_merge_deduplicates_repeated_veto_reason(self):
+        runs = [RunStats(cycles=5, ff_veto_reason="monitors attached")] * 3
+        assert RunStats.merge(runs).ff_veto_reason == "monitors attached"
+
+    def test_merge_without_vetoes_stays_none(self):
+        assert RunStats.merge([RunStats(cycles=5)]).ff_veto_reason is None
+
     def test_summary_reports_fast_forward(self):
         stats = RunStats(cycles=500, fires={"fn": 400}, ff_advances=2,
                          ff_cycles=300)

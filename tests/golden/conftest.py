@@ -1,0 +1,44 @@
+"""Golden-snapshot helper.
+
+Fixtures live in ``tests/golden/fixtures``.  A test compares freshly
+produced output byte-for-byte against the checked-in file; set
+``REPRO_UPDATE_GOLDEN=1`` to regenerate every fixture instead (then
+review the diff like any other code change).
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def golden():
+    update = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+
+    def check(name: str, produced: str) -> None:
+        path = FIXTURES / name
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(produced)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden fixture {name!r} missing - regenerate with "
+                f"REPRO_UPDATE_GOLDEN=1 pytest tests/golden"
+            )
+        expected = path.read_text()
+        assert produced == expected, (
+            f"output drifted from golden fixture {name!r}; if the change "
+            f"is intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+        )
+
+    return check
+
+
+def as_json(data) -> str:
+    """Canonical JSON rendering so fixtures diff cleanly."""
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"

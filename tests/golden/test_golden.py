@@ -1,0 +1,70 @@
+"""Golden regression suite: snapshot engine stats and CLI surfaces.
+
+These snapshots pin the externally visible shape of the simulation
+results — stat dictionaries and command-line output — so an accidental
+change to a counter, a key name, or a report line shows up as a crisp
+fixture diff rather than a silent drift.
+"""
+
+import json
+import re
+
+from repro.cli import main
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.dataflow.engine import RunStats
+from repro.kernel.config import KernelConfig
+from repro.kernel.simulate import simulate_kernel
+
+from .conftest import as_json
+
+
+def small_run(mode: str = "exact"):
+    grid = Grid(nx=6, ny=9, nz=5)
+    fields = random_wind(grid, seed=17, magnitude=2.0)
+    return simulate_kernel(KernelConfig(grid=grid, chunk_width=4), fields,
+                           mode=mode)
+
+
+class TestStatsSnapshots:
+    def test_aggregate_stats_exact(self, golden):
+        stats = small_run().aggregate_stats()
+        golden("aggregate_stats_exact.json", as_json(stats.to_dict()))
+
+    def test_aggregate_stats_fast(self, golden):
+        # Fast mode adds the ff_* counters; cycles must match exact.
+        stats = small_run(mode="fast").aggregate_stats()
+        golden("aggregate_stats_fast.json", as_json(stats.to_dict()))
+
+    def test_runstats_merge(self, golden):
+        merged = RunStats.merge(small_run().chunk_stats)
+        golden("runstats_merge.json", as_json(merged.to_dict()))
+
+
+def normalise_wall(text: str) -> str:
+    return re.sub(r"wall:\s+[\d.]+ s", "wall:     <elapsed> s", text)
+
+
+class TestCliSnapshots:
+    def test_simulate_text(self, golden, capsys):
+        assert main(["simulate", "--nx", "6", "--ny", "9", "--nz", "5",
+                     "--chunk-width", "4"]) == 0
+        golden("cli_simulate.txt", normalise_wall(capsys.readouterr().out))
+
+    def test_simulate_fast_text(self, golden, capsys):
+        assert main(["simulate", "--nx", "6", "--ny", "9", "--nz", "5",
+                     "--chunk-width", "4", "--mode", "fast"]) == 0
+        golden("cli_simulate_fast.txt",
+               normalise_wall(capsys.readouterr().out))
+
+    def test_lint_json(self, golden, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_lint.json", as_json(payload))
+
+    def test_metrics_json(self, golden, capsys):
+        assert main(["metrics", "--nx", "6", "--ny", "9", "--nz", "5",
+                     "--chunk-width", "4", "--clock-mhz", "300",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_metrics.json", as_json(payload))

@@ -1,0 +1,55 @@
+"""Property tests: counter monotonicity, histogram merge associativity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observe import DEFAULT_BUCKETS, HistogramValue, MetricRegistry
+
+amounts = st.lists(st.floats(min_value=0, max_value=1e9,
+                             allow_nan=False), max_size=50)
+observations = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                  allow_nan=False), max_size=40)
+
+
+def value_of(samples):
+    value = HistogramValue(bounds=DEFAULT_BUCKETS)
+    for sample in samples:
+        value.observe(sample)
+    return value
+
+
+def assert_equivalent(left, right):
+    """Bucket contents identical; sums equal up to float reassociation."""
+    assert left.counts == right.counts
+    assert left.overflow == right.overflow
+    assert left.total == right.total
+    assert left.sum == pytest.approx(right.sum)
+
+
+@settings(max_examples=80, deadline=None)
+@given(amounts)
+def test_counter_is_monotone_under_any_increment_sequence(increments):
+    counter = MetricRegistry().counter("n")
+    previous = 0.0
+    for amount in increments:
+        counter.inc(amount)
+        value = counter.value()
+        assert value >= previous
+        previous = value
+
+
+@settings(max_examples=80, deadline=None)
+@given(observations, observations, observations)
+def test_histogram_merge_is_associative(xs, ys, zs):
+    a, b, c = value_of(xs), value_of(ys), value_of(zs)
+    assert_equivalent(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(observations, observations)
+def test_histogram_merge_is_commutative_and_lossless(xs, ys):
+    merged = value_of(xs).merge(value_of(ys))
+    assert_equivalent(merged, value_of(ys).merge(value_of(xs)))
+    # Merging per-part histograms equals observing the concatenation.
+    assert_equivalent(merged, value_of(xs + ys))

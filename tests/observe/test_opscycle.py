@@ -1,0 +1,92 @@
+"""Ops-per-cycle accounting against the paper's 62.875 theoretical."""
+
+import pytest
+
+from repro import constants
+from repro.core.flops import cell_flops
+from repro.core.grid import Grid
+from repro.core.wind import random_wind
+from repro.dataflow.engine import RunStats
+from repro.errors import ConfigurationError
+from repro.kernel.config import KernelConfig
+from repro.kernel.simulate import simulate_kernel
+from repro.observe import OpsPerCycleReport, flops_from_stats, \
+    ops_per_cycle_report
+
+
+def stats_for_columns(columns: int, nz: int) -> RunStats:
+    fires = columns * (nz - 1)
+    return RunStats(cycles=fires + 100, fires={
+        "advect_u": fires, "advect_v": fires, "advect_w": fires,
+    })
+
+
+class TestFlopsFromStats:
+    def test_counts_follow_the_63_55_model(self):
+        nz = 5
+        stats = stats_for_columns(columns=2, nz=nz)
+        # 21 ops per fire; U and V each save 4 at the one top cell per
+        # column.
+        per_field = 2 * (nz - 1) * constants.OPS_PER_FIELD
+        expected = 3 * per_field - 2 * 2 * constants.OPS_TOP_SAVING_PER_FIELD
+        assert flops_from_stats(stats, nz) == expected
+
+    def test_matches_emitted_cell_count_on_a_simulated_run(self):
+        grid = Grid(nx=6, ny=9, nz=5)
+        fields = random_wind(grid, seed=17)
+        result = simulate_kernel(KernelConfig(grid=grid, chunk_width=4),
+                                 fields)
+        measured = flops_from_stats(result.aggregate_stats(), grid.nz)
+        # Each column streams nz - 1 output cells, one of them a top cell.
+        per_column = (grid.nz - 2) * cell_flops() + cell_flops(top=True)
+        assert measured == grid.num_columns * per_column
+
+    def test_multi_kernel_prefixes_are_stripped(self):
+        nz = 4
+        fires = 3 * (nz - 1)
+        stats = RunStats(cycles=10, fires={
+            f"k{p}.advect_{f}": fires
+            for p in range(2) for f in ("u", "v", "w")
+        })
+        single = RunStats(cycles=10, fires={
+            f"advect_{f}": fires for f in ("u", "v", "w")})
+        assert flops_from_stats(stats, nz) == 2 * flops_from_stats(single, nz)
+
+    def test_no_advect_stages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flops_from_stats(RunStats(cycles=5, fires={"read_data": 7}), 5)
+
+    def test_wrong_column_height_rejected(self):
+        stats = stats_for_columns(columns=2, nz=5)
+        with pytest.raises(ConfigurationError):
+            flops_from_stats(stats, 7)
+
+
+class TestReport:
+    def test_theoretical_matches_paper_figure(self):
+        report = OpsPerCycleReport(cycles=100, flops=100, column_height=64)
+        assert report.theoretical_ops_per_cycle == pytest.approx(62.875)
+
+    def test_achieved_and_percent(self):
+        report = OpsPerCycleReport(cycles=200, flops=6000, column_height=64)
+        assert report.achieved_ops_per_cycle == 30.0
+        assert report.percent_of_theoretical == pytest.approx(
+            100 * 30.0 / 62.875)
+
+    def test_gflops_at_a_clock(self):
+        report = OpsPerCycleReport(cycles=100, flops=6000, column_height=64)
+        assert report.achieved_gflops(300.0) == pytest.approx(18.0)
+        with pytest.raises(ConfigurationError):
+            report.achieved_gflops(0)
+
+    def test_report_from_stats_defaults_to_stats_cycles(self):
+        stats = stats_for_columns(columns=4, nz=5)
+        report = ops_per_cycle_report(stats, nz=5)
+        assert report.cycles == stats.cycles
+        assert ops_per_cycle_report(stats, nz=5, cycles=7).cycles == 7
+
+    def test_summary_and_dict_round_numbers(self):
+        report = ops_per_cycle_report(stats_for_columns(4, 5), nz=5)
+        data = report.to_dict()
+        assert data["flops"] == report.flops
+        assert "achieved" in report.summary()

@@ -55,6 +55,39 @@ class TestTraceEvents:
         with pytest.raises(ConfigurationError):
             to_trace_events(ScheduleResult(makespan=0.0))
 
+    def test_overlapping_events_share_one_row(self):
+        # A hand-built timeline where two transfers overlap on the same
+        # resource (e.g. a duplexed link): both must export as complete
+        # events on one thread row, durations intact.
+        schedule = ScheduleResult(makespan=0.03, timeline=[
+            ("h2d[0]", "pcie", 0.000, 0.020),
+            ("h2d[1]", "pcie", 0.010, 0.030),
+        ])
+        events = to_trace_events(schedule)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 2
+        assert len({e["tid"] for e in complete}) == 1
+        assert len([e for e in events if e["name"] == "thread_name"]) == 1
+        first, second = complete
+        assert first["ts"] + first["dur"] > second["ts"]  # truly overlap
+        assert second["dur"] == pytest.approx(20_000.0)
+
+    def test_non_ascii_resource_names_survive(self, tmp_path):
+        schedule = ScheduleResult(makespan=0.01, timeline=[
+            ("übertragung", "pcie→h2d", 0.0, 0.01),
+        ])
+        events = to_trace_events(schedule)
+        row = next(e for e in events if e["name"] == "thread_name")
+        assert row["args"]["name"] == "pcie→h2d"
+        path = write_chrome_trace(schedule, tmp_path / "utf8.json")
+        payload = json.loads(path.read_text())
+        assert any(e.get("cat") == "pcie→h2d"
+                   for e in payload["traceEvents"])
+
+    def test_pid_parameter_tags_every_event(self):
+        events = to_trace_events(sample_schedule(), pid=7)
+        assert {e["pid"] for e in events} == {7}
+
 
 class TestFileOutput:
     def test_written_file_is_valid_json(self, tmp_path):

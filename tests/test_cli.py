@@ -95,3 +95,64 @@ class TestTraceOption:
                      "--trace", str(trace)]) == 0
         assert trace.exists()
         assert "chrome://tracing" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_writes_merged_file(self, capsys, tmp_path):
+        out = tmp_path / "merged.json"
+        assert main(["trace", "--nx", "8", "--ny", "12", "--nz", "6",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "wrote chrome://tracing / Perfetto file" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert {e["pid"] for e in events} == {1, 2}
+        cats = {e.get("cat") for e in events}
+        assert "chunk" in cats and "stage" in cats  # engine spans
+        assert "pcie_h2d" in cats  # schedule transfers
+
+    def test_trace_exact_mode(self, capsys, tmp_path):
+        out = tmp_path / "exact.json"
+        assert main(["trace", "--nx", "6", "--ny", "9", "--nz", "5",
+                     "--mode", "exact", "--chunk-width", "4",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_unknown_device_is_error(self, capsys, tmp_path):
+        assert main(["trace", "--nx", "6", "--ny", "9", "--nz", "5",
+                     "--device", "nosuch",
+                     "--out", str(tmp_path / "t.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_metrics_text_report(self, capsys):
+        assert main(["metrics", "--nx", "6", "--ny", "9", "--nz", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "ops/cycle:" in text
+        assert "theoretical" in text
+        assert "engine_cycles" in text  # registry dump rides along
+
+    def test_metrics_json_with_clock(self, capsys):
+        assert main(["metrics", "--nx", "6", "--ny", "9", "--nz", "5",
+                     "--clock-mhz", "300", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grid"] == [6, 9, 5]
+        assert payload["ops_per_cycle"]["achieved_ops_per_cycle"] > 0
+        assert payload["achieved_gflops"] > 0
+        assert "engine_cycles" in payload["metrics"]
+
+    def test_metrics_default_grid_reports_62_875(self, capsys):
+        # nz=64 is the paper's column height; only check the theoretical
+        # figure, the run itself would be slow at the full 64^3.
+        assert main(["metrics", "--nx", "6", "--ny", "6", "--nz", "64",
+                     "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        theory = payload["ops_per_cycle"]["theoretical_ops_per_cycle"]
+        assert theory == 62.875
