@@ -30,6 +30,11 @@ Commands
     Metric-registry dump of one cycle-accurate run plus the
     achieved-vs-theoretical ops-per-cycle roofline report (the paper's
     62.875 figure at the default column height).
+``tune --device u280 [--strategy anneal] [--budget N] [--json]``
+    Design-space exploration over chunk width, kernel replicas, FIFO
+    depth, precision, memory space and host schedule; prints the best
+    deployment and the (GFLOPS, utilisation, watts) Pareto front, with
+    optional simulation-backed refinement of the top candidates.
 """
 
 from __future__ import annotations
@@ -202,6 +207,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--json", action="store_true",
                            help="emit the registry snapshot and roofline "
                                 "report as JSON")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="design-space exploration over deployment parameters",
+    )
+    p_tune.add_argument("--device", default="u280",
+                        help="target FPGA (u280 | stratix10)")
+    p_tune.add_argument("--strategy", default="greedy",
+                        choices=("grid", "greedy", "anneal"),
+                        help="search strategy (default greedy)")
+    p_tune.add_argument("--objective", default="kernel",
+                        choices=("kernel", "end_to_end", "efficiency"),
+                        help="scalar the search maximises")
+    p_tune.add_argument("--budget", type=int, default=None,
+                        help="max distinct evaluations "
+                             "(default: the full space)")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--cells", default=None,
+                        help="problem size label "
+                             f"({', '.join(constants.PAPER_GRID_LABELS)})")
+    p_tune.add_argument("--nx", type=int, default=64)
+    p_tune.add_argument("--ny", type=int, default=64)
+    p_tune.add_argument("--nz", type=int, default=64)
+    p_tune.add_argument("--wide-precision", action="store_true",
+                        help="open the float32/bfloat16 axis")
+    p_tune.add_argument("--measure", type=int, default=0, metavar="K",
+                        help="re-score the top K candidates with the "
+                             "fast-forward simulator")
+    p_tune.add_argument("--cache", default=None, metavar="PATH",
+                        help="persistent JSON evaluation cache")
+    p_tune.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Perfetto JSON of the search")
+    p_tune.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+    p_tune.add_argument("--pareto", default=None, metavar="PATH",
+                        help="also write the Pareto front as JSON")
+    p_tune.add_argument("--expect-kernels", type=int, default=None,
+                        help="non-zero exit unless the best point uses "
+                             "exactly this many replicas (CI anchor)")
     return parser
 
 
@@ -542,6 +586,65 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    import json as json_module
+
+    from repro.core.grid import Grid
+    from repro.observe import MetricRegistry, Tracer, write_trace
+    from repro.tune import render_text, tune
+
+    if args.cells is not None:
+        try:
+            grid = Grid.from_cells(constants.PAPER_GRID_LABELS[args.cells])
+        except KeyError:
+            print(f"unknown size {args.cells!r}; known: "
+                  f"{', '.join(constants.PAPER_GRID_LABELS)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+
+    tracer = Tracer(enabled=args.trace is not None)
+    metrics = MetricRegistry(enabled=args.trace is not None)
+    report = tune(
+        args.device, grid,
+        strategy=args.strategy, objective=args.objective,
+        budget=args.budget, seed=args.seed,
+        wide_precision=args.wide_precision,
+        cache_path=args.cache, measure_top_k=args.measure,
+        tracer=tracer, metrics=metrics,
+    )
+
+    if args.trace:
+        path = write_trace(args.trace, tracer,
+                           process_name=f"tune-{args.device}")
+        print(f"wrote Perfetto search trace: {path}", file=sys.stderr)
+    if args.pareto:
+        with open(args.pareto, "w") as handle:
+            handle.write(json_module.dumps(
+                [e.to_dict() for e in report.front],
+                indent=2, sort_keys=True) + "\n")
+        print(f"wrote Pareto front: {args.pareto}", file=sys.stderr)
+
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(render_text(report), end="")
+
+    if report.best is None:
+        print("error: no feasible deployment in the space",
+              file=sys.stderr)
+        return 1
+    if (args.expect_kernels is not None
+            and report.best.point.num_kernels != args.expect_kernels):
+        print(f"error: expected the best deployment to use "
+              f"{args.expect_kernels} kernels, tuner chose "
+              f"{report.best.point.num_kernels} "
+              f"({report.best.point.key()})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scorecard(args) -> int:
     from repro.experiments.summary import (
         build_scorecard,
@@ -581,6 +684,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
         if args.command == "report":
             from repro.experiments.markdown_report import main as report_main
 

@@ -29,6 +29,7 @@ __all__ = [
     "WatchdogTimeout",
     "ReplicaLostError",
     "CheckpointError",
+    "TuneError",
 ]
 
 
@@ -128,3 +129,7 @@ class ReplicaLostError(FaultError):
 
 class CheckpointError(FaultError):
     """A checkpoint could not be taken, restored, or verified."""
+
+
+class TuneError(ReproError):
+    """Design-space exploration failed (bad space, strategy, or cache)."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
+from repro.errors import ChunkingError
 from repro.lint.diagnostics import Diagnostic, Severity
 
 if TYPE_CHECKING:  # imports deferred to avoid cycles at package import
@@ -56,7 +57,12 @@ class LintContext:
         if self.chunk_plan is not None:
             return self.chunk_plan
         if self.config is not None:
-            return self.config.chunk_plan()
+            try:
+                return self.config.chunk_plan()
+            except ChunkingError:
+                # Geometry the planner rejects outright: the chunk-plan
+                # rules are skipped and KC100 reports the rejection.
+                return None
         return None
 
     def has(self, requirement: str) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.errors import ChunkingError
 from repro.kernel.cycle_model import KernelCycleModel
 from repro.lint.diagnostics import Diagnostic, Location, Severity
 from repro.lint.registry import LintContext, rule
@@ -30,6 +31,28 @@ def _coverage(context: LintContext, codes: tuple[str, ...],
     plan = context.resolved_chunk_plan()
     assert plan is not None
     return (d for d in plan.coverage_diagnostics() if d.code in codes)
+
+
+@rule("KC100", name="invalid-chunk-geometry", family="kernel",
+      description="the configured chunk geometry is rejected by the "
+                  "chunk planner outright",
+      requires=("config",))
+def check_chunk_geometry(context: LintContext) -> Iterable[Diagnostic]:
+    config = context.config
+    assert config is not None
+    if context.chunk_plan is not None:
+        # An explicit plan was supplied; its own coverage rules apply.
+        return
+    try:
+        config.chunk_plan()
+    except ChunkingError as error:
+        yield Diagnostic(
+            code="KC100", severity=Severity.ERROR,
+            message=str(error),
+            location=Location("config", "kernel", "chunk_width"),
+            hint="the planner rejects geometry it cannot tile; widen the "
+                 "chunk (or shrink the halo) until chunk_width > halo",
+        )
 
 
 @rule("KC101", name="halo-dominated-chunk", family="kernel",

@@ -88,6 +88,15 @@ def speedup(baseline: BenchRecord, candidate: BenchRecord) -> float:
             f"with {candidate.name!r} ({candidate.cycles} cycles): not the "
             f"same simulated work"
         )
+    for record in (baseline, candidate):
+        # Records validate on construction, but they are mutable and may
+        # arrive hand-built; a zero/negative wall time would make the
+        # ratio infinite or sign-flipped rather than fail loudly.
+        if record.wall_seconds <= 0:
+            raise ValueError(
+                f"record {record.name!r}: wall_seconds must be positive "
+                f"to form a speedup, got {record.wall_seconds}"
+            )
     return baseline.wall_seconds / candidate.wall_seconds
 
 

@@ -221,6 +221,14 @@ def plan_chunks(interior: int, chunk_width: int, *,
         raise ChunkingError(f"chunk_width must be >= 1, got {chunk_width}")
     if halo < 1:
         raise ChunkingError(f"halo must be >= 1, got {halo}")
+    if chunk_width <= halo:
+        raise ChunkingError(
+            f"chunk_width ({chunk_width}) must exceed the halo ({halo}): "
+            f"each chunk streams chunk_width + {2 * halo} cells, so at this "
+            f"width the seam overlap swallows the interior entirely; use a "
+            f"chunk width of at least {halo + 1} (>= {MIN_EFFICIENT_CHUNK} "
+            f"for efficient bursts)"
+        )
 
     chunks: list[Chunk] = []
     start = 0  # interior coordinate

@@ -1,0 +1,48 @@
+"""repro.tune: design-space exploration and autotuning.
+
+The subsystem that automates what the paper's authors did by hand:
+pick a chunk width, replica count, FIFO depth, number format, memory
+space and host schedule for a device, trading sustained GFLOPS against
+fabric utilisation and watts.  See :mod:`repro.tune.space` for the
+parameter space, :mod:`repro.tune.cost` for the lint-gated analytic
+cost model, :mod:`repro.tune.strategies` for the seeded searches,
+:mod:`repro.tune.pareto` for frontier extraction,
+:mod:`repro.tune.measure` for the simulation-backed refinement tier,
+and :mod:`repro.tune.tuner` for the orchestration entry point.
+"""
+
+from repro.tune.cache import EvaluationCache
+from repro.tune.cost import OBJECTIVES, CostModel, Evaluation
+from repro.tune.measure import MeasuredResult, measure_candidates
+from repro.tune.pareto import (dominates, efficiency_ratio,
+                               improvement_ratio, pareto_front)
+from repro.tune.space import PRECISION_FORMATS, ParameterSpace, TunePoint
+from repro.tune.strategies import (STRATEGIES, AnnealingSearch,
+                                   ExhaustiveSearch, GreedySearch,
+                                   SearchStrategy, make_strategy)
+from repro.tune.tuner import TuneReport, render_text, tune
+
+__all__ = [
+    "AnnealingSearch",
+    "CostModel",
+    "Evaluation",
+    "EvaluationCache",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "MeasuredResult",
+    "OBJECTIVES",
+    "PRECISION_FORMATS",
+    "ParameterSpace",
+    "STRATEGIES",
+    "SearchStrategy",
+    "TunePoint",
+    "TuneReport",
+    "dominates",
+    "efficiency_ratio",
+    "improvement_ratio",
+    "make_strategy",
+    "measure_candidates",
+    "pareto_front",
+    "render_text",
+    "tune",
+]

@@ -1,0 +1,124 @@
+"""Persistent JSON evaluation cache.
+
+Analytic evaluations are cheap but not free (each one lints the point
+and simulates the host schedule), and repeated tuning runs — CI smoke
+jobs, strategy comparisons, budget sweeps — revisit the same points.
+The cache keys each evaluation by the device, grid, and canonical point
+key, so a cache file is safely shared between strategies but never
+between problems.
+
+The on-disk format is a single sorted-key JSON object; loading tolerates
+a missing file (first run) and raises :class:`~repro.errors.TuneError`
+on a schema mismatch rather than silently mixing incompatible cost
+models.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import TuneError
+from repro.tune.cost import Evaluation
+from repro.tune.space import TunePoint
+
+__all__ = ["EvaluationCache"]
+
+#: Bump on any change to Evaluation fields or cost-model semantics.
+SCHEMA_VERSION = 1
+
+
+def _evaluation_from_dict(data: dict) -> Evaluation:
+    point = TunePoint(**data["point"])
+    return Evaluation(
+        point=point,
+        feasible=bool(data["feasible"]),
+        reject_codes=tuple(data.get("reject_codes", ())),
+        reject_reason=str(data.get("reject_reason", "")),
+        kernel_gflops=float(data.get("kernel_gflops", 0.0)),
+        end_to_end_gflops=float(data.get("end_to_end_gflops", 0.0)),
+        gflops_per_watt=float(data.get("gflops_per_watt", 0.0)),
+        kernel_seconds=float(data.get("kernel_seconds", 0.0)),
+        runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+        transfer_seconds=float(data.get("transfer_seconds", 0.0)),
+        watts=float(data.get("watts", 0.0)),
+        utilisation=float(data.get("utilisation", 0.0)),
+        utilisation_by_axis=dict(data.get("utilisation_by_axis", {})),
+        clock_mhz=float(data.get("clock_mhz", 0.0)),
+        memory_bound=bool(data.get("memory_bound", False)),
+        analytic_cycles=int(data.get("analytic_cycles", 0)),
+    )
+
+
+class EvaluationCache:
+    """Keyed evaluation store, optionally persisted to a JSON file."""
+
+    def __init__(self, path: str | pathlib.Path | None = None, *,
+                 device: str = "", grid_key: str = "") -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self.scope = f"{device}/{grid_key}"
+        self._entries: dict[str, Evaluation] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        assert self.path is not None
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise TuneError(f"unreadable tune cache {self.path}: {error}"
+                            ) from error
+        if data.get("schema") != SCHEMA_VERSION:
+            raise TuneError(
+                f"tune cache {self.path} has schema "
+                f"{data.get('schema')!r}, expected {SCHEMA_VERSION}; "
+                f"delete it to re-evaluate"
+            )
+        for scope, entries in data.get("scopes", {}).items():
+            if scope != self.scope:
+                continue
+            for key, entry in entries.items():
+                self._entries[key] = _evaluation_from_dict(entry)
+
+    def save(self) -> None:
+        """Write back, merging with other scopes already in the file."""
+        if self.path is None:
+            return
+        scopes: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                existing = json.loads(self.path.read_text())
+                if existing.get("schema") == SCHEMA_VERSION:
+                    scopes = dict(existing.get("scopes", {}))
+            except (OSError, json.JSONDecodeError):
+                pass  # overwrite a corrupt cache rather than crash
+        scopes[self.scope] = {
+            key: evaluation.to_dict()
+            for key, evaluation in sorted(self._entries.items())
+        }
+        payload = {"schema": SCHEMA_VERSION, "scopes": scopes}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, point: TunePoint) -> bool:
+        return point.key() in self._entries
+
+    def get(self, point: TunePoint) -> Evaluation | None:
+        found = self._entries.get(point.key())
+        if found is not None:
+            self.hits += 1
+        return found
+
+    def put(self, evaluation: Evaluation) -> None:
+        self.misses += 1
+        self._entries[evaluation.point.key()] = evaluation

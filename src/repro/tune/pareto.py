@@ -1,0 +1,96 @@
+"""Pareto-frontier extraction over (GFLOPS, utilisation, watts).
+
+A feasible evaluation *dominates* another when it is at least as good on
+every axis — more sustained kernel GFLOPS, no more fabric utilisation,
+no more watts — and strictly better on at least one.  The front is every
+evaluation nothing dominates, sorted best-GFLOPS-first with a canonical
+tie order, so front extraction is deterministic for a given evaluation
+set regardless of search order.
+
+The ratio helpers guard their denominators the same way
+:func:`repro.perf.bench.speedup` does: a zero or negative runtime/watt
+reading is a measurement error, and dividing by it would silently
+manufacture an infinite (or sign-flipped) improvement — raise a clear
+:class:`ValueError` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.tune.cost import Evaluation
+
+__all__ = ["dominates", "pareto_front", "improvement_ratio",
+           "efficiency_ratio"]
+
+
+def _axes(evaluation: Evaluation) -> tuple[float, float, float]:
+    """(maximise, minimise, minimise) objective vector of one point."""
+    return (evaluation.kernel_gflops, evaluation.utilisation,
+            evaluation.watts)
+
+
+def dominates(a: Evaluation, b: Evaluation) -> bool:
+    """True when ``a`` Pareto-dominates ``b``."""
+    ga, ua, wa = _axes(a)
+    gb, ub, wb = _axes(b)
+    at_least = ga >= gb and ua <= ub and wa <= wb
+    strictly = ga > gb or ua < ub or wa < wb
+    return at_least and strictly
+
+
+def pareto_front(evaluations: Iterable[Evaluation]) -> list[Evaluation]:
+    """Non-dominated feasible evaluations, best kernel GFLOPS first.
+
+    Points with *identical* objective vectors are interchangeable along
+    every traded axis (they typically differ only on axes orthogonal to
+    the trade, like the host's X chunking), so each vector keeps one
+    canonical representative — the lowest point in the total point
+    order.  The result is deterministic for a given evaluation set
+    regardless of search order.
+    """
+    feasible = [e for e in evaluations if e.feasible]
+    representative: dict[tuple[float, float, float], Evaluation] = {}
+    for entry in feasible:
+        axes = _axes(entry)
+        kept = representative.get(axes)
+        if kept is None or entry.point < kept.point:
+            representative[axes] = entry
+    candidates = list(representative.values())
+    front = [
+        e for e in candidates
+        if not any(dominates(other, e) for other in candidates)
+    ]
+    front.sort(key=lambda e: (-e.kernel_gflops, e.utilisation, e.watts,
+                              e.point))
+    return front
+
+
+def improvement_ratio(baseline_seconds: float,
+                      candidate_seconds: float) -> float:
+    """Runtime speedup baseline/candidate, guarded against bad inputs."""
+    for label, value in (("baseline", baseline_seconds),
+                         ("candidate", candidate_seconds)):
+        if value <= 0:
+            raise ValueError(
+                f"{label} runtime must be positive to form a speedup, "
+                f"got {value}"
+            )
+    return baseline_seconds / candidate_seconds
+
+
+def efficiency_ratio(gflops: float, watts: float) -> float:
+    """GFLOPS per watt, guarded against zero/negative power readings."""
+    if watts <= 0:
+        raise ValueError(
+            f"watts must be positive to form an efficiency ratio, "
+            f"got {watts}"
+        )
+    if gflops < 0:
+        raise ValueError(f"gflops must be >= 0, got {gflops}")
+    return gflops / watts
+
+
+def front_summary(front: Sequence[Evaluation]) -> list[dict]:
+    """JSON-ready front description (points plus their trade axes)."""
+    return [e.to_dict() for e in front]

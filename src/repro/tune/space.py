@@ -1,0 +1,228 @@
+"""The typed design-parameter space the tuner explores.
+
+A :class:`TunePoint` is one candidate deployment: the kernel's Y chunk
+width, the number of kernel replicas, the FIFO stream depth, the number
+format of the datapath, which on-board memory holds the fields, and the
+host-side schedule (overlapped or sequential, and how many X chunks the
+overlap pipeline is fed in).  The achieved clock is *derived*, never
+chosen: replicating kernels degrades timing closure per the device's
+:class:`~repro.hardware.clock.ClockModel` (398 -> 250 MHz on the Stratix
+10), which is exactly the interaction the paper tuned by hand.
+
+:class:`ParameterSpace` holds one axis tuple per parameter and derives
+per-device bounds: chunk widths are clamped to the domain's NY and to the
+planner's validity floor, replica counts to what the fabric fits at the
+*narrowest* chunk width (wider chunks may fit fewer — the lint gate
+rejects those points during costing), and memory spaces to the device's
+own catalog.  Axis order and point order are deterministic, so seeded
+searches are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from itertools import product
+from typing import Iterator
+
+from repro.core.grid import Grid
+from repro.errors import TuneError
+from repro.hardware.device import FPGADevice
+from repro.kernel.config import KernelConfig
+from repro.precision.formats import BFLOAT16, FLOAT32, FLOAT64, NumberFormat
+from repro.shiftbuffer.chunking import HALO, MIN_EFFICIENT_CHUNK
+
+__all__ = ["TunePoint", "ParameterSpace", "PRECISION_FORMATS"]
+
+#: Number formats the tuner may place on the datapath, by name.  The
+#: default space pins this axis to float64 (the paper's datapath); the
+#: reduced-precision axis is an explicit opt-in because narrower formats
+#: trade accuracy for fit, which no scalar objective can arbitrate.
+PRECISION_FORMATS: dict[str, NumberFormat] = {
+    "float64": FLOAT64,
+    "float32": FLOAT32,
+    "bfloat16": BFLOAT16,
+}
+
+#: Candidate Y chunk widths (the paper hand-picks from this regime).
+_CHUNK_WIDTHS: tuple[int, ...] = (8, 16, 32, 64, 128)
+
+#: Candidate FIFO stream depths between dataflow stages.
+_STREAM_DEPTHS: tuple[int, ...] = (2, 4, 8)
+
+#: Candidate host-side X chunk counts for the overlapped schedule.
+_X_CHUNKS: tuple[int, ...] = (8, 16, 32)
+
+
+@dataclass(frozen=True, order=True)
+class TunePoint:
+    """One candidate deployment (hashable, totally ordered)."""
+
+    chunk_width: int
+    num_kernels: int
+    stream_depth: int
+    precision: str
+    memory: str
+    x_chunks: int
+    overlapped: bool
+
+    def __post_init__(self) -> None:
+        if self.precision not in PRECISION_FORMATS:
+            raise TuneError(
+                f"unknown precision {self.precision!r}; known: "
+                f"{sorted(PRECISION_FORMATS)}"
+            )
+
+    @property
+    def format(self) -> NumberFormat:
+        return PRECISION_FORMATS[self.precision]
+
+    @property
+    def word_bytes(self) -> int:
+        return self.format.bits // 8
+
+    def clock_mhz(self, device: FPGADevice) -> float:
+        """Achieved kernel clock under the device's degradation model."""
+        return device.clock.frequency_mhz(self.num_kernels)
+
+    def config(self, grid: Grid) -> KernelConfig:
+        """The kernel configuration this point describes for ``grid``."""
+        return KernelConfig(
+            grid=grid,
+            chunk_width=self.chunk_width,
+            stream_depth=self.stream_depth,
+            word_bytes=self.word_bytes,
+        )
+
+    def key(self) -> str:
+        """Canonical cache/identity key (stable across processes)."""
+        return (
+            f"cw{self.chunk_width}-k{self.num_kernels}-sd{self.stream_depth}"
+            f"-{self.precision}-{self.memory}-xc{self.x_chunks}"
+            f"-{'ov' if self.overlapped else 'seq'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """The cross product of per-axis candidate values."""
+
+    chunk_widths: tuple[int, ...]
+    num_kernels: tuple[int, ...]
+    stream_depths: tuple[int, ...]
+    precisions: tuple[str, ...]
+    memories: tuple[str, ...]
+    x_chunks: tuple[int, ...]
+    overlapped: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        for name in ("chunk_widths", "num_kernels", "stream_depths",
+                     "precisions", "memories", "x_chunks", "overlapped"):
+            axis = getattr(self, name)
+            if not axis:
+                raise TuneError(f"parameter axis {name!r} is empty")
+            if len(set(axis)) != len(axis):
+                raise TuneError(f"parameter axis {name!r} has duplicates")
+
+    @property
+    def size(self) -> int:
+        return (len(self.chunk_widths) * len(self.num_kernels)
+                * len(self.stream_depths) * len(self.precisions)
+                * len(self.memories) * len(self.x_chunks)
+                * len(self.overlapped))
+
+    def axes(self) -> dict[str, tuple]:
+        """Axis name -> candidate values, in TunePoint field order."""
+        return {
+            "chunk_width": self.chunk_widths,
+            "num_kernels": self.num_kernels,
+            "stream_depth": self.stream_depths,
+            "precision": self.precisions,
+            "memory": self.memories,
+            "x_chunks": self.x_chunks,
+            "overlapped": self.overlapped,
+        }
+
+    def points(self) -> Iterator[TunePoint]:
+        """Every point, in deterministic lexicographic axis order."""
+        for values in product(*self.axes().values()):
+            yield TunePoint(*values)
+
+    def point_at(self, index: int) -> TunePoint:
+        """The ``index``-th point of :meth:`points` without materialising.
+
+        Treats the space as a mixed-radix number, most-significant axis
+        first — the same order ``points()`` yields.
+        """
+        if not 0 <= index < self.size:
+            raise TuneError(
+                f"point index {index} outside space of {self.size}"
+            )
+        axes = list(self.axes().values())
+        chosen = []
+        for axis in reversed(axes):
+            index, digit = divmod(index, len(axis))
+            chosen.append(axis[digit])
+        return TunePoint(*reversed(chosen))
+
+    def neighbours(self, point: TunePoint) -> list[TunePoint]:
+        """Points one step away along a single axis (for local search)."""
+        out: list[TunePoint] = []
+        values = point.to_dict()
+        for name, axis in self.axes().items():
+            try:
+                at = axis.index(values[name])
+            except ValueError:
+                raise TuneError(
+                    f"point {point.key()} is not on the space's "
+                    f"{name} axis {axis}"
+                ) from None
+            for step in (-1, 1):
+                if 0 <= at + step < len(axis):
+                    moved = dict(values)
+                    moved[name] = axis[at + step]
+                    out.append(TunePoint(**moved))
+        return out
+
+    def to_dict(self) -> dict:
+        return {name: list(axis) for name, axis in self.axes().items()}
+
+    @classmethod
+    def derive(cls, device: FPGADevice, grid: Grid, *,
+               wide_precision: bool = False) -> "ParameterSpace":
+        """Per-device constrained space for ``grid``.
+
+        Chunk widths are clamped to NY and the planner's validity floor;
+        replica counts range up to the fabric fit at the narrowest chunk
+        width (the most replicas any point can legally request); memory
+        spaces come from the device catalog in preference order.
+        ``wide_precision`` opens the reduced-precision axis (float32,
+        bfloat16) — off by default because the paper's datapath is
+        float64 and narrower formats change the numerics.
+        """
+        chunk_widths = tuple(
+            w for w in _CHUNK_WIDTHS if HALO < w <= max(grid.ny, HALO + 1)
+        )
+        if not chunk_widths:
+            # Tiny NY: the only sensible width is the domain itself.
+            chunk_widths = (min(max(grid.ny, HALO + 1),
+                                MIN_EFFICIENT_CHUNK),)
+        narrowest = KernelConfig(grid=grid, chunk_width=chunk_widths[0])
+        most = max(1, device.max_kernels(narrowest))
+        memories = tuple(
+            name for name in device.memory_preference
+            if name in device.memories
+        ) or tuple(sorted(device.memories))
+        precisions = (("float64", "float32", "bfloat16") if wide_precision
+                      else ("float64",))
+        return cls(
+            chunk_widths=chunk_widths,
+            num_kernels=tuple(range(1, most + 1)),
+            stream_depths=_STREAM_DEPTHS,
+            precisions=precisions,
+            memories=memories,
+            x_chunks=_X_CHUNKS,
+            overlapped=(False, True),
+        )

@@ -1,0 +1,33 @@
+"""Golden snapshot: the ``repro tune --json`` report surface.
+
+The tuner's JSON report is consumed by CI (the tune-smoke artifact) and
+by anyone diffing deployments across model changes, so its exact shape —
+field names, rounding, canonical ordering — is pinned here.  The run is
+fully deterministic (seeded annealing, no wall-clock in the output), so
+the snapshot is byte-stable; regenerate with ``REPRO_UPDATE_GOLDEN=1``
+after an intentional cost-model or schema change.
+"""
+
+import json
+
+from repro.cli import main
+
+from .conftest import as_json
+
+
+class TestTuneSnapshots:
+    def test_tune_json_u280_anneal(self, golden, capsys):
+        assert main(["tune", "--device", "u280", "--strategy", "anneal",
+                     "--seed", "7", "--budget", "48",
+                     "--nx", "16", "--ny", "64", "--nz", "16",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_tune_u280.json", as_json(payload))
+
+    def test_tune_json_stratix_greedy(self, golden, capsys):
+        assert main(["tune", "--device", "stratix10", "--strategy",
+                     "greedy", "--seed", "3", "--budget", "48",
+                     "--nx", "16", "--ny", "64", "--nz", "16",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_tune_stratix10.json", as_json(payload))

@@ -22,8 +22,18 @@ class TestCoverageRules:
         assert report.ok
         assert not kc_codes(report) - {"KC109"}
 
-    def test_halo_dominated_chunk_warns_kc101(self):
+    def test_invalid_chunk_geometry_is_kc100_error(self):
+        # chunk_width <= halo is rejected by the planner up front; the
+        # linter reports the rejection instead of crashing mid-run.
         report = lint_kernel(config(chunk_width=1))
+        assert "KC100" in report.codes
+        assert not report.ok
+        (diag,) = [d for d in report.diagnostics if d.code == "KC100"]
+        assert "must exceed the halo" in diag.message
+
+    def test_halo_dominated_chunk_warns_kc101(self):
+        report = run_lint(
+            LintContext(chunk_plan=plan_chunks(16, 3, halo=2)))
         assert "KC101" in report.codes
         assert report.ok  # warning, not error
 
@@ -102,10 +112,11 @@ class TestDesignRules:
 
 class TestSelection:
     def test_family_filter_selects_only_kernel_rules(self):
-        report = lint_kernel(config(chunk_width=1), select=["kernel"])
+        report = lint_kernel(config(chunk_width=2), select=["kernel"])
         assert all(c.startswith("KC") for c in report.codes)
 
     def test_ignore_wins_over_select(self):
-        report = lint_kernel(config(chunk_width=1), select=["kernel"],
-                             ignore=["KC101"])
-        assert "KC101" not in report.codes
+        report = lint_kernel(config(chunk_width=2), select=["kernel"],
+                             ignore=["KC106"])
+        assert "KC107" in report.codes
+        assert "KC106" not in report.codes

@@ -1,0 +1,124 @@
+"""Property tests: the roofline identity and the calibration registry.
+
+The roofline model has one defining identity — attainable performance is
+``min(compute peak, intensity x bandwidth)`` — and one structural
+consequence: the bound classification flips exactly at the ridge point
+``peak / bandwidth``.  Example-based tests check a few handpicked
+devices; these properties check the identity over the whole input space.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.perf.calibration import CALIBRATION, paper_value
+from repro.perf.roofline import (RooflinePoint, arithmetic_intensity,
+                                 roofline_gflops)
+
+positive = st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestRooflineIdentity:
+    @settings(max_examples=200, deadline=None)
+    @given(peak=positive, bandwidth=positive, intensity=positive)
+    def test_attainable_is_min_of_ceilings(self, peak, bandwidth,
+                                           intensity):
+        point = RooflinePoint(device="p", compute_peak_gflops=peak,
+                              bandwidth_gbs=bandwidth, intensity=intensity)
+        assert point.attainable_gflops == min(peak, intensity * bandwidth)
+        assert point.attainable_gflops == roofline_gflops(
+            compute_peak_gflops=peak, bandwidth_gbs=bandwidth,
+            intensity=intensity)
+
+    @settings(max_examples=200, deadline=None)
+    @given(peak=positive, bandwidth=positive, intensity=positive)
+    def test_attainable_never_exceeds_either_ceiling(self, peak, bandwidth,
+                                                     intensity):
+        attainable = roofline_gflops(compute_peak_gflops=peak,
+                                     bandwidth_gbs=bandwidth,
+                                     intensity=intensity)
+        assert 0 < attainable <= peak
+        assert attainable <= intensity * bandwidth
+
+    @settings(max_examples=200, deadline=None)
+    @given(peak=positive, bandwidth=positive, intensity=positive)
+    def test_classification_flips_at_ridge_point(self, peak, bandwidth,
+                                                 intensity):
+        point = RooflinePoint(device="p", compute_peak_gflops=peak,
+                              bandwidth_gbs=bandwidth, intensity=intensity)
+        ridge = peak / bandwidth
+        if intensity < ridge:
+            assert point.bandwidth_bound
+            assert point.attainable_gflops == intensity * bandwidth
+        else:
+            assert not point.bandwidth_bound
+            assert point.attainable_gflops == peak
+
+    @settings(max_examples=100, deadline=None)
+    @given(peak=positive, bandwidth=positive,
+           low=positive, high=positive)
+    def test_attainable_monotone_in_intensity(self, peak, bandwidth,
+                                              low, high):
+        lo, hi = sorted((low, high))
+        assert roofline_gflops(
+            compute_peak_gflops=peak, bandwidth_gbs=bandwidth,
+            intensity=lo,
+        ) <= roofline_gflops(
+            compute_peak_gflops=peak, bandwidth_gbs=bandwidth,
+            intensity=hi,
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(column_height=st.integers(min_value=2, max_value=4096),
+           low=positive, high=positive)
+    def test_intensity_monotone_in_traffic(self, column_height, low, high):
+        lo, hi = sorted((low, high))
+        assert arithmetic_intensity(
+            column_height=column_height, bytes_per_cell=hi,
+        ) <= arithmetic_intensity(
+            column_height=column_height, bytes_per_cell=lo,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(bad=st.floats(max_value=0.0, allow_nan=False))
+    def test_non_positive_inputs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            arithmetic_intensity(bytes_per_cell=bad)
+        with pytest.raises(ConfigurationError):
+            roofline_gflops(compute_peak_gflops=bad, bandwidth_gbs=1.0,
+                            intensity=1.0)
+        with pytest.raises(ConfigurationError):
+            roofline_gflops(compute_peak_gflops=1.0, bandwidth_gbs=bad,
+                            intensity=1.0)
+        with pytest.raises(ConfigurationError):
+            roofline_gflops(compute_peak_gflops=1.0, bandwidth_gbs=1.0,
+                            intensity=bad)
+
+
+class TestCalibrationRegistry:
+    def test_keys_are_consistent(self):
+        for key, entry in CALIBRATION.items():
+            assert entry.key == key
+
+    def test_values_positive_with_units_and_sources(self):
+        for entry in CALIBRATION.values():
+            assert entry.paper_value > 0
+            assert entry.unit
+            assert entry.source
+            assert entry.pins
+
+    @settings(max_examples=30, deadline=None)
+    @given(key=st.sampled_from(sorted(CALIBRATION)))
+    def test_paper_value_returns_the_entry(self, key):
+        assert paper_value(key) == CALIBRATION[key].paper_value
+
+    def test_unknown_key_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="unknown calibration key"):
+            paper_value("table9.না")
+
+    def test_kernel_count_anchors_present(self):
+        # The tuner's sanity anchors trace back to these entries.
+        assert paper_value("multi.u280_kernels") == 6
+        assert paper_value("multi.stratix_kernels") == 5

@@ -78,6 +78,14 @@ class TestValidation:
             Chunk(index=0, read_start=2, read_stop=8, write_start=1,
                   write_stop=5)
 
+    def test_chunk_width_not_above_halo_rejected_up_front(self):
+        # The tuner probes degenerate corners; the planner must reject
+        # them with an actionable message, not emit an all-halo plan.
+        with pytest.raises(ChunkingError, match="must exceed the halo"):
+            plan_chunks(6, 1)
+        with pytest.raises(ChunkingError, match="chunk_width \\(2\\)"):
+            plan_chunks(16, 2, halo=2)
+
     def test_coverage_gap_detected(self):
         good = plan_chunks(8, 4)
         broken = ChunkPlan(
@@ -95,10 +103,10 @@ class TestCoverageDiagnostics:
         diags = plan_chunks(64, 16).coverage_diagnostics()
         assert not [d for d in diags if d.severity.value == "error"]
 
-    def test_chunk_width_smaller_than_halo_warns_not_raises(self):
-        # width 1 < 2*halo: legal (the tail of any odd split looks like
-        # this) but halo-dominated — a warning, never a ChunkingError.
-        plan = plan_chunks(6, 1)
+    def test_chunk_width_below_seam_overlap_warns_not_raises(self):
+        # width 3 > halo (legal) but < 2*halo = 4: halo cells dominate
+        # every read — a warning, never a ChunkingError.
+        plan = plan_chunks(16, 3, halo=2)
         plan.validate_coverage()
         codes = [d.code for d in plan.coverage_diagnostics()]
         assert "KC101" in codes
@@ -164,7 +172,7 @@ class TestWiderHalo:
 
 
 @settings(max_examples=50, deadline=None)
-@given(interior=st.integers(1, 400), chunk_width=st.integers(1, 96))
+@given(interior=st.integers(1, 400), chunk_width=st.integers(2, 96))
 def test_property_plans_always_valid(interior, chunk_width):
     """Any legal (interior, chunk_width) yields a covering, overlapping plan."""
     plan = plan_chunks(interior, chunk_width)

@@ -1,0 +1,104 @@
+"""Evaluation cache: round-trips, scoping, schema discipline."""
+
+import json
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.errors import TuneError
+from repro.hardware.devices import ALVEO_U280
+from repro.tune.cache import SCHEMA_VERSION, EvaluationCache
+from repro.tune.cost import CostModel
+from repro.tune.space import TunePoint
+
+GRID = Grid(nx=16, ny=64, nz=16)
+
+
+def point(**overrides) -> TunePoint:
+    values = dict(chunk_width=32, num_kernels=2, stream_depth=4,
+                  precision="float64", memory="hbm2", x_chunks=16,
+                  overlapped=True)
+    values.update(overrides)
+    return TunePoint(**values)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(ALVEO_U280, GRID)
+
+
+class TestInMemory:
+    def test_get_put_and_stats(self, model):
+        cache = EvaluationCache(device="u280", grid_key="g")
+        p = point()
+        assert cache.get(p) is None
+        assert p not in cache
+        evaluation = model.evaluate(p)
+        cache.put(evaluation)
+        assert p in cache
+        assert cache.get(p) == evaluation
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_save_without_path_is_a_no_op(self, model):
+        cache = EvaluationCache()
+        cache.put(model.evaluate(point()))
+        cache.save()  # must not raise
+
+
+class TestPersistence:
+    def test_round_trip_preserves_evaluations(self, tmp_path, model):
+        path = tmp_path / "cache.json"
+        first = EvaluationCache(path, device="u280", grid_key="g")
+        feasible = model.evaluate(point())
+        rejected = model.evaluate(point(num_kernels=32))
+        first.put(feasible)
+        first.put(rejected)
+        first.save()
+
+        second = EvaluationCache(path, device="u280", grid_key="g")
+        assert len(second) == 2
+        for original in (feasible, rejected):
+            loaded = second.get(original.point)
+            assert loaded.feasible == original.feasible
+            assert loaded.reject_codes == original.reject_codes
+            assert loaded.to_dict() == original.to_dict()
+
+    def test_scopes_do_not_leak(self, tmp_path, model):
+        path = tmp_path / "cache.json"
+        u280 = EvaluationCache(path, device="u280", grid_key="g")
+        u280.put(model.evaluate(point()))
+        u280.save()
+
+        other = EvaluationCache(path, device="stratix10", grid_key="g")
+        assert len(other) == 0
+        other.put(model.evaluate(point(chunk_width=16)))
+        other.save()
+
+        # Saving the second scope must not erase the first.
+        data = json.loads(path.read_text())
+        assert set(data["scopes"]) == {"u280/g", "stratix10/g"}
+        reloaded = EvaluationCache(path, device="u280", grid_key="g")
+        assert len(reloaded) == 1
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(
+            {"schema": SCHEMA_VERSION + 1, "scopes": {}}))
+        with pytest.raises(TuneError, match="schema"):
+            EvaluationCache(path, device="u280", grid_key="g")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with pytest.raises(TuneError, match="unreadable"):
+            EvaluationCache(path, device="u280", grid_key="g")
+
+    def test_save_overwrites_corrupt_file(self, tmp_path, model):
+        path = tmp_path / "cache.json"
+        cache = EvaluationCache(device="u280", grid_key="g")
+        cache.path = path
+        path.write_text("{not json")
+        cache.put(model.evaluate(point()))
+        cache.save()
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION

@@ -1,0 +1,135 @@
+"""Cost model: lint gating, precision scaling, pricing consistency."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.errors import TuneError
+from repro.hardware.devices import ALVEO_U280, STRATIX10_GX2800
+from repro.tune.cost import CostModel, Evaluation, OBJECTIVES
+from repro.tune.space import TunePoint
+
+GRID = Grid(nx=32, ny=64, nz=32)
+
+
+def point(**overrides) -> TunePoint:
+    values = dict(chunk_width=32, num_kernels=2, stream_depth=4,
+                  precision="float64", memory="hbm2", x_chunks=16,
+                  overlapped=True)
+    values.update(overrides)
+    return TunePoint(**values)
+
+
+@pytest.fixture(scope="module")
+def model() -> CostModel:
+    return CostModel(ALVEO_U280, GRID)
+
+
+class TestLintGate:
+    def test_sane_point_passes(self, model):
+        assert model.lint_gate(point()) == ()
+
+    def test_overcommitted_replicas_rejected(self, model):
+        codes = model.lint_gate(point(num_kernels=32))
+        assert codes
+        assert any(code.startswith("RS") for code in codes)
+
+    def test_unknown_memory_rejected(self, model):
+        assert model.lint_gate(point(memory="hbm3")) == ("TN001",)
+
+    def test_gate_matches_evaluate_feasibility(self, model):
+        for candidate in (point(), point(num_kernels=32),
+                          point(memory="hbm3")):
+            assert (model.lint_gate(candidate) == ()) == (
+                model.evaluate(candidate).feasible)
+
+
+class TestPrecisionScaling:
+    def test_float64_scaling_is_identity(self, model):
+        assert model.describe()["float64_identity"] is True
+
+    def test_narrow_formats_shrink_the_footprint_once(self, model):
+        wide = model._resources(point())
+        narrow = model._resources(point(precision="float32"))
+        assert narrow.bram_bytes < wide.bram_bytes
+        # Buffers hold the same words at half the width: the footprint
+        # must shrink by about 2x, not 4x (which would mean the word
+        # width was applied twice).
+        ratio = wide.bram_bytes / narrow.bram_bytes
+        assert 1.5 < ratio < 2.5
+
+    def test_stream_depth_is_a_live_resource_axis(self, model):
+        shallow = model._resources(point(stream_depth=2))
+        deep = model._resources(point(stream_depth=8))
+        assert deep.bram_bytes > shallow.bram_bytes
+
+
+class TestEvaluate:
+    def test_feasible_point_is_fully_priced(self, model):
+        ev = model.evaluate(point())
+        assert ev.feasible
+        assert ev.kernel_gflops > 0
+        assert ev.end_to_end_gflops > 0
+        assert ev.kernel_seconds > 0
+        assert ev.runtime_seconds > ev.kernel_seconds / point().num_kernels
+        assert ev.watts > 0
+        assert 0 < ev.utilisation <= 1
+        assert ev.clock_mhz == 300.0
+        assert ev.analytic_cycles > 0
+        assert set(ev.utilisation_by_axis) == {
+            "bram_bytes", "dsp", "luts", "registers", "uram_bytes"}
+
+    def test_infeasible_point_carries_codes_and_reason(self, model):
+        ev = model.evaluate(point(num_kernels=32))
+        assert not ev.feasible
+        assert ev.reject_codes
+        assert "lint gate" in ev.reject_reason
+        assert ev.kernel_gflops == 0.0
+
+    def test_more_replicas_cost_more_fabric_and_watts(self, model):
+        one = model.evaluate(point(num_kernels=1))
+        four = model.evaluate(point(num_kernels=4))
+        assert four.utilisation > one.utilisation
+        assert four.watts > one.watts
+        assert four.kernel_gflops > one.kernel_gflops
+
+    def test_stratix_clock_degradation_applied(self):
+        model = CostModel(STRATIX10_GX2800, GRID)
+        five = model.evaluate(point(num_kernels=5, memory="ddr"))
+        assert five.feasible
+        assert five.clock_mhz == 250.0
+
+
+class TestObjectives:
+    def test_every_objective_is_finite_when_feasible(self, model):
+        ev = model.evaluate(point())
+        for name in OBJECTIVES:
+            assert ev.objective(name) > 0
+
+    def test_infeasible_scores_minus_infinity(self, model):
+        ev = model.evaluate(point(memory="hbm3"))
+        for name in OBJECTIVES:
+            assert ev.objective(name) == float("-inf")
+
+    def test_unknown_objective_rejected(self, model):
+        with pytest.raises(TuneError, match="unknown objective"):
+            model.evaluate(point()).objective("latency")
+
+    def test_sort_key_is_a_total_order(self, model):
+        evals = [model.evaluate(point(num_kernels=n)) for n in (1, 2, 3)]
+        keys = [e.sort_key("kernel") for e in evals]
+        assert sorted(keys) == sorted(set(keys))
+
+    def test_to_dict_rounds_floats(self, model):
+        data = model.evaluate(point()).to_dict()
+        for key in ("kernel_gflops", "runtime_seconds", "utilisation"):
+            assert data[key] == round(data[key], 6)
+
+
+class TestEvaluationDataclass:
+    def test_default_infeasible_shape(self):
+        ev = Evaluation(point=point(), feasible=False,
+                        reject_codes=("RS201",), reject_reason="no fit")
+        data = ev.to_dict()
+        assert data["feasible"] is False
+        assert data["reject_codes"] == ["RS201"]
+        assert data["key"] == point().key()

@@ -1,0 +1,92 @@
+"""Pareto frontier: domination, dedup, and guarded ratios."""
+
+import pytest
+
+from repro.tune.cost import Evaluation
+from repro.tune.pareto import (dominates, efficiency_ratio,
+                               improvement_ratio, pareto_front)
+from repro.tune.space import TunePoint
+
+
+def evaluation(gflops, utilisation, watts, *, feasible=True,
+               num_kernels=1) -> Evaluation:
+    point = TunePoint(chunk_width=16, num_kernels=num_kernels,
+                      stream_depth=2, precision="float64", memory="hbm2",
+                      x_chunks=8, overlapped=True)
+    return Evaluation(point=point, feasible=feasible, kernel_gflops=gflops,
+                      utilisation=utilisation, watts=watts)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(evaluation(10, 0.2, 50), evaluation(5, 0.4, 70))
+
+    def test_better_on_one_axis_equal_elsewhere(self):
+        assert dominates(evaluation(10, 0.2, 50), evaluation(10, 0.2, 60))
+
+    def test_equal_vectors_do_not_dominate(self):
+        a, b = evaluation(10, 0.2, 50), evaluation(10, 0.2, 50)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_trade_off_is_mutual_non_domination(self):
+        fast_hot = evaluation(10, 0.8, 90)
+        slow_cool = evaluation(5, 0.2, 40)
+        assert not dominates(fast_hot, slow_cool)
+        assert not dominates(slow_cool, fast_hot)
+
+
+class TestParetoFront:
+    def test_dominated_points_dropped(self):
+        best = evaluation(10, 0.2, 50)
+        worse = evaluation(5, 0.4, 70)
+        assert pareto_front([worse, best]) == [best]
+
+    def test_infeasible_points_never_on_the_front(self):
+        ghost = evaluation(99, 0.0, 1, feasible=False)
+        real = evaluation(1, 0.9, 90)
+        assert pareto_front([ghost, real]) == [real]
+
+    def test_trade_offs_all_kept_and_sorted(self):
+        a = evaluation(10, 0.8, 90)
+        b = evaluation(7, 0.5, 60)
+        c = evaluation(5, 0.2, 40)
+        assert pareto_front([c, a, b]) == [a, b, c]
+
+    def test_duplicate_vectors_collapse_to_canonical_point(self):
+        twin_a = evaluation(10, 0.2, 50, num_kernels=1)
+        twin_b = evaluation(10, 0.2, 50, num_kernels=2)
+        front = pareto_front([twin_b, twin_a])
+        assert front == [twin_a]  # lowest point in the total order
+
+    def test_max_gflops_point_always_survives(self):
+        evals = [evaluation(g, 0.1 * g, 10 * g) for g in (1, 3, 5, 7)]
+        front = pareto_front(evals)
+        assert max(e.kernel_gflops for e in front) == 7
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+
+class TestGuardedRatios:
+    def test_improvement_ratio(self):
+        assert improvement_ratio(2.0, 1.0) == 2.0
+
+    @pytest.mark.parametrize("baseline,candidate", [
+        (0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -2.0),
+    ])
+    def test_non_positive_runtimes_rejected(self, baseline, candidate):
+        with pytest.raises(ValueError, match="must be positive"):
+            improvement_ratio(baseline, candidate)
+
+    def test_efficiency_ratio(self):
+        assert efficiency_ratio(30.0, 60.0) == 0.5
+
+    @pytest.mark.parametrize("watts", [0.0, -5.0])
+    def test_non_positive_watts_rejected(self, watts):
+        with pytest.raises(ValueError, match="watts must be positive"):
+            efficiency_ratio(10.0, watts)
+
+    def test_negative_gflops_rejected(self):
+        with pytest.raises(ValueError, match="gflops must be >= 0"):
+            efficiency_ratio(-1.0, 10.0)

@@ -1,0 +1,190 @@
+"""End-to-end tuner: paper anchors, determinism, measured refinement."""
+
+import json
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.errors import TuneError
+from repro.observe import MetricRegistry, Tracer, write_trace
+from repro.tune import render_text, tune
+from repro.tune.measure import proxy_grid
+from repro.tune.space import TunePoint
+
+GRID_64 = Grid(nx=64, ny=64, nz=64)
+GRID_SMALL = Grid(nx=16, ny=64, nz=16)
+
+
+@pytest.fixture(scope="module")
+def u280_report():
+    return tune("u280", GRID_64, strategy="grid")
+
+
+@pytest.fixture(scope="module")
+def stratix_report():
+    return tune("stratix10", GRID_64, strategy="grid")
+
+
+class TestPaperAnchors:
+    """The tuner must rediscover the paper's hand-tuned deployments."""
+
+    def test_u280_lands_on_six_kernels(self, u280_report):
+        assert u280_report.best.point.num_kernels == 6
+        assert u280_report.best.clock_mhz == 300.0
+        assert u280_report.best.point.memory == "hbm2"
+
+    def test_stratix_lands_on_five_kernels_at_degraded_clock(
+            self, stratix_report):
+        assert stratix_report.best.point.num_kernels == 5
+        assert stratix_report.best.clock_mhz == 250.0  # 398 -> 250 MHz
+
+    def test_anchor_configs_sit_on_the_pareto_front(self, u280_report,
+                                                    stratix_report):
+        assert 6 in {e.point.num_kernels for e in u280_report.front}
+        assert 5 in {e.point.num_kernels for e in stratix_report.front}
+
+    def test_front_spans_every_replica_count(self, u280_report):
+        assert ({e.point.num_kernels for e in u280_report.front}
+                == {1, 2, 3, 4, 5, 6})
+
+    def test_front_is_mutually_non_dominating(self, u280_report):
+        front = u280_report.front
+        for entry in front:
+            better_gflops = [e for e in front
+                             if e.kernel_gflops > entry.kernel_gflops]
+            assert all(e.watts > entry.watts
+                       or e.utilisation > entry.utilisation
+                       for e in better_gflops)
+
+
+class TestDeterminism:
+    def test_anneal_seed7_is_byte_identical(self):
+        kwargs = dict(strategy="anneal", seed=7, budget=60)
+        first = tune("u280", GRID_SMALL, **kwargs)
+        second = tune("u280", GRID_SMALL, **kwargs)
+        assert first.to_json() == second.to_json()
+
+    def test_json_is_canonical(self):
+        report = tune("u280", GRID_SMALL, strategy="greedy", budget=20,
+                      seed=1)
+        payload = json.loads(report.to_json())
+        assert report.to_json() == json.dumps(
+            payload, indent=2, sort_keys=True) + "\n"
+        assert payload["evaluated"] == 20
+        assert payload["space_size"] == report.space.size
+
+
+class TestMeasuredTier:
+    def test_top_candidates_within_error_budget(self):
+        report = tune("u280", GRID_SMALL, strategy="greedy", budget=40,
+                      seed=0, measure_top_k=3)
+        assert len(report.measured) == 3
+        assert report.worst_measured_error <= 0.15
+        for result in report.measured:
+            assert result.measured_cycles > 0
+            assert result.measured_seconds > 0
+
+    def test_proxy_grid_preserves_chunk_geometry(self):
+        point = TunePoint(chunk_width=32, num_kernels=1, stream_depth=2,
+                          precision="float64", memory="hbm2", x_chunks=8,
+                          overlapped=True)
+        proxy = proxy_grid(Grid(nx=512, ny=512, nz=128), point)
+        assert proxy.ny >= 3 * point.chunk_width  # keeps the seam pattern
+        assert proxy.num_cells < 512 * 512 * 128 // 50
+
+    def test_proxy_never_exceeds_the_problem(self):
+        point = TunePoint(chunk_width=32, num_kernels=1, stream_depth=2,
+                          precision="float64", memory="hbm2", x_chunks=8,
+                          overlapped=True)
+        tiny = Grid(nx=4, ny=48, nz=8)
+        proxy = proxy_grid(tiny, point)
+        assert proxy.nx <= tiny.nx
+        assert proxy.ny <= tiny.ny
+        assert proxy.nz <= tiny.nz
+
+
+class TestCacheIntegration:
+    def test_second_run_is_all_hits_and_value_identical(self, tmp_path):
+        path = tmp_path / "cache.json"
+        kwargs = dict(strategy="greedy", budget=25, seed=2,
+                      cache_path=path)
+        first = tune("u280", GRID_SMALL, **kwargs)
+        second = tune("u280", GRID_SMALL, **kwargs)
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(second.evaluations)
+        a, b = first.to_dict(), second.to_dict()
+        a.pop("cache_hits"), b.pop("cache_hits")
+        assert a == b
+
+
+class TestObservability:
+    def test_tracer_and_metrics_record_the_search(self, tmp_path):
+        tracer = Tracer()
+        metrics = MetricRegistry()
+        report = tune("u280", GRID_SMALL, strategy="anneal", seed=7,
+                      budget=15, tracer=tracer, metrics=metrics,
+                      measure_top_k=1)
+        assert len(tracer.spans) == len(report.evaluations) == 15
+        assert metrics.counter("tune_evaluations").value() == 15
+        error_hist = metrics.histogram("tune_measured_error").value()
+        assert error_hist.total == 1
+        assert error_hist.sum == pytest.approx(report.worst_measured_error)
+
+        out = write_trace(tmp_path / "tune.json", tracer,
+                          process_name="tune")
+        payload = json.loads(out.read_text())
+        events = (payload["traceEvents"] if isinstance(payload, dict)
+                  else payload)
+        assert len(events) >= 15
+
+    def test_disabled_sinks_cost_nothing(self):
+        tracer = Tracer(enabled=False)
+        metrics = MetricRegistry(enabled=False)
+        report = tune("u280", GRID_SMALL, strategy="greedy", seed=0,
+                      budget=5, tracer=tracer, metrics=metrics)
+        assert report.best is not None
+        assert len(tracer.spans) == 0
+
+
+class TestRenderText:
+    def test_mentions_the_anchor_and_front(self):
+        report = tune("u280", GRID_SMALL, strategy="greedy", budget=40,
+                      seed=0, measure_top_k=1)
+        text = render_text(report)
+        assert report.best.point.key() in text
+        assert "pareto front" in text
+        assert "measured refinement" in text
+
+    def test_reports_an_empty_space_honestly(self):
+        from repro.tune.space import ParameterSpace
+
+        cramped = ParameterSpace(
+            chunk_widths=(16,), num_kernels=(30,), stream_depths=(2,),
+            precisions=("float64",), memories=("hbm2",), x_chunks=(8,),
+            overlapped=(True,),
+        )
+        report = tune("u280", GRID_SMALL, space=cramped, strategy="grid")
+        assert report.best is None
+        assert "no feasible point" in render_text(report)
+
+
+class TestValidation:
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(TuneError, match="unknown objective"):
+            tune("u280", GRID_SMALL, objective="latency")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(TuneError, match="unknown search strategy"):
+            tune("u280", GRID_SMALL, strategy="bayesian", budget=1)
+
+    def test_non_fpga_device_rejected(self):
+        with pytest.raises(TuneError, match="not an FPGA"):
+            tune("v100", GRID_SMALL)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(TuneError, match="budget"):
+            tune("u280", GRID_SMALL, budget=0)
+
+    def test_bad_measure_count_rejected(self):
+        with pytest.raises(TuneError, match="measure_top_k"):
+            tune("u280", GRID_SMALL, budget=1, measure_top_k=-1)
