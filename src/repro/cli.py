@@ -16,6 +16,12 @@ Commands
 ``lint [specs...] [--device u280] [--kernels 6] [--json]``
     Synthesis-time static diagnostics over dataflow graphs, kernel
     configurations, and device budgets (non-zero exit on errors).
+``analyze [specs...] [--tokens N] [--json] [--check] [--fix-depths P]``
+    Static dataflow verification without running the engine: proves
+    deadlock-freedom, minimal stall-free FIFO depths, start cycles,
+    prime latency and the steady-state period; ``--check`` replays the
+    proof against the exact engine, ``--fix-depths`` writes a patched
+    spec with minimal safe depths (non-zero exit on proved collapse).
 ``chaos [--seeds 4] [--families fifo-corrupt,rank-drop] [--json]``
     Seeded fault-injection sweep asserting the resilience invariant:
     every run completes bit-identical to the fault-free golden output or
@@ -147,6 +153,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="non-zero exit on warnings too")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+
+    p_ana = sub.add_parser(
+        "analyze",
+        help="static dataflow verification: deadlock proofs, minimal "
+             "FIFO depths, cycle/period bounds",
+    )
+    p_ana.add_argument("specs", nargs="*", metavar="SPEC",
+                       help="JSON design specs (see docs/static-analysis.md)"
+                            "; default: analyze the kernel graph built "
+                            "from the flags")
+    p_ana.add_argument("--cells", default="16M",
+                       help="problem size label "
+                            f"({', '.join(constants.PAPER_GRID_LABELS)})")
+    p_ana.add_argument("--nx", type=int, default=None)
+    p_ana.add_argument("--ny", type=int, default=None)
+    p_ana.add_argument("--nz", type=int, default=None)
+    p_ana.add_argument("--chunk-width", type=int, default=None)
+    p_ana.add_argument("--read-ii", type=int, default=1,
+                       help="read-stage initiation interval")
+    p_ana.add_argument("--tokens", type=int, default=None,
+                       help="tokens to push through the abstract machine "
+                            "(default: enough to reach steady state)")
+    p_ana.add_argument("--check", action="store_true",
+                       help="cross-check every proved total against the "
+                            "exact DataflowEngine on the token twin")
+    p_ana.add_argument("--fix-depths", default=None, metavar="PATH",
+                       help="write a patched copy of the (single) spec "
+                            "with minimal safe FIFO depths")
+    p_ana.add_argument("--json", action="store_true",
+                       help="emit the reports as JSON")
+    p_ana.add_argument("--strict", action="store_true",
+                       help="non-zero exit on transient stalls too, not "
+                            "just proved collapse/deadlock")
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -484,6 +523,108 @@ def _cmd_lint(args) -> int:
     return max(r.exit_code(strict=args.strict) for r in reports)
 
 
+def _cmd_analyze(args) -> int:
+    import json as json_module
+    import pathlib
+    from typing import Any
+
+    from repro.analyze import analyze_graph, build_token_twin, \
+        patch_spec_depths
+    from repro.core.grid import Grid
+    from repro.dataflow.engine import DataflowEngine
+    from repro.errors import LintError
+    from repro.kernel.config import KernelConfig
+    from repro.lint.builders import build_structural_graph
+    from repro.lint.spec import load_spec
+
+    if args.fix_depths and len(args.specs) != 1:
+        print("error: --fix-depths needs exactly one spec", file=sys.stderr)
+        return 2
+
+    targets: list[tuple[str, Any]] = []  # (name, graph)
+    raw_spec: dict | None = None
+    try:
+        if args.specs:
+            for path in args.specs:
+                target = load_spec(path)
+                if target.context.graph is None:
+                    print(f"error: {path} declares no dataflow graph",
+                          file=sys.stderr)
+                    return 2
+                targets.append((target.name, target.context.graph))
+            if args.fix_depths:
+                raw_spec = json_module.loads(
+                    pathlib.Path(args.specs[0]).read_text())
+        else:
+            if any(dim is not None for dim in (args.nx, args.ny, args.nz)):
+                if None in (args.nx, args.ny, args.nz):
+                    print("error: --nx/--ny/--nz must be given together",
+                          file=sys.stderr)
+                    return 2
+                grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+            else:
+                try:
+                    grid = Grid.from_cells(
+                        constants.PAPER_GRID_LABELS[args.cells])
+                except KeyError:
+                    print(f"unknown size {args.cells!r}; known: "
+                          f"{', '.join(constants.PAPER_GRID_LABELS)}",
+                          file=sys.stderr)
+                    return 2
+            config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
+                      if args.chunk_width else KernelConfig(grid=grid))
+            targets.append((
+                "advection",
+                build_structural_graph(config, read_ii=args.read_ii)))
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    records = []
+    failed = False
+    for name, graph in targets:
+        report = analyze_graph(graph, tokens=args.tokens)
+        record: dict[str, Any] = report.to_dict()
+        if args.check:
+            twin = build_token_twin(graph, report.tokens)
+            stats = DataflowEngine(twin).run()
+            record["engine_cycles"] = stats.cycles
+            record["check"] = stats.cycles == report.schedule.total_cycles
+            if not record["check"]:
+                failed = True
+        if not report.ok:
+            failed = True
+        elif args.strict and not report.occupancy.stall_free:
+            failed = True
+        records.append((name, report, record))
+
+    if args.fix_depths and raw_spec is not None:
+        _, report, _ = records[0]
+        patched = patch_spec_depths(
+            raw_spec, report.occupancy.minimal_depths())
+        pathlib.Path(args.fix_depths).write_text(
+            json_module.dumps(patched, indent=2) + "\n")
+        print(f"wrote patched spec with minimal safe depths: "
+              f"{args.fix_depths}", file=sys.stderr)
+
+    if args.json:
+        payload = {
+            "ok": not failed,
+            "reports": [record for _, _, record in records],
+        }
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for i, (name, report, record) in enumerate(records):
+            if i:
+                print()
+            print(report.render_text())
+            if args.check:
+                verdict = "MATCH" if record["check"] else "MISMATCH"
+                print(f"  engine cross-check: {record['engine_cycles']} "
+                      f"cycle(s) [{verdict}]")
+    return 1 if failed else 0
+
+
 def _cmd_chaos(args) -> int:
     import json as json_module
 
@@ -678,6 +819,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_scorecard(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
         if args.command == "trace":

@@ -209,6 +209,17 @@ class DataflowEngine:
         engine's cycle clock.  Unlike monitors, a tracer does *not* veto
         ``mode="fast"``: it records phase boundaries and aggregates that
         analytic advances preserve exactly, never per-cycle samples.
+    proven_period:
+        A statically proven steady-state period (from
+        :mod:`repro.analyze`), only meaningful with ``mode="fast"``.  The
+        engine then skips the runtime recurrence hunt entirely: instead
+        of fingerprinting every cycle into a table, it arms a single
+        probe and compares the control state exactly ``proven_period``
+        cycles later, advancing on a match and re-arming on a miss (the
+        transient).  Every fast-forward safety interlock — data-dependent
+        stage vetoes, monitor/fault-plan demotion, capacity caps — still
+        applies, with the demotion reason surfaced as usual; a wrong
+        period can therefore cost speed but never correctness.
     metrics:
         Optional :class:`~repro.observe.metrics.MetricRegistry`.  At the
         end of the run the engine feeds ``engine_cycles``,
@@ -224,7 +235,8 @@ class DataflowEngine:
                  lint: bool = False, watchdog: int | None = None,
                  fault_plan: "FaultPlan | None" = None,
                  tracer: "Tracer | None" = None,
-                 metrics: "MetricRegistry | None" = None) -> None:
+                 metrics: "MetricRegistry | None" = None,
+                 proven_period: int | None = None) -> None:
         if max_cycles < 1:
             raise DataflowError(f"max_cycles must be >= 1, got {max_cycles}")
         if stall_grace is not None and stall_grace < 1:
@@ -239,6 +251,16 @@ class DataflowEngine:
             raise DataflowError(
                 f"watchdog must be >= 1, got {watchdog}"
             )
+        if proven_period is not None:
+            if proven_period < 1:
+                raise DataflowError(
+                    f"proven_period must be >= 1, got {proven_period}"
+                )
+            if mode != "fast":
+                raise DataflowError(
+                    "proven_period requires mode='fast' (exact mode never "
+                    "fast-forwards)"
+                )
         self.graph = graph
         self.max_cycles = max_cycles
         self.monitors = list(monitors or [])
@@ -249,6 +271,7 @@ class DataflowEngine:
         self.fault_plan = fault_plan
         self.tracer = tracer
         self.metrics = metrics
+        self.proven_period = proven_period
 
     def run(self) -> RunStats:
         """Simulate until quiescence and return run statistics."""
@@ -303,6 +326,9 @@ class DataflowEngine:
                                "could not be faulted")
         ff_enabled = self.mode == "fast" and veto_reason is None
         ff_table: dict[Any, tuple[int, tuple[dict, dict]]] = {}
+        proven = self.proven_period
+        #: Armed probe under a proven period: (signature, cycle, snapshot).
+        probe: tuple[Any, int, tuple] | None = None
         ff_advances = 0
         ff_cycles = 0
         cap = (self.max_cycles if self.watchdog is None
@@ -374,8 +400,27 @@ class DataflowEngine:
                         f"detection (data-dependent control)"
                     )
                     veto_cycle = cycle
-                elif sig in ff_table:
-                    first_cycle, snapshot = ff_table[sig]
+                else:
+                    hit: tuple[int, tuple] | None = None
+                    if proven is not None:
+                        # Statically proven period: no table, one probe.
+                        if probe is not None \
+                                and (cycle + 1) - probe[1] == proven:
+                            if sig == probe[0]:
+                                hit = (probe[1], probe[2])
+                            probe = None  # re-armed below on a miss
+                        if hit is None and probe is None:
+                            probe = (sig, cycle + 1, self._ff_snapshot(order))
+                    elif sig in ff_table:
+                        hit = ff_table[sig]
+                    else:
+                        if len(ff_table) >= _FF_TABLE_CAP:
+                            ff_table.clear()
+                        ff_table[sig] = (cycle + 1, self._ff_snapshot(order))
+                    if hit is None:
+                        cycle += 1
+                        continue
+                    first_cycle, snapshot = hit
                     fires_before = ({s.name: s.stats.fires for s in order}
                                     if trace_on else None)
                     skipped = self._ff_advance(
@@ -409,10 +454,6 @@ class DataflowEngine:
                         # end): the remaining run is short; tick it.
                         ff_enabled = False
                         ff_table.clear()
-                else:
-                    if len(ff_table) >= _FF_TABLE_CAP:
-                        ff_table.clear()
-                    ff_table[sig] = (cycle + 1, self._ff_snapshot(order))
             cycle += 1
         else:
             if self.watchdog is not None and cap == self.watchdog:

@@ -23,6 +23,7 @@ __all__ = [
     "CalibrationError",
     "ExperimentError",
     "LintError",
+    "AnalyzeError",
     "FaultError",
     "TransferError",
     "RetryExhaustedError",
@@ -97,6 +98,10 @@ class ExperimentError(ReproError):
 
 class LintError(ReproError):
     """A lint pass failed: error diagnostics, or an unreadable design spec."""
+
+
+class AnalyzeError(ReproError):
+    """Static dataflow analysis failed (malformed graph, diverging model)."""
 
 
 class FaultError(ReproError):

@@ -75,6 +75,7 @@ class Diagnostic:
     location: Location | None = None
     hint: str = ""
     rule: str = ""
+    family: str = ""
 
     def render(self) -> str:
         """One-line human rendering, ``grep``- and editor-friendly."""
@@ -91,12 +92,16 @@ class Diagnostic:
             "location": str(self.location) if self.location else None,
             "hint": self.hint or None,
             "rule": self.rule or None,
+            "family": self.family or None,
         }
 
 
 def _sort_key(diag: Diagnostic) -> tuple:
-    return (diag.severity.rank, diag.code,
-            str(diag.location) if diag.location else "", diag.message)
+    # Deterministic (code, location, message) order: stable under rule
+    # registration order and severity policy changes, so CI JSON diffs
+    # only move when a finding actually appears or disappears.
+    return (diag.code, str(diag.location) if diag.location else "",
+            diag.message)
 
 
 @dataclass(frozen=True)
@@ -108,7 +113,8 @@ class LintReport:
 
     @classmethod
     def collect(cls, subject: str, diagnostics: list[Diagnostic] | tuple[Diagnostic, ...]) -> "LintReport":
-        """Build a report with diagnostics sorted by severity then code."""
+        """Build a report with diagnostics sorted by (code, location,
+        message)."""
         return cls(subject=subject,
                    diagnostics=tuple(sorted(diagnostics, key=_sort_key)))
 

@@ -14,6 +14,7 @@ Code families
 ``KC``  kernel configuration and Y chunking (halo coverage, II hazards)
 ``RS``  device resource budgets (fabric fit, on-chip RAM, memory capacity)
 ``AC``  FLOP accounting (the paper's 63/55-op model)
+``SA``  proved static-analysis facts (deadlock, minimal depths, periods)
 """
 
 from __future__ import annotations

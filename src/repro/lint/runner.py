@@ -9,6 +9,7 @@ points the engine pre-flight hook and the CLI use.
 
 from __future__ import annotations
 
+import dataclasses
 import importlib
 from typing import TYPE_CHECKING, Iterable
 
@@ -27,6 +28,7 @@ _BUILTIN_RULE_MODULES = (
     "repro.lint.rules_kernel",
     "repro.lint.rules_resource",
     "repro.lint.rules_accounting",
+    "repro.lint.rules_analyze",
 )
 
 
@@ -63,7 +65,12 @@ def run_lint(context: LintContext, *, registry: RuleRegistry | None = None,
     diagnostics = []
     for rule in registry.selected(select=select, ignore=ignore):
         if rule.applies(context):
-            diagnostics.extend(rule.run(context))
+            for diag in rule.run(context):
+                diagnostics.append(dataclasses.replace(
+                    diag,
+                    rule=diag.rule or rule.name,
+                    family=diag.family or rule.family,
+                ))
     return LintReport.collect(subject or "lint", diagnostics)
 
 

@@ -25,7 +25,7 @@ from repro.tune.space import TunePoint
 __all__ = ["EvaluationCache"]
 
 #: Bump on any change to Evaluation fields or cost-model semantics.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _evaluation_from_dict(data: dict) -> Evaluation:
@@ -47,6 +47,7 @@ def _evaluation_from_dict(data: dict) -> Evaluation:
         clock_mhz=float(data.get("clock_mhz", 0.0)),
         memory_bound=bool(data.get("memory_bound", False)),
         analytic_cycles=int(data.get("analytic_cycles", 0)),
+        static_cycles=int(data.get("static_cycles", 0)),
     )
 
 

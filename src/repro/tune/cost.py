@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analyze.kernel import static_kernel_cycles
 from repro.core.flops import grid_flops
 from repro.core.grid import Grid
 from repro.errors import CapacityError, ConfigurationError, TuneError
@@ -74,6 +75,9 @@ class Evaluation:
     clock_mhz: float = 0.0
     memory_bound: bool = False
     analytic_cycles: int = 0
+    #: Proved invocation cycle bound from the static verifier
+    #: (:func:`repro.analyze.static_kernel_cycles`); 0 when infeasible.
+    static_cycles: int = 0
 
     def objective(self, name: str) -> float:
         """Scalar score under ``name`` (``-inf`` when infeasible)."""
@@ -125,6 +129,7 @@ class Evaluation:
             "clock_mhz": _rounded(self.clock_mhz),
             "memory_bound": self.memory_bound,
             "analytic_cycles": self.analytic_cycles,
+            "static_cycles": self.static_cycles,
         }
 
 
@@ -224,6 +229,7 @@ class CostModel:
             clock_mhz=invocation.clock_hz / 1e6,
             memory_bound=invocation.memory_bound,
             analytic_cycles=cycles,
+            static_cycles=static_kernel_cycles(config),
         )
 
     def describe(self) -> dict[str, Any]:

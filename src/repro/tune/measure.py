@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.analyze.kernel import static_kernel_cycles
 from repro.core.grid import Grid
 from repro.core.wind import random_wind
 from repro.kernel.cycle_model import KernelCycleModel
@@ -49,6 +50,12 @@ class MeasuredResult:
     measured_cycles: int
     relative_error: float
     measured_seconds: float
+    #: Proved cycle bound from the static verifier on the proxy config.
+    static_cycles: int = 0
+    #: |static - measured| / measured — asserted tiny in the tests: the
+    #: static bound is a proof about the control machine, so any gap is
+    #: data-path behaviour the unit-rate abstraction cannot see.
+    static_error: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -59,6 +66,8 @@ class MeasuredResult:
             "measured_cycles": self.measured_cycles,
             "relative_error": _rounded(self.relative_error),
             "measured_seconds": _rounded(self.measured_seconds),
+            "static_cycles": self.static_cycles,
+            "static_error": _rounded(self.static_error),
         }
 
 
@@ -78,8 +87,11 @@ def measure_one(evaluation: Evaluation, grid: Grid, *, seed: int,
     fields = random_wind(proxy, seed=seed)
     result = simulate_kernel(config, fields, mode="fast")
     analytic = KernelCycleModel(config).cycles()
+    static = static_kernel_cycles(config)
     measured = result.total_cycles
     error = (abs(analytic - measured) / measured) if measured else float("inf")
+    static_error = (abs(static - measured) / measured) if measured \
+        else float("inf")
     return MeasuredResult(
         point=point,
         proxy_cells=proxy.num_cells,
@@ -87,6 +99,8 @@ def measure_one(evaluation: Evaluation, grid: Grid, *, seed: int,
         measured_cycles=measured,
         relative_error=error,
         measured_seconds=result.runtime_seconds(clock_hz),
+        static_cycles=static,
+        static_error=static_error,
     )
 
 

@@ -1,0 +1,97 @@
+"""``proven_period``: fast-forward without the runtime recurrence hunt.
+
+A statically proven steady-state period (from ``repro.analyze``) lets the
+fast engine skip fingerprint-table building: it arms one probe and jumps
+when the control state recurs exactly that many cycles later.  The mode
+must stay observationally equivalent to exact ticking — and a *wrong*
+period may cost speed but never correctness.
+"""
+
+import pytest
+
+from repro.analyze import analyze_graph, build_token_twin
+from repro.dataflow.engine import DataflowEngine
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage
+from repro.errors import DataflowError
+from repro.lint.spec import SpecStage
+
+
+def pipeline(n_items=400, *, fn_ii=1, fn_latency=4, depth=4):
+    g = DataflowGraph("p")
+    src = g.add(SourceStage("src", range(n_items)))
+    fn = g.add(FunctionStage("fn", lambda x: 2 * x, ii=fn_ii,
+                             latency=fn_latency))
+    sink = g.add(SinkStage("sink"))
+    g.connect(src, "out", fn, "in", depth=depth)
+    g.connect(fn, "out", sink, "in", depth=depth)
+    return g
+
+
+def collected(graph):
+    (sink,) = [s for s in graph.stages if isinstance(s, SinkStage)]
+    return sink.collected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("fn_ii,period", [(1, 1), (2, 2), (3, 3)])
+    def test_proven_period_matches_exact_mode(self, fn_ii, period):
+        g_exact = pipeline(fn_ii=fn_ii)
+        stats_exact = DataflowEngine(g_exact, mode="exact").run()
+        g_proven = pipeline(fn_ii=fn_ii)
+        stats_proven = DataflowEngine(g_proven, mode="fast",
+                                      proven_period=period).run()
+        assert stats_proven.cycles == stats_exact.cycles
+        assert stats_proven.fires == stats_exact.fires
+        assert stats_proven.stalls == stats_exact.stalls
+        assert collected(g_proven) == collected(g_exact)
+        assert stats_proven.ff_advances > 0
+
+    def test_wrong_period_is_safe_just_slower(self):
+        g_exact = pipeline()
+        stats_exact = DataflowEngine(g_exact, mode="exact").run()
+        # True period is 1; any multiple still matches the recurrence,
+        # a non-multiple simply never fires the probe.
+        for period in (7, 997):
+            g = pipeline()
+            stats = DataflowEngine(g, mode="fast",
+                                   proven_period=period).run()
+            assert stats.cycles == stats_exact.cycles
+            assert collected(g) == collected(g_exact)
+
+    def test_analyzer_period_feeds_the_engine(self):
+        """End to end: prove the period statically, hand it to fast mode."""
+        graph = DataflowGraph("chain")
+        graph.add(SpecStage("src", outputs=("out",), latency=1))
+        graph.add(SpecStage("fn", inputs=("in",), outputs=("out",),
+                            ii=2, latency=3))
+        graph.add(SpecStage("sink", inputs=("in",)))
+        graph.connect("src", "out", "fn", "in", depth=4)
+        graph.connect("fn", "out", "sink", "in", depth=4)
+        tokens = 500
+        report = analyze_graph(graph, tokens)
+        proven = report.occupancy.period.cycles
+        stats_exact = DataflowEngine(
+            build_token_twin(graph, tokens)).run()
+        stats_proven = DataflowEngine(
+            build_token_twin(graph, tokens), mode="fast",
+            proven_period=proven).run()
+        assert stats_proven.cycles == stats_exact.cycles
+        assert stats_proven.cycles == report.schedule.total_cycles
+        assert stats_proven.ff_advances > 0
+
+    def test_probe_skips_most_of_a_long_run(self):
+        stats = DataflowEngine(pipeline(5000), mode="fast",
+                               proven_period=1).run()
+        assert stats.ff_cycles > 4000
+        assert stats.ff_advances >= 1
+
+
+class TestValidation:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(DataflowError, match="proven_period"):
+            DataflowEngine(pipeline(), mode="fast", proven_period=0)
+
+    def test_rejects_exact_mode(self):
+        with pytest.raises(DataflowError, match="mode='fast'"):
+            DataflowEngine(pipeline(), proven_period=4)

@@ -7,6 +7,7 @@ fixture diff rather than a silent drift.
 """
 
 import json
+import pathlib
 import re
 
 from repro.cli import main
@@ -61,6 +62,16 @@ class TestCliSnapshots:
         assert main(["lint", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         golden("cli_lint.json", as_json(payload))
+
+    def test_analyze_json(self, golden, capsys):
+        # The proof objects for the paper's U280 deployment, engine
+        # cross-checked: any drift in a proved number is a real change
+        # to the verifier's claims.
+        spec = (pathlib.Path(__file__).resolve().parents[2] / "examples"
+                / "graphs" / "advection_u280.json")
+        assert main(["analyze", "--json", "--check", str(spec)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_analyze.json", as_json(payload))
 
     def test_metrics_json(self, golden, capsys):
         assert main(["metrics", "--nx", "6", "--ny", "9", "--nz", "5",

@@ -82,16 +82,17 @@ class TestJsonSchema:
         assert summary["errors"] >= 2 and summary["ok"] is False
         for diag in report["diagnostics"]:
             assert set(diag) == {"code", "severity", "message", "location",
-                                 "hint", "rule"}
+                                 "hint", "rule", "family"}
             assert diag["severity"] in ("error", "warning", "info")
+            assert diag["family"] is not None
 
-    def test_diagnostics_sorted_errors_first(self, capsys, broken_spec):
+    def test_diagnostics_sorted_by_code_location_message(self, capsys,
+                                                         broken_spec):
         main(["lint", "--json", broken_spec])
         payload = json.loads(capsys.readouterr().out)
-        severities = [d["severity"]
-                      for d in payload["reports"][0]["diagnostics"]]
-        rank = {"error": 0, "warning": 1, "info": 2}
-        assert severities == sorted(severities, key=rank.__getitem__)
+        keys = [(d["code"], d["location"] or "", d["message"])
+                for d in payload["reports"][0]["diagnostics"]]
+        assert keys == sorted(keys)
 
 
 class TestFlagDrivenLint:
