@@ -101,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--mode", choices=("exact", "fast"), default="exact",
                        help="'fast' fast-forwards steady-state phases "
                             "(same results, far less wall time)")
+    p_sim.add_argument("--no-batched", action="store_true",
+                       help="disable batched exact execution (escape "
+                            "hatch: force the pure per-cycle loop)")
     p_sim.add_argument("--kernels", type=int, default=None,
                        help="co-simulate N kernels sharing one memory")
     p_sim.add_argument("--memory-rate", type=float, default=None,
@@ -383,10 +386,12 @@ def _cmd_simulate(args) -> int:
               if args.chunk_width else KernelConfig(grid=grid))
 
     start = time.perf_counter()
+    batched = not args.no_batched
     if args.kernels:
         multi = simulate_multi_kernel(
             config, fields, num_kernels=args.kernels,
-            memory_cells_per_cycle=args.memory_rate, mode=args.mode)
+            memory_cells_per_cycle=args.memory_rate, mode=args.mode,
+            batched=batched)
         elapsed = time.perf_counter() - start
         print(f"grid:     {grid.interior_shape}, "
               f"{args.kernels} kernels, mode={args.mode}")
@@ -399,7 +404,7 @@ def _cmd_simulate(args) -> int:
             print(f"demoted:  {multi.ff_veto_reason}")
     else:
         result = simulate_kernel(config, fields, read_ii=args.read_ii,
-                                 mode=args.mode)
+                                 mode=args.mode, batched=batched)
         elapsed = time.perf_counter() - start
         stats = result.aggregate_stats()
         print(f"grid:     {grid.interior_shape}, mode={args.mode}")
@@ -411,6 +416,14 @@ def _cmd_simulate(args) -> int:
                   f"({stats.ff_cycles / result.total_cycles:.1%} of the run)")
         if stats.ff_veto_reason:
             print(f"demoted:  {stats.ff_veto_reason}")
+        if stats.batched_windows:
+            scalar = result.total_cycles - stats.batched_cycles
+            print(f"batched:  {stats.batched_cycles} cycles in "
+                  f"{stats.batched_windows} windows "
+                  f"({stats.batched_cycles / result.total_cycles:.1%} of "
+                  f"the run), {scalar} scalar")
+        if stats.batch_fallback_reason:
+            print(f"fallback: {stats.batch_fallback_reason}")
     print(f"wall:     {elapsed:.2f} s")
     return 0
 

@@ -14,9 +14,14 @@ implements exactly that abstraction:
   structural validation, and
 * :class:`~repro.dataflow.engine.DataflowEngine` — the cycle-driven
   simulator, which reports cycle counts, stall breakdowns and per-stage
-  occupancy so dataflow designs can be compared quantitatively.
+  occupancy so dataflow designs can be compared quantitatively, and
+* :func:`~repro.dataflow.compiled.compile_graph` — the batched-execution
+  compiler behind the engine's default exact mode, which lowers a graph
+  to topological levels and NumPy control-state vectors and advances
+  proved-uniform windows of whole periods per Python-level step.
 """
 
+from repro.dataflow.compiled import CompiledGraph, compile_graph
 from repro.dataflow.engine import DataflowEngine, RunStats
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.monitors import StreamProbe, ThroughputMonitor
@@ -33,6 +38,8 @@ __all__ = [
     "DataflowGraph",
     "DataflowEngine",
     "RunStats",
+    "CompiledGraph",
+    "compile_graph",
     "StreamProbe",
     "ThroughputMonitor",
 ]

@@ -1,0 +1,438 @@
+"""Compile a :class:`DataflowGraph` into a batched exact executor.
+
+The per-cycle interpreter in :mod:`repro.dataflow.engine` pays Python
+dispatch for every stage on every cycle.  This module closes that gap
+from the *exact* side (ROADMAP open item 1): it compiles a graph into a
+static plan — topological levels from the schedule DP in
+:mod:`repro.analyze.schedule`, NumPy vectors for FIFO occupancies,
+credits and stage pipeline fill — and executes provably uniform windows
+of ``W = n × period`` cycles as single batched steps, the same way the
+FPGA executes a whole steady-state window per clock region
+(Zohouri-style wide blocking, applied to the simulator itself).
+
+Correctness model
+-----------------
+A window may only be batched when the engine has *proved* the machine
+periodic over it: the control-state fingerprint at the window start
+matches a fingerprint ``period`` cycles earlier, so a deterministic
+machine must replay those cycles exactly.  The per-period counter deltas
+are then applied ``n`` times at once (vectorised over stages and
+streams) and the data relayed through the graph in bulk.  Everything
+that could make a cycle *observable* is an **event** that bounds the
+window instead of being skipped:
+
+* **monitor samples** — a window never covers a cycle a monitor would
+  sample; the engine ticks that cycle scalar, then re-enters batching;
+* **freeze boundaries** — fault-plan freeze windows change which stages
+  tick, so detection state resets at each boundary and no window ever
+  crosses one;
+* **FIFO fault strikes** — armed stream hooks draw per *push*, so the
+  :class:`~repro.faults.plan.FaultPlan` previews the next strike
+  (:meth:`~repro.faults.plan.FaultPlan.fifo_strike_within`) and the
+  window is capped to the provably strike-free push prefix; skipped
+  pushes advance the occurrence counters
+  (:meth:`~repro.faults.plan.FaultPlan.skip_fifo`) so later draws are
+  bit-identical to a scalar run;
+* **stalls and arbiter decisions** — transient stalls never recur in the
+  fingerprint, so stall cycles are always ticked scalar (periodic
+  steady-state stalls are part of the proved orbit and replay exactly);
+  a data-dependent arbiter vetoes fingerprinting altogether and demotes
+  the rest of the run to scalar ticking.
+
+Window width
+------------
+For fully unit-rate graphs the occupancy prover
+(:func:`repro.analyze.occupancy.prove_occupancy`) supplies the proved
+steady-state period and stall-free verdict at compile time; the engine
+then arms a single probe at that horizon instead of hunting for a
+recurrence in a fingerprint table.  Graphs with non-unit-rate stages
+(the shift buffer) fall back to runtime recurrence detection — a wrong
+or missing hint costs speed, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.dataflow.bulk import Bulk, ChainBulk, ListBulk
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import Stage
+from repro.dataflow.stream import Stream
+from repro.errors import DataflowError
+
+if TYPE_CHECKING:  # imported lazily to keep dataflow import-cycle free
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["CompiledGraph", "EventCalendar", "compile_graph",
+           "period_deltas", "execute_window"]
+
+#: Graphs larger than this skip the compile-time occupancy proof — the
+#: abstract interpretation is cheap but not free, and huge graphs are
+#: exactly where runtime recurrence detection amortises best.
+_STATIC_HINT_MAX_STAGES: int = 96
+
+
+@dataclass
+class CompiledGraph:
+    """A :class:`DataflowGraph` lowered to a static batched-execution plan.
+
+    Stage order, levels and start cycles come from the schedule DP
+    (:func:`repro.analyze.schedule.start_cycles`); the static per-stage
+    and per-stream properties are NumPy vectors so window planning is
+    array arithmetic, not attribute chasing.  The live control state —
+    FIFO occupancies, credits (free slots) and pipeline fill — is
+    exposed as vectors too, aligned with :attr:`order` /
+    :attr:`streams`.
+    """
+
+    graph: DataflowGraph
+    #: Stages in topological order (the engine's tick order).
+    order: list[Stage]
+    #: Streams in the graph's canonical order (snapshot row order).
+    streams: list[Stream]
+    #: Stage names grouped by topological level, sources first.
+    levels: tuple[tuple[str, ...], ...]
+    #: name -> (level, exact first-fire cycle) from the schedule DP.
+    timing: dict[str, tuple[int, int]]
+    #: Static per-stage vectors aligned with :attr:`order`.
+    ii: np.ndarray = field(repr=False)
+    latency: np.ndarray = field(repr=False)
+    #: Static per-stream depth vector aligned with :attr:`streams`.
+    depths: np.ndarray = field(repr=False)
+    #: name -> row index into the stage / stream vectors.
+    stage_index: dict[str, int]
+    stream_index: dict[str, int]
+    #: True when every stage declares unit-rate I/O — the precondition
+    #: for trusting the static analyzer's period proof.
+    unit_rate: bool
+    #: Proved steady-state period (cycles) from the occupancy prover,
+    #: or None when no proof applies; a probe horizon, not a promise.
+    period_hint: int | None = None
+    #: The prover's stall-free verdict under the configured depths.
+    stall_free: bool | None = None
+    #: Minimal stall-free depth per stream (occupancy prover bound).
+    min_safe_depths: dict[str, int] | None = None
+
+    def occupancy(self) -> np.ndarray:
+        """Current FIFO occupancy vector (aligned with :attr:`streams`)."""
+        return np.fromiter((s.occupancy for s in self.streams),
+                           dtype=np.int64, count=len(self.streams))
+
+    def credits(self) -> np.ndarray:
+        """Free slots per FIFO — the flow-control credit each producer
+        holds, exactly as an AXI-Stream / Avalon-ST credit counter
+        would."""
+        return self.depths - self.occupancy()
+
+    def pipeline_fill(self) -> np.ndarray:
+        """In-flight pipeline entries per stage (aligned with
+        :attr:`order`)."""
+        return np.fromiter((s.in_flight for s in self.order),
+                           dtype=np.int64, count=len(self.order))
+
+    def control_state(self) -> dict[str, np.ndarray]:
+        """The complete batched-execution control state, as vectors."""
+        return {
+            "occupancy": self.occupancy(),
+            "credits": self.credits(),
+            "pipeline_fill": self.pipeline_fill(),
+        }
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary of the compiled plan (docs and CLI)."""
+        return {
+            "graph": self.graph.name,
+            "stages": len(self.order),
+            "streams": len(self.streams),
+            "levels": [list(level) for level in self.levels],
+            "unit_rate": self.unit_rate,
+            "period_hint": self.period_hint,
+            "stall_free": self.stall_free,
+        }
+
+
+def compile_graph(graph: DataflowGraph, *,
+                  analyze: bool = True) -> CompiledGraph:
+    """Lower ``graph`` to a :class:`CompiledGraph`.
+
+    ``analyze=True`` additionally runs the occupancy prover on fully
+    unit-rate graphs to obtain a compile-time period hint and stall-free
+    verdict; any analysis failure (non-conforming graph, proved
+    deadlock) simply withholds the hint.
+    """
+    # Lazy import: repro.analyze builds on repro.dataflow, so the
+    # schedule DP is pulled in at compile time, not at module import.
+    from repro.analyze.schedule import start_cycles
+
+    order = graph.topological_order()
+    streams = list(graph.streams)
+    timing = start_cycles(graph)
+    n_levels = max((lvl for lvl, _ in timing.values()), default=-1) + 1
+    levels: list[list[str]] = [[] for _ in range(n_levels)]
+    for stage in order:  # keep topological order within each level
+        levels[timing[stage.name][0]].append(stage.name)
+    compiled = CompiledGraph(
+        graph=graph,
+        order=order,
+        streams=streams,
+        levels=tuple(tuple(level) for level in levels),
+        timing=timing,
+        ii=np.fromiter((s.ii for s in order), dtype=np.int64,
+                       count=len(order)),
+        latency=np.fromiter((s.latency for s in order), dtype=np.int64,
+                            count=len(order)),
+        depths=np.fromiter((s.depth for s in streams), dtype=np.int64,
+                           count=len(streams)),
+        stage_index={s.name: i for i, s in enumerate(order)},
+        stream_index={s.name: i for i, s in enumerate(streams)},
+        unit_rate=all(getattr(s, "unit_rate", True) for s in order),
+    )
+    if analyze and compiled.unit_rate \
+            and 0 < len(order) <= _STATIC_HINT_MAX_STAGES:
+        _attach_static_hint(compiled)
+    return compiled
+
+
+def _attach_static_hint(compiled: CompiledGraph) -> None:
+    """Attach the occupancy prover's period/stall-free facts, if provable."""
+    from repro.analyze.occupancy import prove_occupancy
+
+    try:
+        proof = prove_occupancy(compiled.graph)
+    except Exception:  # noqa: BLE001 - a failed proof only costs the hint
+        return
+    if not proof.safe:
+        return
+    compiled.stall_free = proof.stall_free
+    compiled.min_safe_depths = proof.minimal_depths()
+    if proof.period is not None and proof.period.cycles > 0:
+        compiled.period_hint = proof.period.cycles
+
+
+class EventCalendar:
+    """Everything that bounds a batched window to stay observable.
+
+    The calendar answers one question: starting at ``sig_cycle``, how
+    many whole periods may be skipped before a cycle that *must* be
+    ticked scalar — a monitor sample, a freeze-window boundary, or a
+    FIFO fault strike?  Windows are capped, never silently extended, so
+    every observable event happens on the scalar path at exactly the
+    cycle (or push) a fully scalar run would produce it.
+    """
+
+    def __init__(self, *,
+                 monitors: Iterable[tuple[int, int]] = (),
+                 freeze: dict[str, tuple[int, int | None]] | None = None,
+                 plan: "FaultPlan | None" = None,
+                 hooked: Sequence[str] = ()) -> None:
+        #: (every, phase) strides; every-cycle monitors (stride <= 1)
+        #: must be rejected by the caller — no window can skip anything.
+        self.monitors = [(every, phase) for every, phase in monitors
+                         if every > 1]
+        bounds: set[int] = set()
+        for start, stop in (freeze or {}).values():
+            bounds.add(start)
+            if stop is not None:
+                bounds.add(stop)
+        #: Freeze-window boundary cycles; the engine resets recurrence
+        #: detection whenever the clock crosses one.
+        self.boundaries: tuple[int, ...] = tuple(sorted(bounds))
+        self.plan = plan
+        #: Streams with an armed fault hook, by name.
+        self.hooked: tuple[str, ...] = tuple(hooked)
+
+    def cap_cycles(self, sig_cycle: int) -> int | None:
+        """Max cycles skippable from ``sig_cycle`` before a clocked event.
+
+        ``None`` means unbounded (no monitors, no upcoming boundary).
+        The skipped window ``[sig_cycle, sig_cycle + L - 1]`` must
+        exclude every sample cycle and every boundary cycle.
+        """
+        cap: int | None = None
+        for every, phase in self.monitors:
+            next_sample = sig_cycle + ((phase - sig_cycle) % every)
+            gap = next_sample - sig_cycle
+            cap = gap if cap is None else min(cap, gap)
+        for boundary in self.boundaries:
+            if boundary >= sig_cycle:
+                gap = boundary - sig_cycle
+                cap = gap if cap is None else min(cap, gap)
+                break
+        return cap
+
+    def push_rates(self, d_stream: np.ndarray,
+                   stream_index: dict[str, int]) -> list[tuple[str, int]]:
+        """Per-period push counts for every fault-hooked stream."""
+        return [(name, int(d_stream[stream_index[name]][0]))
+                for name in self.hooked]
+
+    def cap_periods(self, sig_cycle: int, period: int, n: int,
+                    push_rates: Sequence[tuple[str, int]]) -> int:
+        """Shrink ``n`` periods to the provably event-free window."""
+        cap = self.cap_cycles(sig_cycle)
+        if cap is not None:
+            n = min(n, cap // period)
+        if n <= 0:
+            return 0
+        if self.plan is not None:
+            for name, rate in push_rates:
+                if rate <= 0:
+                    continue
+                strike = self.plan.fifo_strike_within(name, n * rate)
+                if strike is not None:
+                    n = min(n, strike // rate)
+                    if n <= 0:
+                        return 0
+        return n
+
+    def commit(self, n: int, push_rates: Sequence[tuple[str, int]]) -> None:
+        """Account the pushes a committed window skipped.
+
+        The bulk relay bypasses stream fault hooks, so the occurrence
+        counters must advance by exactly the previewed-safe push counts —
+        otherwise every later draw would shift and the fault trace would
+        diverge from a scalar run.
+        """
+        if self.plan is None:
+            return
+        for name, rate in push_rates:
+            if rate > 0:
+                self.plan.skip_fifo(name, n * rate)
+
+
+# -- window planning and execution ------------------------------------------
+
+def period_deltas(order: list[Stage], streams: list[Stream],
+                  snapshot: tuple[tuple, tuple]
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-period counter deltas since ``snapshot``, as arrays.
+
+    Rows align with ``order`` / ``streams``; stage columns are
+    ``(fires, retired, input_stalls, output_stalls, ii_waits,
+    pipeline_full_stalls)``, stream columns ``(pushes, pops,
+    full_stalls, empty_stalls)``.
+    """
+    snap_stage, snap_stream = snapshot
+    now_stage = np.array(
+        [(s.stats.fires, s.stats.retired, s.stats.input_stalls,
+          s.stats.output_stalls, s.stats.ii_waits,
+          s.stats.pipeline_full_stalls) for s in order],
+        dtype=np.int64).reshape(len(order), 6)
+    now_stream = np.array(
+        [(st.stats.pushes, st.stats.pops, st.stats.full_stalls,
+          st.stats.empty_stalls) for st in streams],
+        dtype=np.int64).reshape(len(streams), 4)
+    d_stage = now_stage - np.asarray(snap_stage,
+                                     dtype=np.int64).reshape(len(order), 6)
+    d_stream = now_stream - np.asarray(
+        snap_stream, dtype=np.int64).reshape(len(streams), 4)
+    return d_stage, d_stream
+
+
+def _cap_supply(order: list[Stage], fires_per_period: np.ndarray,
+                n: int) -> int:
+    """Cap ``n`` periods by every firing stage's remaining supply."""
+    for i, stage in enumerate(order):
+        fpp = int(fires_per_period[i])
+        if fpp and n > 0:
+            n = min(n, stage.ff_fire_capacity(n * fpp) // fpp)
+    return n
+
+
+def execute_window(order: list[Stage], streams: list[Stream],
+                   stream_index: dict[str, int], sig_cycle: int,
+                   period: int, snapshot: tuple[tuple, tuple], limit: int,
+                   calendar: EventCalendar | None = None) -> int:
+    """Plan and execute one batched window of whole periods.
+
+    Returns the number of cycles skipped: ``> 0`` on a committed window,
+    ``0`` when the window must be deferred (a parked zero-fire period,
+    or an event due within one period — the caller keeps its detection
+    state and ticks scalar), and ``-1`` when remaining supply cannot
+    cover even one period (ramp-down: the caller should stop batching).
+
+    The relay is FIFO-exact: each stream's final content is the last
+    ``occupancy`` items pushed, each pipeline's final entries the last
+    ``fill`` produced, so per-cycle ticking resumes on a state
+    bit-identical to the scalar machine's.
+    """
+    d_stage, d_stream = period_deltas(order, streams, snapshot)
+    if len(order) == 0 or int(d_stage[:, 0].sum()) == 0:
+        return 0
+    n = (limit - sig_cycle - 1) // period
+    push_rates: Sequence[tuple[str, int]] = ()
+    if calendar is not None:
+        push_rates = calendar.push_rates(d_stream, stream_index)
+        n = calendar.cap_periods(sig_cycle, period, n, push_rates)
+        if n < 1:
+            return 0
+    n = _cap_supply(order, d_stage[:, 0], n)
+    if n < 1:
+        return -1
+    target_cycle = sig_cycle + n * period
+
+    # Relay the bulk flow through the graph in topological order.
+    pushed: dict[str, Bulk] = {}
+    for i, stage in enumerate(order):
+        ds = d_stage[i]
+        fires = int(ds[0]) * n
+        retired = int(ds[1]) * n
+        inputs: dict[str, Bulk] = {}
+        for port, stream in stage.inputs.items():
+            dstr = d_stream[stream_index[stream.name]]
+            pops = int(dstr[1]) * n
+            combined = ChainBulk([
+                ListBulk(list(stream)),
+                pushed.get(stream.name, ListBulk([])),
+            ])
+            inputs[port] = combined.slice(0, pops)
+            leftover = combined.slice(pops, len(combined)).materialize()
+            stream.ff_replace(
+                leftover, pushes=int(dstr[0]) * n, pops=pops,
+                full_stalls=int(dstr[2]) * n,
+                empty_stalls=int(dstr[3]) * n)
+        if fires:
+            result = stage.fire_bulk(fires, inputs, sig_cycle)
+            if result.producing_firings != retired:
+                raise DataflowError(
+                    f"stage {stage.name!r}: batched window produced "
+                    f"{result.producing_firings} pipeline entries, "
+                    f"expected {retired} — not a data-independent "
+                    f"steady state"
+                )
+        else:
+            result = None
+            if retired:
+                raise DataflowError(
+                    f"stage {stage.name!r}: batched window retired "
+                    f"{retired} entries without firing"
+                )
+        fill = stage.in_flight
+        retired_old = min(retired, fill)
+        retired_new = retired - retired_old
+        old_entries = stage.ff_pipeline_entries()
+        for port, stream in stage.outputs.items():
+            old_items = [
+                item
+                for entry in old_entries[:retired_old]
+                for item in entry.get(port, ())
+            ]
+            parts: list[Bulk] = [ListBulk(old_items)]
+            if result is not None and retired_new:
+                parts.append(result.head_bulk(port, retired_new))
+            pushed[stream.name] = ChainBulk(parts)
+        tail = (result.tail_firings(retired_old)
+                if result is not None else [])
+        stage.ff_commit(
+            sig_cycle, target_cycle, fires=fires, retired=retired,
+            tail_outputs=old_entries[retired_old:] + tail)
+        stage.stats.input_stalls += int(ds[2]) * n
+        stage.stats.output_stalls += int(ds[3]) * n
+        stage.stats.ii_waits += int(ds[4]) * n
+        stage.stats.pipeline_full_stalls += int(ds[5]) * n
+    if calendar is not None:
+        calendar.commit(n, push_rates)
+    return n * period

@@ -39,6 +39,23 @@ skipped cycles can be neither sampled nor faulted.  In all such cases
 ``mode="fast"`` behaves exactly like ``mode="exact"`` and the reason for
 the demotion is surfaced on :attr:`RunStats.ff_veto_reason` (and by
 ``repro simulate``) rather than being swallowed.
+
+Batched exact mode
+------------------
+``mode="exact"`` no longer has to be the slow path.  With
+``batched=True`` (the default) the engine compiles the graph
+(:mod:`repro.dataflow.compiled`) and executes provably periodic windows
+of whole steady-state periods as single batched steps — the same
+periodicity proof and FIFO-exact bulk relay as fast-forward, but
+*event-aware* instead of all-or-nothing: monitor sample cycles, fault
+freeze boundaries and previewed FIFO fault strikes bound each window
+and are always executed on the scalar path, so monitored and faulted
+runs accelerate too instead of demoting wholesale.  Results are
+bit-identical to ``batched=False`` scalar ticking — statistics, stream
+occupancies, sink data, fault traces, and raised errors — with the
+batched/scalar split reported on :attr:`RunStats.batched_windows` /
+:attr:`RunStats.batched_cycles` and any mid-run fallback reason on
+:attr:`RunStats.batch_fallback_reason`.
 """
 
 from __future__ import annotations
@@ -46,7 +63,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.dataflow.bulk import Bulk, ChainBulk, ListBulk
+from repro.dataflow.compiled import (EventCalendar, compile_graph,
+                                     execute_window)
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.monitors import Monitor
 from repro.dataflow.stage import Stage
@@ -63,6 +81,11 @@ __all__ = ["DataflowEngine", "RunStats"]
 #: states the run is clearly not periodic at a useful scale; the table is
 #: cleared to bound memory and detection re-arms from scratch.
 _FF_TABLE_CAP = 65_536
+
+#: Consecutive probe misses before a batched-mode *learned* period is
+#: dropped and table detection resumes (a statically proven period is
+#: never dropped — a wrong one only costs speed).
+_LEARNED_MISS_CAP = 8
 
 
 @dataclass
@@ -84,6 +107,16 @@ class RunStats:
     #: a monitor, an active fault plan, or a data-dependent stage veto.
     #: ``None`` for exact-mode runs and undemoted fast runs.
     ff_veto_reason: str | None = None
+    #: number of batched windows committed (exact mode, ``batched=True``)
+    batched_windows: int = 0
+    #: cycles executed inside those batched windows; the scalar-fallback
+    #: remainder is ``cycles - batched_cycles``.
+    batched_cycles: int = 0
+    #: why batched exact execution was (partly) disabled mid-run: an
+    #: every-cycle monitor, a corrupted word left in flight, or a
+    #: data-dependent stage veto.  ``None`` when batching never had to
+    #: fall back (including fast-mode and ``batched=False`` runs).
+    batch_fallback_reason: str | None = None
 
     def throughput(self, stage: str) -> float:
         """Average results per cycle for one stage (1.0 == ideal II=1)."""
@@ -106,6 +139,7 @@ class RunStats:
         """
         merged = cls(cycles=0)
         reasons: list[str] = []
+        fallback_reasons: list[str] = []
         for run in runs:
             merged.cycles += run.cycles
             for name, fires in run.fires.items():
@@ -119,10 +153,17 @@ class RunStats:
                     merged.stream_high_water.get(name, 0), high)
             merged.ff_advances += run.ff_advances
             merged.ff_cycles += run.ff_cycles
+            merged.batched_windows += run.batched_windows
+            merged.batched_cycles += run.batched_cycles
             if run.ff_veto_reason is not None \
                     and run.ff_veto_reason not in reasons:
                 reasons.append(run.ff_veto_reason)
+            if run.batch_fallback_reason is not None \
+                    and run.batch_fallback_reason not in fallback_reasons:
+                fallback_reasons.append(run.batch_fallback_reason)
         merged.ff_veto_reason = "; ".join(reasons) if reasons else None
+        merged.batch_fallback_reason = (
+            "; ".join(fallback_reasons) if fallback_reasons else None)
         return merged
 
     def to_dict(self) -> dict:
@@ -140,6 +181,9 @@ class RunStats:
             "ff_advances": self.ff_advances,
             "ff_cycles": self.ff_cycles,
             "ff_veto_reason": self.ff_veto_reason,
+            "batched_windows": self.batched_windows,
+            "batched_cycles": self.batched_cycles,
+            "batch_fallback_reason": self.batch_fallback_reason,
         }
 
     def summary(self) -> str:
@@ -150,8 +194,17 @@ class RunStats:
                 f" ({self.ff_cycles} fast-forwarded in "
                 f"{self.ff_advances} advances)"
             )
+        if self.batched_windows:
+            lines[0] += (
+                f" ({self.batched_cycles} batched in "
+                f"{self.batched_windows} windows, "
+                f"{self.cycles - self.batched_cycles} scalar)"
+            )
         if self.ff_veto_reason is not None:
             lines.append(f"  fast-forward demoted: {self.ff_veto_reason}")
+        if self.batch_fallback_reason is not None:
+            lines.append(
+                f"  batched fallback: {self.batch_fallback_reason}")
         for name in sorted(self.fires):
             stalls = self.stalls.get(name, {})
             lines.append(
@@ -180,7 +233,17 @@ class DataflowEngine:
         ``"exact"`` ticks every cycle; ``"fast"`` additionally
         fast-forwards provably periodic steady-state phases (see module
         docstring).  Both modes produce identical :class:`RunStats`
-        (modulo the ``ff_*`` counters) and identical sink data.
+        (modulo the ``ff_*``/``batched_*`` counters) and identical sink
+        data.
+    batched:
+        Exact mode only (ignored under ``mode="fast"``, whose
+        fast-forward machinery supersedes it): execute provably periodic
+        event-free windows as batched steps via
+        :mod:`repro.dataflow.compiled` (see module docstring).  On by
+        default; ``batched=False`` is the escape hatch back to pure
+        per-cycle scalar ticking.  Results are bit-identical either
+        way — only wall-clock time and the ``batched_*`` counters
+        change.
     lint:
         When True, run the full graph-family lint pass
         (:func:`repro.lint.lint_graph`) before the first cycle and raise
@@ -232,6 +295,7 @@ class DataflowEngine:
     def __init__(self, graph: DataflowGraph, *, max_cycles: int = 10_000_000,
                  monitors: list[Monitor] | None = None,
                  stall_grace: int | None = None, mode: str = "exact",
+                 batched: bool = True,
                  lint: bool = False, watchdog: int | None = None,
                  fault_plan: "FaultPlan | None" = None,
                  tracer: "Tracer | None" = None,
@@ -266,6 +330,7 @@ class DataflowEngine:
         self.monitors = list(monitors or [])
         self.stall_grace = stall_grace
         self.mode = mode
+        self.batched = batched
         self.lint = lint
         self.watchdog = watchdog
         self.fault_plan = fault_plan
@@ -325,12 +390,54 @@ class DataflowEngine:
                 veto_reason = ("fault injection active: skipped cycles "
                                "could not be faulted")
         ff_enabled = self.mode == "fast" and veto_reason is None
+        # Batched exact: the same periodicity machinery, re-armed for
+        # exact mode with event-aware windows (repro.dataflow.compiled).
+        # Monitors and fault plans bound windows instead of vetoing them;
+        # only an every-cycle monitor leaves nothing to batch.
+        batch_reason: str | None = None
+        batched = self.mode == "exact" and self.batched
+        calendar: EventCalendar | None = None
+        if batched:
+            for monitor, every, _phase in monitor_plan:
+                if every <= 1:
+                    batched = False
+                    batch_reason = (
+                        f"monitor {type(monitor).__name__} samples every "
+                        f"cycle: no window can be skipped"
+                    )
+                    break
+        if batched:
+            compiled = compile_graph(self.graph)
+            calendar = EventCalendar(
+                monitors=[(every, phase)
+                          for _, every, phase in monitor_plan],
+                freeze=freeze,
+                plan=plan if plan_active else None,
+                hooked=[stream.name for stream in self.graph.streams
+                        if stream.fault_hook is not None],
+            )
         ff_table: dict[Any, tuple[int, tuple[dict, dict]]] = {}
         proven = self.proven_period
+        if proven is None and batched:
+            # Statically proved steady-state horizon (unit-rate graphs
+            # only): probe at that period instead of table hunting.
+            proven = compiled.period_hint
         #: Armed probe under a proven period: (signature, cycle, snapshot).
         probe: tuple[Any, int, tuple] | None = None
+        #: Batched-mode learned period: after the first table hit, probe
+        #: at the committed period so windows re-open immediately after
+        #: each scalar event cycle.  Dropped after repeated misses.
+        learned: int | None = None
+        probe_misses = 0
         ff_advances = 0
         ff_cycles = 0
+        batched_windows = 0
+        batched_cycles = 0
+        plan_trace_len = len(plan.trace) if plan is not None else 0
+        boundaries = calendar.boundaries if calendar is not None else ()
+        boundary_idx = 0
+        streams = list(self.graph.streams)
+        stream_index = {stream.name: i for i, stream in enumerate(streams)}
         cap = (self.max_cycles if self.watchdog is None
                else min(self.max_cycles, self.watchdog))
         # Activity tracking (stage name -> [first, last] progressing cycle)
@@ -387,29 +494,82 @@ class DataflowEngine:
                             for s in self.graph.streams
                         )
                     )
-            if ff_enabled:
+            if batched and plan_active:
+                # A fault struck on the scalar path this cycle.  A
+                # corrupt strike leaves a CorruptedWord in flight, and
+                # the bulk relay would consume it past the consumer-side
+                # ECC check — scalar ticking for the rest of the run.
+                # Any other strike (a dropped word) perturbs the
+                # counters mid-measurement: a period measured across it
+                # would replay polluted deltas (the producer's retire
+                # rate includes the vanished word, the consumer's pop
+                # rate does not), so recurrence detection restarts from
+                # the post-strike state.
+                assert plan is not None
+                if len(plan.trace) != plan_trace_len:
+                    ff_table.clear()
+                    probe = None
+                    for event in plan.trace[plan_trace_len:]:
+                        if event.site == "fifo" and event.kind == "corrupt":
+                            batched = False
+                            batch_reason = (
+                                f"corrupted word in flight on stream "
+                                f"{event.name!r}: bulk relay would bypass "
+                                f"the consumer-side ECC check"
+                            )
+                            veto_cycle = cycle
+                            break
+                    plan_trace_len = len(plan.trace)
+            if batched and boundary_idx < len(boundaries) \
+                    and boundaries[boundary_idx] <= cycle + 1:
+                # Crossing a freeze boundary changes which stages tick:
+                # periods measured across it are invalid.
+                while boundary_idx < len(boundaries) \
+                        and boundaries[boundary_idx] <= cycle + 1:
+                    boundary_idx += 1
+                ff_table.clear()
+                probe = None
+            if ff_enabled or batched:
                 sig, veto_stage = self._ff_machine_signature(order, cycle + 1)
                 if sig is None:
                     # A stage vetoed (data-dependent control, e.g. a
                     # starved arbiter): exact ticking for the rest of
                     # the run.
-                    ff_enabled = False
-                    ff_table.clear()
-                    veto_reason = (
+                    reason = (
                         f"stage {veto_stage!r} vetoed steady-state "
                         f"detection (data-dependent control)"
                     )
+                    if ff_enabled:
+                        veto_reason = reason
+                    else:
+                        batch_reason = reason
+                    ff_enabled = False
+                    batched = False
+                    ff_table.clear()
+                    probe = None
                     veto_cycle = cycle
                 else:
                     hit: tuple[int, tuple] | None = None
-                    if proven is not None:
-                        # Statically proven period: no table, one probe.
+                    horizon = proven if proven is not None else learned
+                    if horizon is not None:
+                        # Known period (statically proven or learned
+                        # from a committed window): no table, one probe.
                         if probe is not None \
-                                and (cycle + 1) - probe[1] == proven:
+                                and (cycle + 1) - probe[1] == horizon:
                             if sig == probe[0]:
                                 hit = (probe[1], probe[2])
+                                probe_misses = 0
+                            elif proven is None:
+                                probe_misses += 1
+                                if probe_misses >= _LEARNED_MISS_CAP:
+                                    # The learned period went stale;
+                                    # back to table detection.
+                                    learned = None
+                                    probe_misses = 0
                             probe = None  # re-armed below on a miss
-                        if hit is None and probe is None:
+                        if hit is None and probe is None \
+                                and (proven is not None
+                                     or learned is not None):
                             probe = (sig, cycle + 1, self._ff_snapshot(order))
                     elif sig in ff_table:
                         hit = ff_table[sig]
@@ -421,20 +581,32 @@ class DataflowEngine:
                         cycle += 1
                         continue
                     first_cycle, snapshot = hit
+                    period = (cycle + 1) - first_cycle
                     fires_before = ({s.name: s.stats.fires for s in order}
                                     if trace_on else None)
-                    skipped = self._ff_advance(
-                        order, cycle + 1, (cycle + 1) - first_cycle, snapshot)
+                    skipped = execute_window(
+                        order, streams, stream_index, cycle + 1, period,
+                        snapshot, cap, calendar if batched else None)
                     if skipped > 0:
-                        ff_advances += 1
-                        ff_cycles += skipped
+                        if batched:
+                            batched_windows += 1
+                            batched_cycles += skipped
+                            # Probe at the committed period from now on:
+                            # windows re-open one period after each
+                            # scalar event cycle instead of re-hunting.
+                            learned = period
+                            probe_misses = 0
+                        else:
+                            ff_advances += 1
+                            ff_cycles += skipped
                         if trace_on:
                             assert fires_before is not None
+                            label = "batched" if batched else "fast-forward"
                             tracer.add_span(
-                                f"fast-forward x{skipped}", "engine",
+                                f"{label} x{skipped}", "engine",
                                 cycle + 1, cycle + 1 + skipped,
-                                category="fast-forward",
-                                period=(cycle + 1) - first_cycle)
+                                category=label,
+                                period=period)
                             for stage in order:
                                 if stage.stats.fires \
                                         <= fires_before[stage.name]:
@@ -449,11 +621,17 @@ class DataflowEngine:
                         last_progress = cycle
                         # Counters moved: every stored snapshot is stale.
                         ff_table.clear()
+                        probe = None
                     elif skipped < 0:
                         # No room for even one period (sources at their
                         # end): the remaining run is short; tick it.
                         ff_enabled = False
+                        batched = False
                         ff_table.clear()
+                        probe = None
+                    # skipped == 0: a parked zero-fire period, or an
+                    # event due within one period — detection state
+                    # stays valid; tick the next cycle scalar.
             cycle += 1
         else:
             if self.watchdog is not None and cap == self.watchdog:
@@ -499,6 +677,9 @@ class DataflowEngine:
             ff_advances=ff_advances,
             ff_cycles=ff_cycles,
             ff_veto_reason=veto_reason,
+            batched_windows=batched_windows,
+            batched_cycles=batched_cycles,
+            batch_fallback_reason=batch_reason,
         )
         if trace_on:
             self._emit_spans(stats, order, activity, veto_cycle)
@@ -517,12 +698,19 @@ class DataflowEngine:
         tracer.add_span(
             self.graph.name, "engine", 0, stats.cycles, category="run",
             cycles=stats.cycles, ff_advances=stats.ff_advances,
-            ff_cycles=stats.ff_cycles)
+            ff_cycles=stats.ff_cycles,
+            batched_windows=stats.batched_windows,
+            batched_cycles=stats.batched_cycles)
         if stats.ff_veto_reason is not None:
             tracer.instant("fast-forward demoted", "engine",
                            ts=float(veto_cycle if veto_cycle is not None
                                     else 0),
                            reason=stats.ff_veto_reason)
+        if stats.batch_fallback_reason is not None:
+            tracer.instant("batched execution fell back", "engine",
+                           ts=float(veto_cycle if veto_cycle is not None
+                                    else 0),
+                           reason=stats.batch_fallback_reason)
         for stage in order:
             window = activity.get(stage.name)
             if window is None:
@@ -584,6 +772,19 @@ class DataflowEngine:
             registry.counter(
                 "ff_demotions", "fast-mode runs demoted to exact ticking",
             ).inc(reason=stats.ff_veto_reason)
+        if self.mode == "exact" and self.batched:
+            registry.counter(
+                "batched_windows", "batched exact windows committed",
+            ).inc(stats.batched_windows)
+            registry.counter(
+                "scalar_fallback_cycles",
+                "exact-mode cycles ticked scalar outside batched windows",
+            ).inc(stats.cycles - stats.batched_cycles)
+            if stats.batch_fallback_reason is not None:
+                registry.counter(
+                    "batch_fallbacks",
+                    "batched exact runs that fell back to scalar ticking",
+                ).inc(reason=stats.batch_fallback_reason)
 
     # -- fast-forward internals -------------------------------------------------
 
@@ -620,112 +821,6 @@ class DataflowEngine:
             for st in self.graph.streams
         ])
         return (stage_counts, stream_counts)
-
-    def _ff_advance(self, order: list[Stage], sig_cycle: int, period: int,
-                    snapshot: tuple[dict, dict]) -> int:
-        """Advance as many whole periods as capacity allows.
-
-        Returns the number of cycles skipped, ``0`` when the matched
-        period carried no firings (a parked phase — leave it to the exact
-        engine), or ``-1`` when capacity does not cover one period.
-        """
-        snap_stage, snap_stream = snapshot
-        d_stage = {
-            s.name: tuple(
-                now - then for now, then in zip(
-                    (s.stats.fires, s.stats.retired, s.stats.input_stalls,
-                     s.stats.output_stalls, s.stats.ii_waits,
-                     s.stats.pipeline_full_stalls),
-                    snap)
-            )
-            for s, snap in zip(order, snap_stage)
-        }
-        d_stream = {
-            st.name: tuple(
-                now - then for now, then in zip(
-                    (st.stats.pushes, st.stats.pops, st.stats.full_stalls,
-                     st.stats.empty_stalls),
-                    snap)
-            )
-            for st, snap in zip(self.graph.streams, snap_stream)
-        }
-        if sum(d[0] for d in d_stage.values()) == 0:
-            return 0
-
-        # How many periods fit: bounded by the cycle budget and by each
-        # stage's remaining supply (sources run dry at chunk boundaries).
-        n = (self.max_cycles - sig_cycle - 1) // period
-        for stage in order:
-            fires_per_period = d_stage[stage.name][0]
-            if fires_per_period and n > 0:
-                capacity = stage.ff_fire_capacity(n * fires_per_period)
-                n = min(n, capacity // fires_per_period)
-        if n < 1:
-            return -1
-        target_cycle = sig_cycle + n * period
-
-        # Relay the bulk flow through the graph in topological order.
-        # FIFO semantics make the end state timing-independent: each
-        # stream's final content is the last `occupancy` items pushed,
-        # each pipeline's final entries are the last `fill` produced.
-        pushed: dict[str, Bulk] = {}
-        for stage in order:
-            ds = d_stage[stage.name]
-            fires = ds[0] * n
-            retired = ds[1] * n
-            inputs: dict[str, Bulk] = {}
-            for port, stream in stage.inputs.items():
-                dstr = d_stream[stream.name]
-                pops = dstr[1] * n
-                combined = ChainBulk([
-                    ListBulk(list(stream)),
-                    pushed.get(stream.name, ListBulk([])),
-                ])
-                inputs[port] = combined.slice(0, pops)
-                leftover = combined.slice(pops, len(combined)).materialize()
-                stream.ff_replace(
-                    leftover, pushes=dstr[0] * n, pops=pops,
-                    full_stalls=dstr[2] * n, empty_stalls=dstr[3] * n)
-            if fires:
-                result = stage.fire_bulk(fires, inputs, sig_cycle)
-                if result.producing_firings != retired:
-                    raise DataflowError(
-                        f"stage {stage.name!r}: fast-forward produced "
-                        f"{result.producing_firings} pipeline entries, "
-                        f"expected {retired} — not a data-independent "
-                        f"steady state"
-                    )
-            else:
-                result = None
-                if retired:
-                    raise DataflowError(
-                        f"stage {stage.name!r}: fast-forward retired "
-                        f"{retired} entries without firing"
-                    )
-            fill = stage.in_flight
-            retired_old = min(retired, fill)
-            retired_new = retired - retired_old
-            old_entries = stage.ff_pipeline_entries()
-            for port, stream in stage.outputs.items():
-                old_items = [
-                    item
-                    for entry in old_entries[:retired_old]
-                    for item in entry.get(port, ())
-                ]
-                parts: list[Bulk] = [ListBulk(old_items)]
-                if result is not None and retired_new:
-                    parts.append(result.head_bulk(port, retired_new))
-                pushed[stream.name] = ChainBulk(parts)
-            tail = (result.tail_firings(retired_old)
-                    if result is not None else [])
-            stage.ff_commit(
-                sig_cycle, target_cycle, fires=fires, retired=retired,
-                tail_outputs=old_entries[retired_old:] + tail)
-            stage.stats.input_stalls += ds[2] * n
-            stage.stats.output_stalls += ds[3] * n
-            stage.stats.ii_waits += ds[4] * n
-            stage.stats.pipeline_full_stalls += ds[5] * n
-        return n * period
 
     def _quiescent(self) -> bool:
         """True when nothing can ever happen again."""

@@ -107,6 +107,12 @@ class Stream:
         return len(self._items)
 
     @property
+    def credits(self) -> int:
+        """Free slots — the flow-control credit the producer holds, as
+        an AXI-Stream/Avalon-ST credit counter would count it."""
+        return self.depth - len(self._items)
+
+    @property
     def is_empty(self) -> bool:
         return not self._items
 

@@ -244,6 +244,50 @@ class FaultPlan:
 
         return hook
 
+    def fifo_strike_within(self, name: str, words: int) -> int | None:
+        """Preview: index of the first striking push among the next
+        ``words`` pushes to stream ``name``, or None when all are safe.
+
+        A pure function of the plan's current counters — nothing moves.
+        The batched exact engine uses this to cap an analytic window at
+        the provably strike-free push prefix: over-shortening a window
+        is always safe (the strike then happens on the scalar path at
+        its exact opportunity), while the preview never under-predicts
+        because draws are keyed hashes of monotone occurrence counters.
+        Costs one hash per live probabilistic spec per word — the same
+        hashes a scalar run's push hooks would compute.
+        """
+        live = [
+            (index, spec) for index, spec in enumerate(self.specs)
+            if spec.site == "fifo" and fnmatchcase(name, spec.match)
+            and (spec.count is None or self._fired[index] < spec.count)
+        ]
+        if not live:
+            return None
+        for offset in range(words):
+            for index, spec in live:
+                occurrence = self._seen.get((index, name), 0) + offset + 1
+                if spec.probability >= 1.0 or self._chance(
+                        index, "fifo", name, occurrence, spec.probability):
+                    return offset
+        return None
+
+    def skip_fifo(self, name: str, words: int) -> None:
+        """Advance fifo occurrence counters past ``words`` skipped pushes.
+
+        Called by the batched exact engine after a window whose pushes
+        bypassed the stream hooks (bulk relay): every matching spec's
+        occurrence counter moves exactly as ``words`` scalar pushes
+        would have moved it, so all later draws stay bit-identical.
+        Only sound for prefixes :meth:`fifo_strike_within` proved safe.
+        """
+        if words <= 0:
+            return
+        for index, spec in enumerate(self.specs):
+            if spec.site == "fifo" and fnmatchcase(name, spec.match):
+                key = (index, name)
+                self._seen[key] = self._seen.get(key, 0) + words
+
     def freeze_window(self, stage_name: str) -> tuple[int, int | None] | None:
         """Freeze window ``(start, stop)`` for one stage this run, if any.
 

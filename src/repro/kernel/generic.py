@@ -58,6 +58,15 @@ class GeneralShiftBufferStage(Stage):
             name=name,
         )
 
+    #: Window emission depends on the buffer's fill position, which the
+    #: base control-state fingerprint cannot see: veto steady-state
+    #: detection outright so neither fast-forward nor batched exact
+    #: execution can match a false period across priming states.
+    unit_rate = False
+
+    def ff_signature(self, at_cycle: int) -> None:
+        return None
+
     def fire(self, cycle: int, inputs: Mapping[str, list]):
         (value,) = inputs["in"]
         windows = self.buffer.feed(float(value))
@@ -70,10 +79,17 @@ class WindowComputeStage(Stage):
     input_ports = ("in",)
     output_ports = ("out",)
 
+    #: The user function decides how many results a window yields, so
+    #: the output count is data-dependent: veto steady-state detection.
+    unit_rate = False
+
     def __init__(self, name: str, fn: WindowFn, *, ii: int = 1,
                  latency: int = 8) -> None:
         super().__init__(name, ii=ii, latency=latency)
         self._fn = fn
+
+    def ff_signature(self, at_cycle: int) -> None:
+        return None
 
     def fire(self, cycle: int, inputs: Mapping[str, list]):
         (window,) = inputs["in"]

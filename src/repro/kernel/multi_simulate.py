@@ -86,6 +86,10 @@ class MemoryArbiter:
 class ArbitratedReadStage(ReadDataStage):
     """A read stage that must win a grant from the shared arbiter."""
 
+    #: Firing is gated by arbiter grants, not just FIFO credits, which
+    #: the static occupancy proof cannot see — no compile-time hints.
+    unit_rate = False
+
     def __init__(self, name: str, cells: Iterator[CellInput] | None = None,
                  *, arbiter: MemoryArbiter, block=None, ii: int = 1,
                  latency: int = 16) -> None:
@@ -159,6 +163,7 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
                           memory_cells_per_cycle: float | None = None,
                           max_cycles_per_chunk: int = 10_000_000,
                           mode: str = "exact",
+                          batched: bool = True,
                           fault_plan: "FaultPlan | None" = None,
                           retry: "RetryPolicy | None" = None,
                           watchdog: int | None = None,
@@ -179,6 +184,10 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
         Engine mode (``"exact"`` or ``"fast"``); fast-forward disables
         itself automatically the moment the arbiter starves any read
         stage, so a contended memory always simulates exactly.
+    batched:
+        Exact mode only: batched steady-state execution (default on; the
+        same arbiter-starvation veto applies).  ``False`` forces the
+        per-cycle loop.
     fault_plan:
         Optional fault-injection plan.  ``replica`` faults are drawn at
         chunk seams: ``slow`` multiplies the replica's read II for that
@@ -287,7 +296,7 @@ def simulate_multi_kernel(config: KernelConfig, fields: FieldSet,
             graph = build()
             engine = DataflowEngine(
                 graph, max_cycles=max_cycles_per_chunk,
-                stall_grace=grace, mode=mode,
+                stall_grace=grace, mode=mode, batched=batched,
                 fault_plan=fault_plan, watchdog=watchdog,
                 tracer=tracer, metrics=metrics,
             )

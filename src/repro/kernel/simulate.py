@@ -78,6 +78,7 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
                     read_ii: int = 1, enforce_ports: bool = True,
                     max_cycles_per_chunk: int = 10_000_000,
                     mode: str = "exact",
+                    batched: bool = True,
                     fault_plan: "FaultPlan | None" = None,
                     retry: "RetryPolicy | None" = None,
                     watchdog: int | None = None,
@@ -104,6 +105,11 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
         steady-state phases analytically — same results, same cycle
         counts, far less wall time on paper-scale grids (see
         :mod:`repro.dataflow.engine`).
+    batched:
+        Exact mode only: let the engine advance proved-safe steady-state
+        windows analytically while keeping every observable cycle scalar
+        (bit-identical stats, default on).  ``False`` forces the pure
+        per-cycle loop — the escape hatch and the benchmark baseline.
     fault_plan:
         Optional fault-injection plan, threaded into every chunk's engine
         run (FIFO word faults, stage freezes) and enabling the
@@ -176,7 +182,7 @@ def simulate_kernel(config: KernelConfig, fields: FieldSet,
             )
             engine = DataflowEngine(
                 graph, max_cycles=max_cycles_per_chunk, mode=mode,
-                fault_plan=fault_plan, watchdog=watchdog,
+                batched=batched, fault_plan=fault_plan, watchdog=watchdog,
                 tracer=tracer, metrics=metrics,
             )
             try:

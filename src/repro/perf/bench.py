@@ -26,7 +26,10 @@ from repro.errors import ConfigurationError
 __all__ = ["BenchRecord", "BenchSuite", "load_suite", "speedup"]
 
 #: Format version of the JSON files; bump on incompatible change.
-SCHEMA_VERSION = 1
+#: v2: the dataflow suite's baseline became the forced-scalar exact run
+#: and the single ``speedup`` context key split into ``speedup_fast``
+#: and ``speedup_batched_exact``.
+SCHEMA_VERSION = 2
 
 
 @dataclass

@@ -2,12 +2,14 @@
 
 The analytic tier prices a candidate with the closed-form
 :class:`~repro.kernel.cycle_model.KernelCycleModel`.  This tier replays
-the top-K candidates through the cycle-accurate engine's fast-forward
-mode (``DataflowEngine(mode="fast")`` under
+the top-K candidates through the cycle-accurate engine's batched exact
+mode (``DataflowEngine(mode="exact", batched=True)`` under
 :func:`~repro.kernel.simulate.simulate_kernel`) and records the
 analytic-versus-measured cycle error, so a tuning report carries its own
 error bars — if a model change ever breaks the closed form, the tuner
-is the first place it shows.
+is the first place it shows.  Batched exact costs about the same wall
+time as the old fast mode on proxy grids but reports the bit-exact
+stall/stats profile, not just matching cycle counts.
 
 Simulation cost scales with cells, so candidates are measured on a
 *proxy grid*: the tuned chunk geometry is preserved exactly (NY is never
@@ -80,12 +82,12 @@ def proxy_grid(grid: Grid, point: TunePoint) -> Grid:
 
 def measure_one(evaluation: Evaluation, grid: Grid, *, seed: int,
                 clock_hz: float) -> MeasuredResult:
-    """Fast-forward-simulate one candidate on its proxy grid."""
+    """Simulate one candidate on its proxy grid (batched exact mode)."""
     point = evaluation.point
     proxy = proxy_grid(grid, point)
     config = point.config(proxy)
     fields = random_wind(proxy, seed=seed)
-    result = simulate_kernel(config, fields, mode="fast")
+    result = simulate_kernel(config, fields, mode="exact", batched=True)
     analytic = KernelCycleModel(config).cycles()
     static = static_kernel_cycles(config)
     measured = result.total_cycles

@@ -1,0 +1,194 @@
+"""Units for the batched-execution compiler (:mod:`repro.dataflow.compiled`).
+
+The compiled plan must agree with the schedule DP on levels and timing,
+expose the live control state as correctly aligned NumPy vectors, attach
+static period hints exactly when the occupancy prover applies, and the
+event calendar must bound windows at monitor samples, freeze boundaries
+and previewed fault strikes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.compiled import (
+    EventCalendar,
+    compile_graph,
+    period_deltas,
+)
+from repro.dataflow.engine import DataflowEngine
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.stage import FunctionStage, SinkStage, SourceStage
+from repro.faults import FaultPlan, FaultSpec
+
+
+def pipeline(n_items=50, *, depth=4):
+    g = DataflowGraph("p")
+    src = g.add(SourceStage("src", range(n_items)))
+    fn = g.add(FunctionStage("fn", lambda x: x + 1, latency=4))
+    sink = g.add(SinkStage("sink"))
+    g.connect(src, "out", fn, "in", depth=depth)
+    g.connect(fn, "out", sink, "in", depth=depth)
+    return g
+
+
+class TestCompileGraph:
+    def test_levels_follow_the_schedule_dp(self):
+        from repro.analyze.schedule import start_cycles
+
+        g = pipeline()
+        compiled = compile_graph(g)
+        timing = start_cycles(g)
+        assert compiled.timing == timing
+        for level_no, names in enumerate(compiled.levels):
+            for name in names:
+                assert timing[name][0] == level_no
+        # Every stage appears exactly once across the levels.
+        flat = [n for level in compiled.levels for n in level]
+        assert sorted(flat) == sorted(s.name for s in g.stages)
+
+    def test_vectors_align_with_order_and_streams(self):
+        g = pipeline(depth=6)
+        compiled = compile_graph(g)
+        assert [s.name for s in compiled.order] \
+            == [s.name for s in g.topological_order()]
+        for name, i in compiled.stage_index.items():
+            stage = g.stage(name)
+            assert compiled.ii[i] == stage.ii
+            assert compiled.latency[i] == stage.latency
+        for name, i in compiled.stream_index.items():
+            assert compiled.depths[i] == g.stream(name).depth
+        assert compiled.depths.dtype == np.int64
+
+    def test_control_state_tracks_the_live_machine(self):
+        g = pipeline()
+        compiled = compile_graph(g)
+        assert (compiled.occupancy() == 0).all()
+        assert (compiled.credits() == compiled.depths).all()
+        assert (compiled.pipeline_fill() == 0).all()
+        # Tick a few cycles: the vectors follow the machine.
+        for cycle in range(5):
+            for stage in compiled.order:
+                stage.tick(cycle)
+        state = compiled.control_state()
+        assert (state["occupancy"]
+                == [s.occupancy for s in compiled.streams]).all()
+        assert (state["credits"] + state["occupancy"]
+                == compiled.depths).all()
+        assert (state["pipeline_fill"]
+                == [s.in_flight for s in compiled.order]).all()
+
+    def test_unit_rate_pipeline_gets_a_static_hint(self):
+        compiled = compile_graph(pipeline())
+        assert compiled.unit_rate
+        assert compiled.period_hint is not None and compiled.period_hint > 0
+        assert compiled.stall_free is not None
+        assert compiled.min_safe_depths is not None
+
+    def test_non_unit_rate_stage_withholds_the_hint(self):
+        g = pipeline()
+        g.stage("fn").unit_rate = False
+        compiled = compile_graph(g)
+        assert not compiled.unit_rate
+        assert compiled.period_hint is None
+        assert compiled.stall_free is None
+
+    def test_analyze_false_skips_the_prover(self):
+        compiled = compile_graph(pipeline(), analyze=False)
+        assert compiled.unit_rate
+        assert compiled.period_hint is None
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        compiled = compile_graph(pipeline())
+        payload = compiled.describe()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["stages"] == 3
+        assert payload["levels"][0] == ["src"]
+
+    def test_static_hint_matches_the_engine_probe_period(self):
+        # The proved horizon is a real recurrence: an engine run seeded
+        # with it must batch on the very first probe.
+        g = pipeline(300)
+        hint = compile_graph(g).period_hint
+        stats = DataflowEngine(pipeline(300), mode="exact",
+                               batched=True).run()
+        assert stats.batched_windows >= 1
+        assert hint is not None
+        # The committed window is a whole number of proved periods.
+        assert stats.batched_cycles % hint == 0
+
+
+class TestEventCalendar:
+    def test_monitor_strides_cap_the_window(self):
+        cal = EventCalendar(monitors=[(64, 0)])
+        # Starting right after a sample, the next one is 64 cycles out.
+        assert cal.cap_cycles(1) == 63
+        assert cal.cap_cycles(64) == 0
+        cal2 = EventCalendar(monitors=[(64, 0), (48, 5)])
+        assert cal2.cap_cycles(10) == min((0 - 10) % 64, (5 - 10) % 48)
+
+    def test_every_cycle_monitors_are_dropped_by_construction(self):
+        cal = EventCalendar(monitors=[(1, 0)])
+        assert cal.monitors == []
+        assert cal.cap_cycles(7) is None
+
+    def test_freeze_boundaries_cap_the_window(self):
+        cal = EventCalendar(freeze={"fn": (40, 70)})
+        assert cal.boundaries == (40, 70)
+        assert cal.cap_cycles(10) == 30
+        assert cal.cap_cycles(41) == 29
+        assert cal.cap_cycles(71) is None
+
+    def test_unbounded_without_events(self):
+        assert EventCalendar().cap_cycles(123) is None
+
+    def test_cap_periods_rounds_down_to_whole_periods(self):
+        cal = EventCalendar(monitors=[(100, 99)])
+        # 99 cycles free from cycle 0, period 10 -> 9 whole periods.
+        assert cal.cap_periods(0, 10, 50, ()) == 9
+
+    def test_fault_preview_caps_at_the_strike_free_prefix(self):
+        plan = FaultPlan([FaultSpec(site="fifo", kind="drop", match="s",
+                                    probability=1.0, count=None)])
+        cal = EventCalendar(plan=plan, hooked=("s",))
+        # Every push strikes: zero safe periods at one push per period.
+        assert cal.cap_periods(0, 10, 5, [("s", 1)]) == 0
+
+    def test_commit_advances_the_occurrence_counters(self):
+        plan = FaultPlan([FaultSpec(site="fifo", kind="drop", match="s",
+                                    probability=0.5, count=None)], seed=1)
+        scalar = FaultPlan([FaultSpec(site="fifo", kind="drop", match="s",
+                                      probability=0.5, count=None)], seed=1)
+        cal = EventCalendar(plan=plan, hooked=("s",))
+        cal.commit(6, [("s", 2)])  # 12 pushes skipped
+        for _ in range(12):
+            scalar.draw("fifo", "s")
+        # After identical counter advances, future previews agree.
+        assert plan.fifo_strike_within("s", 40) \
+            == scalar.fifo_strike_within("s", 40)
+
+
+class TestPeriodDeltas:
+    def test_deltas_measure_counter_movement(self):
+        g = pipeline()
+        compiled = compile_graph(g)
+        snap_stage = tuple(
+            (s.stats.fires, s.stats.retired, s.stats.input_stalls,
+             s.stats.output_stalls, s.stats.ii_waits,
+             s.stats.pipeline_full_stalls) for s in compiled.order)
+        snap_stream = tuple(
+            (s.stats.pushes, s.stats.pops, s.stats.full_stalls,
+             s.stats.empty_stalls) for s in compiled.streams)
+        for cycle in range(10):
+            for stage in compiled.order:
+                stage.tick(cycle)
+        d_stage, d_stream = period_deltas(
+            compiled.order, compiled.streams, (snap_stage, snap_stream))
+        assert d_stage.shape == (3, 6)
+        assert d_stream.shape == (2, 4)
+        src_row = compiled.stage_index["src"]
+        assert d_stage[src_row, 0] == compiled.order[src_row].stats.fires
+        for name, i in compiled.stream_index.items():
+            assert d_stream[i, 0] == g.stream(name).stats.pushes
+            assert d_stream[i, 1] == g.stream(name).stats.pops
