@@ -41,6 +41,13 @@ Commands
     depth, precision, memory space and host schedule; prints the best
     deployment and the (GFLOPS, utilisation, watts) Pareto front, with
     optional simulation-backed refinement of the top candidates.
+``serve [--fleet 2xu280+1xstratix10] [--jobs 24] [--rate 300] [--chaos]``
+    Advection-as-a-service fleet scheduler under a seeded Poisson load:
+    admission-priced jobs, exact->fast degradation, per-device circuit
+    breakers, and device-loss resharding with bit-identical results;
+    ``--chaos`` injects device/transfer faults, ``--trace`` writes the
+    per-lane Perfetto timeline (non-zero exit if a chaos leg breaks the
+    bit-identity-or-typed-error invariant).
 """
 
 from __future__ import annotations
@@ -288,6 +295,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--expect-kernels", type=int, default=None,
                         help="non-zero exit unless the best point uses "
                              "exactly this many replicas (CI anchor)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="fault-tolerant fleet scheduler under a seeded Poisson load",
+    )
+    p_serve.add_argument("--fleet", default=None, metavar="SPEC",
+                         help="fleet spec like 2xu280+1xstratix10+cpu "
+                              "(default 2xu280+1xstratix10)")
+    p_serve.add_argument("--jobs", type=int, default=24,
+                         help="jobs in the offered load (default 24)")
+    p_serve.add_argument("--rate", type=float, default=300.0,
+                         help="mean arrivals per modelled second")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="load seed (arrivals, tenants, tier mix)")
+    p_serve.add_argument("--nx", type=int, default=8)
+    p_serve.add_argument("--ny", type=int, default=9)
+    p_serve.add_argument("--nz", type=int, default=8)
+    p_serve.add_argument("--exact-fraction", type=float, default=0.25,
+                         help="fraction of jobs requesting the exact tier")
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-job deadline in modelled milliseconds")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="inject device-loss/blip and transfer faults")
+    p_serve.add_argument("--chaos-seed", type=int, default=0,
+                         help="fault-plan seed for --chaos")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit the full serve report as JSON")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="write the per-lane fleet Perfetto JSON")
+    p_serve.add_argument("--metrics", action="store_true",
+                         help="also print the per-tenant metric registry")
     return parser
 
 
@@ -799,6 +837,78 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json as json_module
+
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.observe import MetricRegistry, Tracer, write_trace
+    from repro.serve import (DEFAULT_FLEET_SPEC, Fleet, FleetScheduler,
+                             PoissonLoad, run_load)
+
+    fleet_spec = args.fleet or DEFAULT_FLEET_SPEC
+    load = PoissonLoad(
+        jobs=args.jobs, rate_hz=args.rate, seed=args.seed,
+        nx=args.nx, ny=args.ny, nz=args.nz,
+        exact_fraction=args.exact_fraction,
+        deadline_seconds=(None if args.deadline_ms is None
+                          else args.deadline_ms * 1e-3),
+    )
+
+    fault_plan = None
+    if args.chaos:
+        lanes = Fleet.from_spec(fleet_spec).lanes
+        first = lanes[0].name
+        fault_plan = FaultPlan([
+            FaultSpec("device", "loss", match=first, probability=0.5,
+                      count=1),
+            FaultSpec("device", "blip", match="*", probability=0.1,
+                      count=1, seconds=0.01),
+            FaultSpec("transfer", "fail", match="*h2d*", probability=0.05,
+                      count=4),
+        ], seed=args.chaos_seed)
+
+    tracer = Tracer() if args.trace else None
+    metrics = MetricRegistry() if args.metrics else None
+    scheduler = FleetScheduler(Fleet.from_spec(fleet_spec),
+                               fault_plan=fault_plan, tracer=tracer,
+                               metrics=metrics)
+    report = run_load(scheduler, load)
+
+    # Tri-state: None = no chaos leg ran, so there is nothing to attest.
+    invariant_ok: bool | None = True if args.chaos else None
+    if args.chaos:
+        golden = run_load(FleetScheduler(Fleet.from_spec(fleet_spec)), load)
+        golden_sums = {outcome.spec.job_id: outcome.result.checksum
+                       for outcome in golden.completed
+                       if outcome.result is not None}
+        for outcome in report.completed:
+            assert outcome.result is not None
+            expected = golden_sums.get(outcome.spec.job_id)
+            if expected is not None and outcome.result.checksum != expected:
+                invariant_ok = False
+                print(f"INVARIANT VIOLATION: job {outcome.spec.job_id} "
+                      "diverged from the fault-free fleet run",
+                      file=sys.stderr)
+
+    if args.json:
+        payload = report.to_dict()
+        payload["invariant_ok"] = invariant_ok
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(report.render_text())
+        if args.chaos:
+            verdict = "holds" if invariant_ok else "VIOLATED"
+            print(f"bit-identity-or-typed-error invariant: {verdict}")
+    if metrics is not None:
+        print()
+        print(metrics.render_text())
+    if tracer is not None and args.trace:
+        path = write_trace(args.trace, serve_tracer=tracer,
+                           process_name="serve")
+        print(f"fleet trace written to {path}")
+    return 0 if invariant_ok is not False else 1
+
+
 def _cmd_scorecard(args) -> int:
     from repro.experiments.summary import (
         build_scorecard,
@@ -842,6 +952,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_metrics(args)
         if args.command == "tune":
             return _cmd_tune(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "report":
             from repro.experiments.markdown_report import main as report_main
 

@@ -13,10 +13,13 @@ fails/stalls/hangs through the schedule simulator, FIFO word corruption
 and loss through the dataflow engine (with chunk-seam checkpoint
 recovery), permanent stage freezes caught by the cycle watchdog, kernel
 replica slow-downs and kills (quarantine + rescheduling onto survivors),
-and rank drops in the distributed driver (respawn under the retry
-policy).  Each scenario is executed twice with the same seed and must
-reproduce the identical fault trace and outcome — the determinism half
-of the contract.
+rank drops in the distributed driver (respawn under the retry
+policy), and whole-device losses/blips under the serving fleet
+(in-flight jobs reshard to surviving lanes and must complete
+bit-identical to a fault-free fleet run of the same offered load).
+Each scenario is executed twice with the same seed and must reproduce
+the identical fault trace and outcome — the determinism half of the
+contract.
 
 Timing-only families (``transfer-*``) have no numerical product; for
 them "completes" means the schedule finishes inside its watchdog budget.
@@ -46,6 +49,8 @@ CHAOS_FAMILIES: tuple[str, ...] = (
     "replica-kill",
     "replica-slow",
     "rank-drop",
+    "device-loss",
+    "device-blip",
 )
 
 #: Families quick enough for the CI smoke sweep (one engine run each).
@@ -56,6 +61,7 @@ SMOKE_FAMILIES: tuple[str, ...] = (
     "fifo-drop",
     "replica-kill",
     "rank-drop",
+    "device-loss",
 )
 
 #: Generous per-engine-run cycle budget for the tiny chaos grids.
@@ -76,6 +82,10 @@ class ChaosOutcome:
     events: int
     ok: bool
     detail: str = ""
+    #: why the batched exact engine fell back to per-cycle ticking for
+    #: this scenario's run, if it did (see
+    #: :attr:`repro.dataflow.engine.RunStats.batch_fallback_reason`).
+    batch_fallback_reason: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -86,6 +96,7 @@ class ChaosOutcome:
             "events": self.events,
             "ok": self.ok,
             "detail": self.detail,
+            "batch_fallback_reason": self.batch_fallback_reason,
         }
 
 
@@ -119,6 +130,8 @@ class ChaosReport:
                 what += f"[{outcome.error}]"
             line = (f"{verdict} {outcome.family:>16} seed={outcome.seed}  "
                     f"{what}  ({outcome.events} faults)")
+            if outcome.batch_fallback_reason:
+                line += f"  fallback={outcome.batch_fallback_reason}"
             if outcome.detail:
                 line += f"  {outcome.detail}"
             lines.append(line)
@@ -164,17 +177,33 @@ def _specs_for(family: str) -> list[FaultSpec]:
     if family == "rank-drop":
         return [FaultSpec("rank", "drop", match="*",
                           probability=0.3, count=2)]
+    if family == "device-loss":
+        # Kill one named fleet lane permanently, mid-job; pair it with
+        # background transfer faults so breaker evidence accumulates on
+        # a survivor too.
+        return [FaultSpec("device", "loss", match="u280-0",
+                          probability=0.5, count=1),
+                FaultSpec("transfer", "fail", match="u280-1:h2d*",
+                          probability=0.1, count=2)]
+    if family == "device-blip":
+        # Transient downtime on any lane: breakers must re-admit via
+        # the half-open probe once the blip elapses.
+        return [FaultSpec("device", "blip", match="*",
+                          probability=0.3, count=2, seconds=0.01)]
     raise ConfigurationError(
         f"unknown chaos family {family!r}; known: {list(CHAOS_FAMILIES)}"
     )
 
 
 def _run_once(family: str, seed: int, nx: int, ny: int,
-              nz: int) -> tuple[str, str | None, tuple, str]:
+              nz: int) -> tuple[str, str | None, tuple, str, str | None]:
     """One scenario execution.
 
-    Returns ``(status, error_name, trace_key, detail)`` where ``status``
-    is ``identical``/``completed``/``error``/``silent-corruption``.
+    Returns ``(status, error_name, trace_key, detail, fallback)`` where
+    ``status`` is ``identical``/``completed``/``error``/
+    ``silent-corruption`` and ``fallback`` is the batched engine's
+    :attr:`~repro.dataflow.engine.RunStats.batch_fallback_reason` (when
+    the scenario ran the exact engine and it fell back).
     """
     from repro.core.grid import Grid
     from repro.core.reference import advect_reference
@@ -182,6 +211,9 @@ def _run_once(family: str, seed: int, nx: int, ny: int,
 
     plan = FaultPlan(_specs_for(family), seed=seed)
     retry = RetryPolicy(max_attempts=4)
+
+    if family.startswith("device"):
+        return _run_fleet_once(family, plan, retry, seed, nx, ny, nz)
 
     if family.startswith("transfer"):
         from repro.hardware.pcie import PCIeLink
@@ -201,15 +233,17 @@ def _run_once(family: str, seed: int, nx: int, ny: int,
             result = simulate_schedule(build(), fault_plan=plan, retry=retry,
                                        watchdog_seconds=budget)
         except ReproError as error:
-            return "error", type(error).__name__, plan.trace_key(), ""
+            return "error", type(error).__name__, plan.trace_key(), "", None
         if result.makespan > budget:
             return ("watchdog-breach", None, plan.trace_key(),
-                    f"makespan {result.makespan:.4g}s past {budget:.4g}s")
-        return "completed", None, plan.trace_key(), ""
+                    f"makespan {result.makespan:.4g}s past {budget:.4g}s",
+                    None)
+        return "completed", None, plan.trace_key(), "", None
 
     grid = Grid(nx=nx, ny=ny, nz=nz)
     fields = random_wind(grid, seed=seed, magnitude=2.0)
     golden_sources = advect_reference(fields)
+    fallback: str | None = None
 
     try:
         if family.startswith("replica"):
@@ -238,14 +272,66 @@ def _run_once(family: str, seed: int, nx: int, ny: int,
                                      retry=retry,
                                      watchdog=_WATCHDOG_CYCLES)
             sources = result.sources
+            fallback = result.aggregate_stats().batch_fallback_reason
     except ReproError as error:
-        return "error", type(error).__name__, plan.trace_key(), ""
+        return "error", type(error).__name__, plan.trace_key(), "", None
 
     diff = sources.max_abs_difference(golden_sources)
     if diff != 0.0:
         return ("silent-corruption", None, plan.trace_key(),
-                f"max abs difference {diff:g} vs golden")
-    return "identical", None, plan.trace_key(), ""
+                f"max abs difference {diff:g} vs golden", fallback)
+    return "identical", None, plan.trace_key(), "", fallback
+
+
+def _run_fleet_once(family: str, plan: FaultPlan, retry: RetryPolicy,
+                    seed: int, nx: int, ny: int, nz: int,
+                    ) -> tuple[str, str | None, tuple, str, str | None]:
+    """One fleet scenario: chaos leg vs fault-free golden leg.
+
+    The same seeded Poisson load is offered twice — once to a fleet
+    under the device fault plan, once to a pristine fleet — and every
+    job that completed in both legs must carry the same checksum.  Jobs
+    the chaos leg failed must have failed *typed* (the scheduler's
+    driver converts only :class:`~repro.errors.ReproError` into
+    outcomes; anything else propagates out of this function as a
+    harness error).
+    """
+    from repro.serve import Fleet, FleetScheduler, PoissonLoad, run_load
+
+    load = PoissonLoad(jobs=8, rate_hz=400.0, seed=seed, nx=nx, ny=ny,
+                       nz=nz, exact_fraction=0.25, distinct_inputs=4)
+
+    def one_leg(fault_plan: FaultPlan | None):
+        fleet = Fleet.from_spec("2xu280+1xstratix10")
+        scheduler = FleetScheduler(fleet, fault_plan=fault_plan,
+                                   retry=retry)
+        return run_load(scheduler, load)
+
+    try:
+        chaos_report = one_leg(plan)
+    except ReproError as error:
+        return "error", type(error).__name__, plan.trace_key(), "", None
+    golden_report = one_leg(None)
+    golden = {outcome.spec.job_id: outcome.result.checksum
+              for outcome in golden_report.completed
+              if outcome.result is not None}
+    for outcome in chaos_report.completed:
+        assert outcome.result is not None
+        expected = golden.get(outcome.spec.job_id)
+        if expected is not None and outcome.result.checksum != expected:
+            return ("silent-corruption", None, plan.trace_key(),
+                    f"job {outcome.spec.job_id} diverged from the "
+                    "fault-free fleet run", None)
+    counters = chaos_report.counters()
+    detail = (f"{len(chaos_report.completed)}/"
+              f"{len(chaos_report.outcomes)} jobs, "
+              f"{counters['reshards']} reshards, "
+              f"{counters['redrives']} redrives")
+    errors = chaos_report.error_counts()
+    if errors:
+        detail += ", typed: " + ",".join(
+            f"{name} x{count}" for name, count in errors.items())
+    return "identical", None, plan.trace_key(), detail, None
 
 
 def run_chaos(*, families: tuple[str, ...] | list[str] | None = None,
@@ -268,7 +354,7 @@ def run_chaos(*, families: tuple[str, ...] | list[str] | None = None,
         for seed in range(seed_base, seed_base + seeds):
             first = _run_once(family, seed, nx, ny, nz)
             second = _run_once(family, seed, nx, ny, nz)
-            status, error, trace, detail = first
+            status, error, trace, detail, fallback = first
             events = len(trace)
             if first != second:
                 report.outcomes.append(ChaosOutcome(
@@ -279,5 +365,6 @@ def run_chaos(*, families: tuple[str, ...] | list[str] | None = None,
             ok = status in ("identical", "completed", "error")
             report.outcomes.append(ChaosOutcome(
                 family=family, seed=seed, status=status, error=error,
-                events=events, ok=ok, detail=detail))
+                events=events, ok=ok, detail=detail,
+                batch_fallback_reason=fallback))
     return report

@@ -11,6 +11,7 @@ fifo      word pushed into a matching dataflow stream    ``corrupt``, ``drop``
 stage     engine run, per matching stage                 ``freeze``
 replica   (kernel replica, chunk) seam                   ``slow``, ``kill``
 rank      rank compute in the distributed driver         ``drop``
+device    job dispatched to a fleet device lane          ``loss``, ``blip``
 ========  =============================================  ==================
 
 Whether a spec fires at an opportunity is a pure function of
@@ -45,6 +46,7 @@ SITE_KINDS: dict[str, frozenset[str]] = {
     "stage": frozenset({"freeze"}),
     "replica": frozenset({"slow", "kill"}),
     "rank": frozenset({"drop"}),
+    "device": frozenset({"loss", "blip"}),
 }
 
 
@@ -67,9 +69,11 @@ class FaultSpec:
     count:
         Total firings before the spec goes inert (``None`` = persistent).
     seconds:
-        ``transfer``/``stall`` only: extra modelled seconds the transfer
+        ``transfer``/``stall``: extra modelled seconds the transfer
         hangs for; ``None`` means it never completes (the schedule
-        watchdog fires instead).
+        watchdog fires instead).  ``device``/``blip``: modelled seconds
+        the lane stays down before a half-open probe can succeed
+        (``None`` lets the fleet scheduler apply its default downtime).
     cycles:
         ``stage``/``freeze`` only: cycles the stage stays frozen
         (``None`` = forever, surfacing as a deadlock or watchdog trip).
@@ -310,3 +314,14 @@ class FaultPlan:
     def rank_fault(self, rank: int) -> FaultSpec | None:
         """The fault striking ``rank``'s compute this attempt, if any."""
         return self.draw("rank", f"rank{rank}")
+
+    def device_fault(self, lane: str) -> FaultSpec | None:
+        """The fault striking device lane ``lane`` at this dispatch, if any.
+
+        One opportunity per job dispatched to the lane: a ``loss`` kills
+        the lane permanently (its circuit breaker opens and half-open
+        probes keep failing), a ``blip`` takes it down for
+        ``spec.seconds`` of modelled time after which a probe re-admits
+        it.  In-flight work reshards to the surviving lanes either way.
+        """
+        return self.draw("device", lane)

@@ -11,12 +11,22 @@ hash of ``(seed, attempt)``, so two runs with the same policy produce identical
 backoff sequences — a requirement of the chaos harness's reproducible
 fault traces (plain ``random`` jitter would make retry timing differ
 between the run and its golden replay).
+
+One policy object is frequently shared by many *concurrent* jobs (the
+fleet scheduler hands every admitted job the same budget).  Sharing the
+policy must not share the jitter stream: if two interleaved jobs drew
+from one ``(seed, attempt)`` sequence, the per-job backoff trace would
+depend on interleaving order and identical seeds would stop reproducing
+identical per-job traces.  :meth:`RetryPolicy.for_job` derives an
+independently keyed stream per job — ``seed XOR blake2b(job id)`` — so
+each job's delays are a pure function of ``(policy seed, job id,
+failure index)``, whatever the other jobs are doing.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigurationError, FaultError, RetryExhaustedError
@@ -81,6 +91,19 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"max_delay must be >= 0, got {self.max_delay}"
             )
+
+    def for_job(self, job_id: str) -> "RetryPolicy":
+        """This policy with a jitter stream keyed to one job.
+
+        The derived seed is ``seed XOR blake2b(job_id)``, so concurrent
+        jobs sharing one policy object draw from independent
+        deterministic streams: job A's delays do not move when job B
+        retries in between, and re-running the same job id under the
+        same policy seed replays the identical backoff trace.
+        """
+        digest = hashlib.blake2b(str(job_id).encode(),
+                                 digest_size=8).digest()
+        return replace(self, seed=self.seed ^ int.from_bytes(digest, "big"))
 
     def delay(self, failure_index: int) -> float:
         """Modelled seconds to wait after the ``failure_index``-th failure."""

@@ -9,7 +9,11 @@ carrying every timeline the stack produces:
   kernel clock when one is given);
 * the **host process** — the command-queue schedule's transfer/compute
   events, re-using :func:`repro.runtime.trace_export.to_trace_events`
-  so ``repro run --trace`` and ``repro trace`` emit identical shapes.
+  so ``repro run --trace`` and ``repro trace`` emit identical shapes;
+* the **fleet process** — the serving layer's job spans, one row per
+  device lane (plus the admission queue), on the scheduler's
+  modelled-seconds clock: job occupancy, device-loss/blip markers,
+  reshard and half-open-probe instants.
 
 Tracks map to Chrome thread rows: every span/instant/counter naming the
 same track shares one row, and rows keep first-recorded order.
@@ -27,12 +31,15 @@ from repro.observe.trace import Tracer
 if TYPE_CHECKING:
     from repro.runtime.simulator import ScheduleResult
 
-__all__ = ["tracer_to_events", "build_trace", "write_trace"]
+__all__ = ["tracer_to_events", "build_trace", "write_trace", "ENGINE_PID",
+           "SCHEDULE_PID", "SERVE_PID"]
 
 #: pid of the engine (cycle-clock) process in the merged trace.
 ENGINE_PID = 1
 #: pid of the host-schedule (seconds-clock) process.
 SCHEDULE_PID = 2
+#: pid of the serving fleet (modelled-seconds clock), one row per lane.
+SERVE_PID = 3
 
 
 def tracer_to_events(tracer: Tracer, *, pid: int = ENGINE_PID,
@@ -97,17 +104,21 @@ def tracer_to_events(tracer: Tracer, *, pid: int = ENGINE_PID,
 
 def build_trace(tracer: Tracer | None = None,
                 schedule: "ScheduleResult | None" = None, *,
+                serve_tracer: Tracer | None = None,
                 process_name: str = "advection",
                 cycle_time_us: float = 1.0) -> dict[str, Any]:
-    """Merge a tracer and/or a schedule into one Chrome trace payload.
+    """Merge tracers and/or a schedule into one Chrome trace payload.
 
     The engine's spans land in pid 1 on the (scaled) cycle clock, the
-    schedule's transfer/compute events in pid 2 on modelled seconds; each
-    process keeps its own track rows, all in a single file.
+    schedule's transfer/compute events in pid 2 on modelled seconds, and
+    a fleet scheduler's ``serve_tracer`` in pid 3 with its
+    modelled-seconds records scaled to microseconds — one thread row per
+    device lane, so device loss, resharding and breaker probes line up
+    against the jobs they displaced.
     """
-    if tracer is None and schedule is None:
+    if tracer is None and schedule is None and serve_tracer is None:
         raise ConfigurationError(
-            "build_trace needs a tracer, a schedule, or both"
+            "build_trace needs a tracer, a schedule, or a serve tracer"
         )
     events: list[dict[str, Any]] = []
     if tracer is not None:
@@ -120,16 +131,23 @@ def build_trace(tracer: Tracer | None = None,
         events.extend(to_trace_events(
             schedule, process_name=f"{process_name} [host]",
             pid=SCHEDULE_PID))
+    if serve_tracer is not None:
+        events.extend(tracer_to_events(
+            serve_tracer, pid=SERVE_PID,
+            process_name=f"{process_name} [fleet]",
+            time_scale_us=1e6))  # modelled seconds -> microseconds
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_trace(path: str | pathlib.Path, tracer: Tracer | None = None,
                 schedule: "ScheduleResult | None" = None, *,
+                serve_tracer: Tracer | None = None,
                 process_name: str = "advection",
                 cycle_time_us: float = 1.0) -> pathlib.Path:
     """Write the merged trace JSON; returns the path written."""
     path = pathlib.Path(path)
-    payload = build_trace(tracer, schedule, process_name=process_name,
+    payload = build_trace(tracer, schedule, serve_tracer=serve_tracer,
+                          process_name=process_name,
                           cycle_time_us=cycle_time_us)
     path.write_text(json.dumps(payload))
     return path

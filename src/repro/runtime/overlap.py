@@ -40,23 +40,28 @@ class ChunkWork:
 
 def build_sequential_schedule(in_bytes: float, out_bytes: float,
                               kernel_seconds: float,
-                              pcie: PCIeLink) -> CommandQueue:
+                              pcie: PCIeLink, *,
+                              name_prefix: str = "") -> CommandQueue:
     """Whole-problem write -> execute -> read with synchronisation.
 
     Every step waits on the previous one and the two transfers share one
     link resource: nothing overlaps, matching how the paper measured
-    Fig. 5.
+    Fig. 5.  ``name_prefix`` is prepended to every command name so
+    multi-device callers (the fleet scheduler) get per-lane
+    fault-injection namespaces ("u280-0:h2d[all]").
     """
-    queue = CommandQueue("sequential")
+    queue = CommandQueue(f"{name_prefix}sequential")
     ev_in = queue.enqueue_write(
-        "h2d[all]", pcie.transfer_time(in_bytes, streamed=False),
+        f"{name_prefix}h2d[all]",
+        pcie.transfer_time(in_bytes, streamed=False),
         resource="pcie",
     )
     ev_k = queue.enqueue_kernel(
-        "kernel[all]", kernel_seconds, wait_for=[ev_in],
+        f"{name_prefix}kernel[all]", kernel_seconds, wait_for=[ev_in],
     )
     queue.enqueue_read(
-        "d2h[all]", pcie.transfer_time(out_bytes, streamed=False),
+        f"{name_prefix}d2h[all]",
+        pcie.transfer_time(out_bytes, streamed=False),
         wait_for=[ev_k], resource="pcie",
     )
     return queue
@@ -64,7 +69,8 @@ def build_sequential_schedule(in_bytes: float, out_bytes: float,
 
 def build_overlapped_schedule(chunks: list[ChunkWork],
                               pcie: PCIeLink, *,
-                              kernel_banks: int = 1) -> CommandQueue:
+                              kernel_banks: int = 1,
+                              name_prefix: str = "") -> CommandQueue:
     """Chunked, event-chained schedule that overlaps transfer and compute.
 
     Dependencies per chunk ``i``:
@@ -82,6 +88,11 @@ def build_overlapped_schedule(chunks: list[ChunkWork],
     bank resources (``kernel0`` .. ``kernel{N-1}``), so chunk executions
     themselves overlap — the multi-kernel device regime.  The default of
     one bank keeps the single serial ``kernel`` resource.
+
+    ``name_prefix`` is prepended to every command name (and the queue
+    name), giving each fleet lane a private fault-injection namespace so
+    a ``transfer`` spec can target one device ("u280-0:*") without
+    striking its siblings.
     """
     if not chunks:
         raise ScheduleError("overlapped schedule needs at least one chunk")
@@ -89,23 +100,23 @@ def build_overlapped_schedule(chunks: list[ChunkWork],
         raise ScheduleError(
             f"kernel_banks must be >= 1, got {kernel_banks}"
         )
-    queue = CommandQueue("overlapped")
+    queue = CommandQueue(f"{name_prefix}overlapped")
     h2d_res = "pcie_h2d"
     d2h_res = "pcie_d2h" if pcie.duplex else "pcie_h2d"
     for chunk in chunks:
         ev_in = queue.enqueue_write(
-            f"h2d[{chunk.index}]",
+            f"{name_prefix}h2d[{chunk.index}]",
             pcie.transfer_time(chunk.in_bytes, streamed=True),
             resource=h2d_res,
         )
         kernel_res = ("kernel" if kernel_banks == 1
                       else f"kernel{chunk.index % kernel_banks}")
         ev_k = queue.enqueue_kernel(
-            f"kernel[{chunk.index}]", chunk.kernel_seconds,
+            f"{name_prefix}kernel[{chunk.index}]", chunk.kernel_seconds,
             wait_for=[ev_in], resource=kernel_res,
         )
         queue.enqueue_read(
-            f"d2h[{chunk.index}]",
+            f"{name_prefix}d2h[{chunk.index}]",
             pcie.transfer_time(chunk.out_bytes, streamed=True),
             wait_for=[ev_k], resource=d2h_res,
         )

@@ -142,6 +142,33 @@ class AdvectionSession:
             return self.device.kernel_time(chunk_grid)
         raise ConfigurationError("CPU has no kernel-invocation path")
 
+    def chunk_work(self, grid: Grid, *, out_scale: float = 1.0) -> list[ChunkWork]:
+        """The overlapped schedule's per-chunk work items for ``grid``.
+
+        ``out_scale`` multiplies each chunk's device-to-host bytes; the
+        serving layer uses it to price exact-mode runs, whose result
+        readback carries cycle-level telemetry alongside the sources
+        (data movement is the dominant cost, so the factor is applied to
+        the D2H payload rather than as an opaque latency).
+        """
+        if out_scale <= 0:
+            raise ConfigurationError(
+                f"out_scale must be positive, got {out_scale}"
+            )
+        memory = self.memory_for(grid)
+        chunks = []
+        for index, cg in enumerate(self._x_chunk_grids(grid)):
+            # Each X chunk re-reads a one-cell halo plane on each side.
+            in_cells = (cg.nx + 2) * cg.ny * cg.nz
+            chunks.append(ChunkWork(
+                index=index,
+                in_bytes=self.config.in_bytes_per_cell * in_cells,
+                out_bytes=(self.config.out_bytes_per_cell * cg.num_cells
+                           * out_scale),
+                kernel_seconds=self._chunk_kernel_seconds(cg, memory),
+            ))
+        return chunks
+
     def run(self, grid: Grid, *, overlapped: bool,
             fault_plan: "FaultPlan | None" = None,
             retry: "RetryPolicy | None" = None,
@@ -178,18 +205,7 @@ class AdvectionSession:
         pcie = self.device.pcie
 
         if overlapped:
-            chunk_grids = self._x_chunk_grids(grid)
-            chunks = []
-            for index, cg in enumerate(chunk_grids):
-                # Each X chunk re-reads a one-cell halo plane on each side.
-                in_cells = (cg.nx + 2) * cg.ny * cg.nz
-                chunks.append(ChunkWork(
-                    index=index,
-                    in_bytes=self.config.in_bytes_per_cell * in_cells,
-                    out_bytes=self.config.out_bytes_per_cell * cg.num_cells,
-                    kernel_seconds=self._chunk_kernel_seconds(cg, memory),
-                ))
-            queue = build_overlapped_schedule(chunks, pcie)
+            queue = build_overlapped_schedule(self.chunk_work(grid), pcie)
         else:
             in_bytes = (self.config.in_bytes_per_cell
                         * (grid.nx + 2) * grid.ny * grid.nz)

@@ -1,0 +1,63 @@
+"""repro.serve: fault-tolerant advection-as-a-service fleet scheduling.
+
+The serving layer turns the repository's device models into a
+*simulated fleet* behind an asyncio scheduler: concurrent jobs are
+priced for admission with the :mod:`repro.tune` cost model, sharded
+across named device lanes, and answered bit-identically even while the
+fault plane (:mod:`repro.faults`) kills devices under them.  See
+:mod:`repro.serve.scheduler` for the job lifecycle,
+:mod:`repro.serve.breaker` for per-device circuit breaking,
+:mod:`repro.serve.admission` for the degrade-or-shed ladder,
+:mod:`repro.serve.clock` for deterministic virtual time, and
+``docs/serving.md`` for the architecture tour.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.breaker import BreakerState, BreakerTransition, CircuitBreaker
+from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.clock import VirtualClock, run_virtual
+from repro.serve.driver import (PoissonLoad, ServeReport, build_arrivals,
+                                percentile, run_load)
+from repro.serve.errors import (AdmissionError, DeadlineExceededError,
+                                FleetDownError, OverloadError,
+                                ReshardExhaustedError, SchedulerStallError,
+                                ServeError)
+from repro.serve.fleet import (DEFAULT_FLEET_SPEC, DeviceLane, Fleet,
+                               parse_fleet_spec)
+from repro.serve.job import (JobResult, JobSpec, checksum_sources,
+                             fingerprint_fields)
+from repro.serve.scheduler import FleetScheduler, JobOutcome
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "BreakerState",
+    "BreakerTransition",
+    "CacheEntry",
+    "CircuitBreaker",
+    "DEFAULT_FLEET_SPEC",
+    "DeadlineExceededError",
+    "DeviceLane",
+    "Fleet",
+    "FleetDownError",
+    "FleetScheduler",
+    "JobOutcome",
+    "JobResult",
+    "JobSpec",
+    "OverloadError",
+    "PoissonLoad",
+    "ReshardExhaustedError",
+    "ResultCache",
+    "SchedulerStallError",
+    "ServeError",
+    "ServeReport",
+    "VirtualClock",
+    "build_arrivals",
+    "checksum_sources",
+    "fingerprint_fields",
+    "parse_fleet_spec",
+    "percentile",
+    "run_load",
+    "run_virtual",
+]

@@ -1,0 +1,140 @@
+"""Per-device circuit breakers: CLOSED -> OPEN -> HALF_OPEN -> CLOSED.
+
+Each fleet lane carries one breaker.  Failure evidence comes from the
+fault plane: a device-loss/blip fault trips the breaker open instantly
+(:meth:`CircuitBreaker.force_open`); transfer faults accumulate — every
+PCIe redrive the lane's schedule performed counts one failure, and a
+*clean* job (zero redrives) resets the streak.  Crossing
+``failure_threshold`` consecutive failures opens the breaker.
+
+An open breaker takes the lane out of dispatch.  After
+``cooldown_seconds`` of modelled time the scheduler sends a half-open
+probe; a healthy probe closes the breaker and re-admits the lane, a
+failed probe re-opens it and restarts the cooldown.  Every transition
+is recorded with its modelled timestamp and reason, so the chaos gate
+can assert the exact recovery sequence (open -> half-open -> closed)
+and the report can print it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BreakerState", "BreakerTransition", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change of one lane's breaker."""
+
+    at: float
+    lane: str
+    frm: str
+    to: str
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"at": self.at, "lane": self.lane, "from": self.frm,
+                "to": self.to, "reason": self.reason}
+
+
+class CircuitBreaker:
+    """State machine guarding one device lane."""
+
+    def __init__(self, lane: str, *, failure_threshold: int = 3,
+                 cooldown_seconds: float = 0.005) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be positive, got {cooldown_seconds}"
+            )
+        self.lane = lane
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.transitions: list[BreakerTransition] = []
+
+    # -- transitions --------------------------------------------------------
+
+    def _move(self, now: float, to: BreakerState, reason: str) -> None:
+        self.transitions.append(BreakerTransition(
+            at=now, lane=self.lane, frm=self.state.value, to=to.value,
+            reason=reason,
+        ))
+        self.state = to
+        self.opened_at = now if to is BreakerState.OPEN else self.opened_at
+
+    def record_success(self, now: float) -> None:
+        """A clean service (or a healthy probe): reset the streak."""
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._move(now, BreakerState.CLOSED, "probe succeeded")
+
+    def record_failure(self, now: float, reason: str) -> None:
+        """One unit of failure evidence (a redrive, a typed error)."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._move(now, BreakerState.OPEN, f"probe failed: {reason}")
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_failures >= self.failure_threshold):
+            self._move(
+                now, BreakerState.OPEN,
+                f"{self.consecutive_failures} consecutive failures "
+                f"(last: {reason})",
+            )
+
+    def force_open(self, now: float, reason: str) -> None:
+        """Trip immediately (device loss/blip observed mid-job)."""
+        self.consecutive_failures = max(
+            self.consecutive_failures, self.failure_threshold
+        )
+        if self.state is not BreakerState.OPEN:
+            self._move(now, BreakerState.OPEN, reason)
+
+    # -- probing ------------------------------------------------------------
+
+    def probe_at(self) -> float:
+        """Modelled time the next half-open probe is due."""
+        if self.state is not BreakerState.OPEN or self.opened_at is None:
+            raise ConfigurationError(
+                f"lane {self.lane}: probe_at on a {self.state.value} breaker"
+            )
+        return self.opened_at + self.cooldown_seconds
+
+    def begin_probe(self, now: float) -> None:
+        """OPEN -> HALF_OPEN once the cooldown has elapsed."""
+        if self.state is not BreakerState.OPEN:
+            raise ConfigurationError(
+                f"lane {self.lane}: begin_probe on a {self.state.value} "
+                "breaker"
+            )
+        self._move(now, BreakerState.HALF_OPEN, "cooldown elapsed")
+
+    def allows_dispatch(self) -> bool:
+        """May the scheduler hand this lane a regular job?"""
+        return self.state is BreakerState.CLOSED
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "lane": self.lane,
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+            "transitions": [t.to_dict() for t in self.transitions],
+        }

@@ -1,0 +1,124 @@
+"""Deterministic virtual time for the asyncio fleet scheduler.
+
+The serving layer is concurrent (jobs arrive, queue, shard and complete
+while other jobs are in flight) but must stay *deterministic*: the chaos
+gate replays a faulted run twice and demands identical traces, and the
+bench records p99 latencies that cannot wobble with host load.  So the
+scheduler never sleeps on the wall clock.  :class:`VirtualClock` owns
+modelled time: ``await clock.sleep(dt)`` parks the coroutine on a heap
+of timers, and :func:`run_virtual` drives the loop — settle every
+runnable task, then pop the earliest timer and jump ``now`` straight to
+it.  A million modelled seconds costs the same wall time as one.
+
+The executor also closes the "never a hang" loophole: if no task is
+runnable and no timer is pending while the root coroutine is
+unfinished, real asyncio would block forever.  Here that state raises a
+typed :class:`~repro.serve.errors.SchedulerStallError` instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import heapq
+from typing import Any, Coroutine, TypeVar
+
+from repro.serve.errors import SchedulerStallError
+
+__all__ = ["VirtualClock", "run_virtual", "DRAIN_ROUNDS"]
+
+T = TypeVar("T")
+
+#: Rounds of ``asyncio.sleep(0)`` used to settle ready tasks between
+#: timer pops.  Each round lets every runnable task advance one step;
+#: the drain stops early once the loop reaches a fixpoint (no sleeper
+#: added, root not finished), so the constant is a safety bound on
+#: pathological wake chains, not a hot loop.
+DRAIN_ROUNDS: int = 64
+
+
+class VirtualClock:
+    """Modelled-seconds clock backed by a timer heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, asyncio.Future[None]]] = []
+        self._seq = 0
+
+    async def sleep(self, seconds: float) -> None:
+        """Suspend the calling task for ``seconds`` of modelled time.
+
+        ``seconds <= 0`` still yields once so peers scheduled at the
+        same instant interleave deterministically (heap order = FIFO of
+        registration).
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[None] = loop.create_future()
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + max(seconds, 0.0),
+                                    self._seq, future))
+        await future
+
+    def pending_timers(self) -> int:
+        """Timers (sleeping tasks) still registered."""
+        return sum(1 for _, _, fut in self._heap if not fut.cancelled())
+
+    def _advance(self) -> bool:
+        """Pop the earliest live timer, jump ``now`` to it, wake the task."""
+        while self._heap:
+            wake_at, _, future = heapq.heappop(self._heap)
+            if future.cancelled():
+                continue
+            self.now = max(self.now, wake_at)
+            future.set_result(None)
+            return True
+        return False
+
+
+async def _settle(root: "asyncio.Task[Any]") -> None:
+    """Run ready callbacks until the loop quiesces (bounded rounds)."""
+    for _ in range(DRAIN_ROUNDS):
+        if root.done():
+            return
+        await asyncio.sleep(0)
+
+
+def run_virtual(clock: VirtualClock, coro: Coroutine[Any, Any, T]) -> T:
+    """Execute ``coro`` to completion under ``clock``'s virtual time.
+
+    Alternates settling runnable tasks with advancing the clock to the
+    next timer.  If the root coroutine is unfinished with nothing
+    runnable and no timer pending, raises
+    :class:`~repro.serve.errors.SchedulerStallError` (after cancelling
+    the root) — a typed error where plain asyncio would hang.
+    """
+
+    async def _drive() -> T:
+        root = asyncio.ensure_future(coro)
+        try:
+            while True:
+                await _settle(root)
+                if root.done():
+                    return root.result()
+                if not clock._advance():
+                    # One more settle pass: a task woken in the final
+                    # drain round may still finish the root.
+                    await _settle(root)
+                    if root.done():
+                        return root.result()
+                    if not clock._advance():
+                        root.cancel()
+                        with contextlib.suppress(asyncio.CancelledError):
+                            await root
+                        raise SchedulerStallError(
+                            "virtual-time executor stalled: no runnable "
+                            "task and no pending timer while the serve "
+                            "run is unfinished (scheduler defect)"
+                        )
+        finally:
+            if not root.done():
+                root.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await root
+
+    return asyncio.run(_drive())

@@ -8,9 +8,14 @@ parameter space, :mod:`repro.tune.cost` for the lint-gated analytic
 cost model, :mod:`repro.tune.strategies` for the seeded searches,
 :mod:`repro.tune.pareto` for frontier extraction,
 :mod:`repro.tune.measure` for the simulation-backed refinement tier,
-and :mod:`repro.tune.tuner` for the orchestration entry point.
+:mod:`repro.tune.tuner` for the orchestration entry point, and
+:mod:`repro.tune.admission` for the per-job quotes the serving layer's
+admission controller prices deadlines with.
 """
 
+from repro.tune.admission import (EXACT_TELEMETRY_OUT_SCALE, JobQuote,
+                                  SERVE_MODES, out_scale_for_mode, quote_job,
+                                  serve_config, serve_session)
 from repro.tune.cache import EvaluationCache
 from repro.tune.cost import OBJECTIVES, CostModel, Evaluation
 from repro.tune.measure import MeasuredResult, measure_candidates
@@ -25,10 +30,13 @@ from repro.tune.tuner import TuneReport, render_text, tune
 __all__ = [
     "AnnealingSearch",
     "CostModel",
+    "EXACT_TELEMETRY_OUT_SCALE",
     "Evaluation",
     "EvaluationCache",
     "ExhaustiveSearch",
     "GreedySearch",
+    "JobQuote",
+    "SERVE_MODES",
     "MeasuredResult",
     "OBJECTIVES",
     "PRECISION_FORMATS",
@@ -42,7 +50,11 @@ __all__ = [
     "improvement_ratio",
     "make_strategy",
     "measure_candidates",
+    "out_scale_for_mode",
     "pareto_front",
+    "quote_job",
     "render_text",
+    "serve_config",
+    "serve_session",
     "tune",
 ]

@@ -82,3 +82,56 @@ class TestRendering:
         outcome = payload["outcomes"][0]
         assert {"family", "seed", "status", "error", "events",
                 "ok", "detail"} <= set(outcome)
+
+
+class TestDeviceFamilies:
+    def test_device_families_are_registered(self):
+        assert "device-loss" in CHAOS_FAMILIES
+        assert "device-blip" in CHAOS_FAMILIES
+        assert "device-loss" in SMOKE_FAMILIES
+
+    def test_device_loss_upholds_fleet_invariant(self):
+        report = run_chaos(families=("device-loss",), seeds=2)
+        assert report.ok, report.render_text()
+        for outcome in report.outcomes:
+            assert outcome.status == "identical"
+            assert "jobs" in outcome.detail
+
+    def test_device_blip_recovers_every_job(self):
+        report = run_chaos(families=("device-blip",), seeds=1)
+        assert report.ok, report.render_text()
+
+    def test_device_family_replays_deterministically(self):
+        first = run_chaos(families=("device-loss",), seeds=1)
+        second = run_chaos(families=("device-loss",), seeds=1)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestBatchFallbackReason:
+    def test_outcome_dict_carries_fallback_field(self):
+        report = run_chaos(families=("transfer-fail",), seeds=1)
+        outcome = report.to_dict()["outcomes"][0]
+        assert "batch_fallback_reason" in outcome
+
+    def test_planned_fifo_faults_do_not_force_a_fallback(self):
+        # The event calendar caps analytic windows at the provably
+        # strike-free prefix, so planned fifo strikes land on scalar
+        # cycles and batching never has to bail out.
+        report = run_chaos(families=("fifo-corrupt",), seeds=2)
+        assert report.ok, report.render_text()
+        for outcome in report.outcomes:
+            assert outcome.batch_fallback_reason is None
+
+    def test_fallback_reason_rendered_when_present(self):
+        from repro.faults.chaos import ChaosOutcome
+
+        report = ChaosReport()
+        report.outcomes.append(ChaosOutcome(
+            family="fifo-corrupt", seed=0, status="identical", error=None,
+            events=1, ok=True,
+            batch_fallback_reason="monitor samples every cycle"))
+        text = report.render_text()
+        assert "fallback=monitor samples every cycle" in text
+        payload = report.to_dict()["outcomes"][0]
+        assert payload["batch_fallback_reason"] == (
+            "monitor samples every cycle")

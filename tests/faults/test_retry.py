@@ -98,3 +98,41 @@ class TestCall:
         RetryPolicy(max_attempts=4).call(
             flaky, on_retry=lambda k, err: seen.append((k, str(err))))
         assert seen == [(0, "x"), (1, "x")]
+
+
+class TestForJob:
+    def test_keyed_policy_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.3, seed=7)
+        first = list(policy.for_job("job-0001").delays())
+        again = list(policy.for_job("job-0001").delays())
+        assert first == again
+
+    def test_distinct_jobs_get_distinct_streams(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.3, seed=7)
+        a = list(policy.for_job("job-0001").delays())
+        b = list(policy.for_job("job-0002").delays())
+        assert a != b
+
+    def test_base_policy_stream_is_untouched(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.3, seed=7)
+        before = list(policy.delays())
+        policy.for_job("job-0001")
+        assert list(policy.delays()) == before
+
+    def test_keyed_policy_preserves_shape(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.5, backoff=3.0,
+                             jitter=0.2, max_delay=9.0, seed=11)
+        keyed = policy.for_job("job-9")
+        assert keyed.max_attempts == policy.max_attempts
+        assert keyed.base_delay == policy.base_delay
+        assert keyed.backoff == policy.backoff
+        assert keyed.jitter == policy.jitter
+        assert keyed.max_delay == policy.max_delay
+        assert keyed.seed != policy.seed
+
+    def test_jitter_free_policy_is_key_invariant(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, backoff=2.0,
+                             jitter=0.0)
+        assert (list(policy.for_job("a").delays())
+                == list(policy.for_job("b").delays())
+                == list(policy.delays()))

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.observe import Tracer, build_trace, tracer_to_events, write_trace
-from repro.observe.export import ENGINE_PID, SCHEDULE_PID
+from repro.observe.export import ENGINE_PID, SCHEDULE_PID, SERVE_PID
 from repro.runtime.event import Command
 from repro.runtime.queue import CommandQueue
 from repro.runtime.simulator import simulate_schedule
@@ -84,3 +84,44 @@ class TestWriteTrace:
         a = write_trace(tmp_path / "a.json", sample_tracer())
         b = write_trace(tmp_path / "b.json", sample_tracer())
         assert a.read_text() == b.read_text()
+
+
+class TestServeTracer:
+    def serve_tracer(self) -> Tracer:
+        tracer = Tracer()
+        tracer.add_span("job-0001", "u280-0", 0.001, 0.003,
+                        category="serve", mode="fast")
+        tracer.instant("reshard", "scheduler", ts=0.002, job="job-0002")
+        return tracer
+
+    def test_serve_events_land_on_their_own_process(self):
+        payload = build_trace(serve_tracer=self.serve_tracer())
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {SERVE_PID}
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["name"] == "process_name"}
+        assert names == {"advection [fleet]"}
+
+    def test_serve_seconds_scale_to_microseconds(self):
+        payload = build_trace(serve_tracer=self.serve_tracer())
+        span = next(e for e in payload["traceEvents"]
+                    if e["name"] == "job-0001")
+        assert span["ts"] == pytest.approx(1000.0)
+        assert span["dur"] == pytest.approx(2000.0)
+
+    def test_serve_merges_with_engine_and_schedule(self):
+        payload = build_trace(sample_tracer(), sample_schedule(),
+                              serve_tracer=self.serve_tracer())
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {ENGINE_PID, SCHEDULE_PID, SERVE_PID}
+
+    def test_serve_tracer_alone_satisfies_source_check(self):
+        assert build_trace(serve_tracer=self.serve_tracer())["traceEvents"]
+        with pytest.raises(ConfigurationError):
+            build_trace()
+
+    def test_write_trace_accepts_serve_tracer(self, tmp_path):
+        path = write_trace(tmp_path / "serve.json",
+                           serve_tracer=self.serve_tracer())
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]

@@ -1,0 +1,104 @@
+"""Circuit breaker state machine: trip, cool down, probe, re-admit."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import BreakerState, CircuitBreaker
+
+
+def make(threshold=3, cooldown=1.0):
+    return CircuitBreaker("u280-0", failure_threshold=threshold,
+                          cooldown_seconds=cooldown)
+
+
+class TestValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ConfigurationError, match="failure_threshold"):
+            CircuitBreaker("x", failure_threshold=0)
+
+    def test_rejects_nonpositive_cooldown(self):
+        with pytest.raises(ConfigurationError, match="cooldown"):
+            CircuitBreaker("x", cooldown_seconds=0.0)
+
+
+class TestTripping:
+    def test_starts_closed(self):
+        breaker = make()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows_dispatch()
+
+    def test_opens_at_threshold(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(1.0, "redrive")
+        breaker.record_failure(2.0, "redrive")
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3.0, "redrive")
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows_dispatch()
+
+    def test_clean_success_resets_the_streak(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(1.0, "redrive")
+        breaker.record_failure(2.0, "redrive")
+        breaker.record_success(3.0)
+        breaker.record_failure(4.0, "redrive")
+        breaker.record_failure(5.0, "redrive")
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_force_open_trips_immediately(self):
+        breaker = make()
+        breaker.force_open(2.0, "device loss")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 2.0
+
+
+class TestProbeCycle:
+    def test_probe_due_after_cooldown(self):
+        breaker = make(cooldown=1.0)
+        breaker.force_open(5.0, "device blip")
+        assert breaker.probe_at() == 6.0
+
+    def test_successful_probe_closes(self):
+        breaker = make(cooldown=1.0)
+        breaker.force_open(0.0, "device blip")
+        breaker.begin_probe(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(1.1)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows_dispatch()
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker = make(cooldown=1.0)
+        breaker.force_open(0.0, "device blip")
+        breaker.begin_probe(1.0)
+        breaker.record_failure(1.1, "still down")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.probe_at() == pytest.approx(2.1)
+
+    def test_probe_api_guards_state(self):
+        breaker = make()
+        with pytest.raises(ConfigurationError, match="begin_probe"):
+            breaker.begin_probe(0.0)
+        with pytest.raises(ConfigurationError, match="probe_at"):
+            breaker.probe_at()
+
+
+class TestTransitionLog:
+    def test_full_recovery_sequence_is_recorded(self):
+        breaker = make(threshold=2, cooldown=1.0)
+        breaker.record_failure(1.0, "redrive")
+        breaker.record_failure(2.0, "redrive")
+        breaker.begin_probe(3.0)
+        breaker.record_success(3.1)
+        moves = [(t.frm, t.to) for t in breaker.transitions]
+        assert moves == [("closed", "open"), ("open", "half-open"),
+                         ("half-open", "closed")]
+        assert all(t.lane == "u280-0" for t in breaker.transitions)
+
+    def test_to_dict_round_trips_transitions(self):
+        breaker = make(threshold=1)
+        breaker.record_failure(1.5, "redrive")
+        payload = breaker.to_dict()
+        assert payload["state"] == "open"
+        assert payload["transitions"][0]["at"] == 1.5
+        assert payload["transitions"][0]["to"] == "open"

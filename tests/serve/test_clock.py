@@ -1,0 +1,109 @@
+"""Virtual clock: deterministic ordering and typed stall detection."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import SchedulerStallError, VirtualClock, run_virtual
+
+
+class TestSleepOrdering:
+    def test_timers_fire_in_time_order(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(name, seconds):
+            await clock.sleep(seconds)
+            order.append((name, clock.now))
+
+        async def main():
+            await asyncio.gather(sleeper("late", 3.0), sleeper("early", 1.0),
+                                 sleeper("mid", 2.0))
+
+        run_virtual(clock, main())
+        assert order == [("early", 1.0), ("mid", 2.0), ("late", 3.0)]
+
+    def test_equal_deadlines_keep_registration_order(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(name):
+            await clock.sleep(1.0)
+            order.append(name)
+
+        async def main():
+            await asyncio.gather(sleeper("a"), sleeper("b"), sleeper("c"))
+
+        run_virtual(clock, main())
+        assert order == ["a", "b", "c"]
+
+    def test_time_jumps_not_crawls(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(1e6)  # a million modelled seconds
+            return clock.now
+
+        assert run_virtual(clock, main()) == 1e6
+
+    def test_zero_sleep_still_yields(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(0.0)
+            return clock.now
+
+        assert run_virtual(clock, main()) == 0.0
+
+    def test_nested_sleeps_accumulate(self):
+        clock = VirtualClock()
+
+        async def main():
+            for _ in range(5):
+                await clock.sleep(0.5)
+            return clock.now
+
+        assert run_virtual(clock, main()) == pytest.approx(2.5)
+
+    def test_returns_coroutine_value(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(1.0)
+            return "done"
+
+        assert run_virtual(clock, main()) == "done"
+
+
+class TestStallDetection:
+    def test_unresolved_future_raises_typed_error(self):
+        clock = VirtualClock()
+
+        async def main():
+            # Waits on a future nothing will ever resolve: with no
+            # timers pending this must surface as a typed stall, not a
+            # hang.
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(SchedulerStallError, match="stalled"):
+            run_virtual(clock, main())
+
+    def test_stall_after_timers_drain(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(1.0)
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(SchedulerStallError):
+            run_virtual(clock, main())
+
+    def test_exception_propagates(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_virtual(clock, main())

@@ -1,0 +1,117 @@
+"""Property suite: bit-identical-or-typed-error under arbitrary faults.
+
+The serving invariant from docs/resilience.md, stated as a property:
+for ANY generated fault plan (device losses, blips, transfer failures,
+in any combination), every job the scheduler admits either completes
+with a checksum bit-identical to the fault-free golden run, or fails
+with a typed ``ReproError``.  No hangs (the virtual clock raises
+``SchedulerStallError`` instead of deadlocking), no silent divergence.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ReproError  # noqa: E402
+from repro.faults.plan import FaultPlan, FaultSpec  # noqa: E402
+from repro.serve import (Fleet, FleetScheduler, PoissonLoad,  # noqa: E402
+                         run_load)
+
+LANES = ("u280-0", "u280-1", "stratix10-0")
+
+
+def fault_specs():
+    device_loss = st.sampled_from(LANES).map(
+        lambda lane: FaultSpec("device", "loss", match=lane,
+                               probability=1.0, count=1))
+    device_blip = st.tuples(
+        st.sampled_from(LANES + ("*",)),
+        st.floats(min_value=1e-4, max_value=0.02),
+    ).map(lambda t: FaultSpec("device", "blip", match=t[0],
+                              probability=0.8, count=1, seconds=t[1]))
+    transfer = st.tuples(
+        st.sampled_from(LANES),
+        st.sampled_from(("h2d", "d2h")),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=1, max_value=4),
+    ).map(lambda t: FaultSpec("transfer", "fail",
+                              match=f"{t[0]}:{t[1]}*",
+                              probability=t[2], count=t[3]))
+    return st.one_of(device_loss, device_blip, transfer)
+
+
+def fault_plans():
+    return st.tuples(
+        st.lists(fault_specs(), min_size=0, max_size=3),
+        st.integers(min_value=0, max_value=2**16),
+    ).map(lambda t: FaultPlan(t[0], seed=t[1]))
+
+
+def loads():
+    return st.builds(
+        PoissonLoad,
+        jobs=st.integers(min_value=2, max_value=6),
+        rate_hz=st.sampled_from((150.0, 600.0)),
+        seed=st.integers(min_value=0, max_value=64),
+        nx=st.just(6), ny=st.just(9), nz=st.just(5),
+        exact_fraction=st.sampled_from((0.0, 0.5)),
+        no_degrade_fraction=st.just(0.25),
+        distinct_inputs=st.integers(min_value=1, max_value=3),
+    )
+
+
+def golden_checksums(load):
+    report = run_load(FleetScheduler(Fleet.from_spec("2xu280+1xstratix10")),
+                      load)
+    assert not report.failed, "fault-free golden run must be clean"
+    return {o.spec.job_id: o.result.checksum for o in report.completed}
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=fault_plans(), load=loads())
+def test_bit_identical_or_typed_error(plan, load):
+    golden = golden_checksums(load)
+    faulted = FleetScheduler(Fleet.from_spec("2xu280+1xstratix10"),
+                             fault_plan=plan, watchdog_seconds=30.0)
+    report = run_load(faulted, load)
+    assert len(report.outcomes) == load.jobs
+    for outcome in report.outcomes:
+        shape = [(s.site, s.kind, s.match) for s in plan.specs]
+        if outcome.ok:
+            assert outcome.result.checksum == golden[outcome.spec.job_id], (
+                f"silent divergence on {outcome.spec.job_id} "
+                f"under plan {shape}")
+        else:
+            assert isinstance(outcome.error, ReproError), (
+                f"untyped failure {type(outcome.error).__name__} "
+                f"under plan {shape}")
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=fault_plans(), load=loads())
+def test_faulted_runs_replay_deterministically(plan, load):
+    def once():
+        plan.reset()
+        sched = FleetScheduler(Fleet.from_spec("2xu280+1xstratix10"),
+                               fault_plan=plan, watchdog_seconds=30.0)
+        return run_load(sched, load).to_dict()
+
+    assert once() == once()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seconds=st.floats(min_value=1e-4, max_value=0.05),
+       seed=st.integers(min_value=0, max_value=32))
+def test_single_blip_never_loses_jobs(seconds, seed):
+    plan = FaultPlan([FaultSpec("device", "blip", match="u280-0",
+                                probability=1.0, count=1,
+                                seconds=seconds)], seed=seed)
+    load = PoissonLoad(jobs=4, rate_hz=200.0, seed=seed, nx=6, ny=9, nz=5,
+                       exact_fraction=0.0, distinct_inputs=2)
+    report = run_load(
+        FleetScheduler(Fleet.from_spec("2xu280+1xstratix10"),
+                       fault_plan=plan, watchdog_seconds=30.0),
+        load)
+    assert not report.failed

@@ -156,3 +156,42 @@ class TestMetricsCommand:
         payload = json.loads(capsys.readouterr().out)
         theory = payload["ops_per_cycle"]["theoretical_ops_per_cycle"]
         assert theory == 62.875
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--jobs", "6", "--rate", "400", "--nx", "6",
+            "--ny", "9", "--nz", "5"]
+
+    def test_serve_text_report(self, capsys):
+        assert main(self.ARGS) == 0
+        text = capsys.readouterr().out
+        assert "jobs" in text
+        assert "p99" in text
+
+    def test_serve_json_report(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 6
+        assert payload["failed"] == 0
+        assert payload["fleet"]["lanes"]
+        assert payload["invariant_ok"] is None  # no chaos leg requested
+
+    def test_serve_chaos_upholds_invariant(self, capsys):
+        assert main(self.ARGS + ["--chaos", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["invariant_ok"] is True
+
+    def test_serve_writes_trace_and_metrics(self, capsys, tmp_path):
+        out = tmp_path / "serve-trace.json"
+        assert main(self.ARGS + ["--trace", str(out), "--metrics"]) == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "serve_jobs_total" in text
+
+    def test_serve_bad_fleet_is_error(self, capsys):
+        assert main(["serve", "--fleet", "2*u280"]) == 1
+        assert "error:" in capsys.readouterr().err
