@@ -11,6 +11,16 @@ Commands
 ``simulate [--nx 32 --ny 32 --nz 32] [--mode fast] [--kernels N]``
     Cycle-accurate simulation of one kernel invocation; ``--mode fast``
     fast-forwards steady-state phases (identical cycle counts and data).
+    ``--scenario NAME`` runs a registered workload-suite scenario
+    (diffusion, buoyancy, grid/boundary/batch variants of advection)
+    instead, with a bitwise reference check and the scenario's derived
+    ops-per-cycle roofline.
+``scenarios [names...] [--conformance] [--check-cli] [--json]``
+    The workload suite: list the scenario registry, run the cross-mode
+    conformance harness (forced-scalar vs batched vs fast vs NumPy
+    reference, plus an injected-fault leg, lint and static-analysis
+    coverage, per scenario), and verify every kernel reachable from the
+    CLI is registered (non-zero exit on any failure).
 ``devices``
     Print the device catalog with kernel fits and clocks.
 ``lint [specs...] [--device u280] [--kernels 6] [--json]``
@@ -99,9 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate",
                            help="cycle-accurate kernel simulation")
-    p_sim.add_argument("--nx", type=int, default=32)
-    p_sim.add_argument("--ny", type=int, default=32)
-    p_sim.add_argument("--nz", type=int, default=32)
+    p_sim.add_argument("--scenario", default=None, metavar="NAME",
+                       help="run a registered workload-suite scenario "
+                            "(see 'repro scenarios'); grid defaults to "
+                            "the scenario's grid family")
+    p_sim.add_argument("--nx", type=int, default=None)
+    p_sim.add_argument("--ny", type=int, default=None)
+    p_sim.add_argument("--nz", type=int, default=None)
     p_sim.add_argument("--chunk-width", type=int, default=None)
     p_sim.add_argument("--read-ii", type=int, default=1,
                        help="read-stage initiation interval")
@@ -119,6 +133,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("devices", help="print the device catalog")
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="workload suite: registry listing, cross-mode conformance, "
+             "CLI kernel coverage",
+    )
+    p_scen.add_argument("names", nargs="*", metavar="NAME",
+                        help="scenario subset (default: the whole "
+                             "registry)")
+    p_scen.add_argument("--conformance", action="store_true",
+                        help="run the cross-mode conformance harness "
+                             "(scalar/batched/fast/reference + fault "
+                             "leg + lint + static analysis)")
+    p_scen.add_argument("--check-cli", action="store_true",
+                        help="fail if any kernel reachable from the CLI "
+                             "has no registered scenario")
+    p_scen.add_argument("--seed", type=int, default=0)
+    p_scen.add_argument("--json", action="store_true",
+                        help="emit the listing (and any results) as "
+                             "JSON")
 
     p_score = sub.add_parser("scorecard",
                              help="overall paper-reproduction scorecard")
@@ -140,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("specs", nargs="*", metavar="SPEC",
                         help="JSON design specs (see docs/linting.md); "
                              "default: lint the kernel built from the flags")
+    p_lint.add_argument("--scenario", default=None, metavar="NAME",
+                        help="lint a registered workload-suite scenario's "
+                             "dataflow graph instead")
     p_lint.add_argument("--device", default="u280",
                         help="target FPGA (u280 | stratix10)")
     p_lint.add_argument("--cells", default="16M",
@@ -173,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON design specs (see docs/static-analysis.md)"
                             "; default: analyze the kernel graph built "
                             "from the flags")
+    p_ana.add_argument("--scenario", default=None, metavar="NAME",
+                       help="analyze a registered workload-suite "
+                            "scenario's dataflow graph instead")
     p_ana.add_argument("--cells", default="16M",
                        help="problem size label "
                             f"({', '.join(constants.PAPER_GRID_LABELS)})")
@@ -263,6 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tune.add_argument("--device", default="u280",
                         help="target FPGA (u280 | stratix10)")
+    p_tune.add_argument("--scenario", default=None, metavar="NAME",
+                        help="tune for a registered workload-suite "
+                             "scenario: its default grid and its "
+                             "operation-intensity scale")
     p_tune.add_argument("--strategy", default="greedy",
                         choices=("grid", "greedy", "anneal"),
                         help="search strategy (default greedy)")
@@ -409,6 +453,53 @@ def _cmd_validate(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_simulate_scenario(args) -> int:
+    from repro.core.grid import Grid
+    from repro.observe import ops_per_cycle_report
+    from repro.scenarios import get
+
+    scenario = get(args.scenario)
+    if any(dim is not None for dim in (args.nx, args.ny, args.nz)):
+        if None in (args.nx, args.ny, args.nz):
+            print("error: --nx/--ny/--nz must be given together",
+                  file=sys.stderr)
+            return 2
+        grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    else:
+        grid = scenario.default_grid()
+
+    batched = not args.no_batched
+    result = scenario.run(grid, seed=args.seed, mode=args.mode,
+                          batched=batched)
+    references = scenario.reference(grid, seed=args.seed)
+    diff = max(out.max_abs_difference(ref)
+               for out, ref in zip(result.batches, references))
+
+    model = scenario.kernel.op_model
+    report = ops_per_cycle_report(
+        result.stats, nz=grid.nz, cycles=result.total_cycles,
+        flops=scenario.batch * scenario.grid_flops(grid),
+        ops_per_cell=model.ops_per_cell,
+        ops_per_top_cell=model.ops_per_top_cell)
+
+    print(f"scenario: {scenario.name} — {scenario.title}")
+    print(f"grid:     {grid.interior_shape} "
+          f"[{scenario.grids.name}], boundary={scenario.boundary}, "
+          f"wind={scenario.wind}, batch={scenario.batch}, "
+          f"mode={args.mode}")
+    print(f"cycles:   {result.total_cycles} "
+          f"({result.cells_per_cycle:.3f} cells/cycle)")
+    stats = result.stats
+    if stats.ff_veto_reason:
+        print(f"demoted:  {stats.ff_veto_reason}")
+    if stats.batch_fallback_reason:
+        print(f"fallback: {stats.batch_fallback_reason}")
+    print(report.summary())
+    status = "OK (bitwise)" if diff == 0.0 else f"FAIL (max diff {diff:g})"
+    print(f"reference: {status}")
+    return 0 if diff == 0.0 else 1
+
+
 def _cmd_simulate(args) -> int:
     import time
 
@@ -418,7 +509,9 @@ def _cmd_simulate(args) -> int:
     from repro.kernel.multi_simulate import simulate_multi_kernel
     from repro.kernel.simulate import simulate_kernel
 
-    grid = Grid(nx=args.nx, ny=args.ny, nz=args.nz)
+    if args.scenario:
+        return _cmd_simulate_scenario(args)
+    grid = Grid(nx=args.nx or 32, ny=args.ny or 32, nz=args.nz or 32)
     fields = random_wind(grid, seed=args.seed, magnitude=2.0)
     config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
               if args.chunk_width else KernelConfig(grid=grid))
@@ -492,6 +585,66 @@ def _cmd_devices() -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import (
+        get,
+        names,
+        run_suite,
+        unregistered_cli_kernels,
+    )
+
+    selected = tuple(args.names) if args.names else names()
+    listing = [get(name) for name in selected]  # validates names
+
+    payload: dict = {
+        "scenarios": [scenario.to_dict() for scenario in listing],
+    }
+    ok = True
+
+    if args.check_cli:
+        uncovered = unregistered_cli_kernels()
+        payload["unregistered_cli_kernels"] = list(uncovered)
+        if uncovered:
+            ok = False
+
+    report = None
+    if args.conformance:
+        report = run_suite(selected, seed=args.seed)
+        payload["conformance"] = report.to_dict()
+        if not report.ok:
+            ok = False
+    payload["ok"] = ok
+
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return 0 if ok else 1
+
+    header = (f"{'name':>20}  {'kind':<10} {'grid':<14} {'bc':<9} "
+              f"{'batch':>5}  {'ops/cycle':>9}")
+    print(header)
+    print("-" * len(header))
+    for scenario in listing:
+        nx, ny, nz = scenario.grids.default
+        print(f"{scenario.name:>20}  {scenario.kernel.kind:<10} "
+              f"{f'{nx}x{ny}x{nz}':<14} {scenario.boundary:<9} "
+              f"{scenario.batch:>5}  {scenario.ops_per_cycle:>9.3f}")
+    if args.check_cli:
+        uncovered = payload["unregistered_cli_kernels"]
+        print()
+        if uncovered:
+            print("CLI kernels with no registered scenario: "
+                  + ", ".join(uncovered))
+        else:
+            print("CLI kernel coverage: every reachable kernel is "
+                  "registered")
+    if report is not None:
+        print()
+        print(report.render_text())
+    return 0 if ok else 1
+
+
 def _cmd_lint(args) -> int:
     import json as json_module
 
@@ -515,7 +668,15 @@ def _cmd_lint(args) -> int:
 
     targets = []
     try:
-        if args.specs:
+        if args.scenario:
+            import dataclasses
+
+            from repro.scenarios import get as get_scenario
+
+            scenario = get_scenario(args.scenario)
+            targets = [dataclasses.replace(
+                scenario.lint(), subject=f"scenario:{scenario.name}")]
+        elif args.specs:
             targets = [load_spec(path) for path in args.specs]
         else:
             if any(dim is not None for dim in (args.nx, args.ny, args.nz)):
@@ -595,7 +756,14 @@ def _cmd_analyze(args) -> int:
     targets: list[tuple[str, Any]] = []  # (name, graph)
     raw_spec: dict | None = None
     try:
-        if args.specs:
+        if args.scenario:
+            from repro.scenarios import get as get_scenario
+
+            scenario = get_scenario(args.scenario)
+            targets.append((
+                f"scenario:{scenario.name}",
+                scenario.kernel.structural_graph(scenario.default_grid())))
+        elif args.specs:
             for path in args.specs:
                 target = load_spec(path)
                 if target.context.graph is None:
@@ -785,7 +953,16 @@ def _cmd_tune(args) -> int:
     from repro.observe import MetricRegistry, Tracer, write_trace
     from repro.tune import render_text, tune
 
-    if args.cells is not None:
+    flops_scale = 1.0
+    if args.scenario:
+        from repro.scenarios import get as get_scenario
+
+        scenario = get_scenario(args.scenario)
+        grid = scenario.default_grid()
+        flops_scale = scenario.flops_scale
+        print(f"scenario {scenario.name}: grid {grid.interior_shape}, "
+              f"flops scale {flops_scale:g}", file=sys.stderr)
+    elif args.cells is not None:
         try:
             grid = Grid.from_cells(constants.PAPER_GRID_LABELS[args.cells])
         except KeyError:
@@ -802,7 +979,7 @@ def _cmd_tune(args) -> int:
         args.device, grid,
         strategy=args.strategy, objective=args.objective,
         budget=args.budget, seed=args.seed,
-        wide_precision=args.wide_precision,
+        wide_precision=args.wide_precision, flops_scale=flops_scale,
         cache_path=args.cache, measure_top_k=args.measure,
         tracer=tracer, metrics=metrics,
     )
@@ -938,6 +1115,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "devices":
             return _cmd_devices()
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         if args.command == "scorecard":
             return _cmd_scorecard(args)
         if args.command == "lint":

@@ -8,6 +8,8 @@ source of truth.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 # ---------------------------------------------------------------------------
 # Floating point operation accounting (paper section III).
 #
@@ -102,17 +104,44 @@ V100_HBM2_BYTES: int = 16 * GIB
 # Average operations per cycle for a full column (the paper's "theoretical
 # performance" metric): one column-top cell per DEFAULT_COLUMN_HEIGHT cells.
 # (63 * 63 + 55) / 64 = 62.875 -> 18.86 GFLOPS @ 300 MHz, 25.02 @ 398 MHz.
+#
+# The paper quotes the single number 62.875, but it is a *derived* quantity:
+# a function of the column height and of the kernel's per-cell operation
+# model.  Non-default column heights (the scenario suite's tall/flat grids)
+# and non-advection kernels (diffusion, buoyancy smoothing) plug their own
+# values into the same formula.
 # ---------------------------------------------------------------------------
 
 
-def average_ops_per_cycle(column_height: int = DEFAULT_COLUMN_HEIGHT) -> float:
-    """Average FLOPs issued per clock cycle for a column of ``column_height``.
+def derived_ops_per_cycle(column_height: int = DEFAULT_COLUMN_HEIGHT, *,
+                          ops_per_cell: int = OPS_PER_CELL,
+                          ops_per_top_cell: int = OPS_PER_TOP_CELL) -> float:
+    """Average ops issued per clock cycle for a column of ``column_height``.
 
-    The advection pipeline consumes one grid cell per cycle; interior cells
-    need :data:`OPS_PER_CELL` operations and the single column-top cell only
-    :data:`OPS_PER_TOP_CELL`.
+    A streaming stencil pipeline consumes one grid cell per cycle;
+    interior cells need ``ops_per_cell`` operations and the single
+    column-top cell only ``ops_per_top_cell``.  With the advection
+    defaults this reproduces the paper's 62.875 at the MONC default
+    column height of 64 — but it is a function, not a constant: vary the
+    height or the operation model and the theoretical peak moves with it.
     """
     if column_height < 2:
-        raise ValueError(f"column height must be >= 2, got {column_height}")
+        raise ConfigurationError(
+            f"column height must be >= 2, got {column_height}")
+    if ops_per_cell < 1 or ops_per_top_cell < 1:
+        raise ConfigurationError(
+            f"per-cell operation counts must be >= 1, got "
+            f"{ops_per_cell}/{ops_per_top_cell}"
+        )
     interior = column_height - 1
-    return (interior * OPS_PER_CELL + OPS_PER_TOP_CELL) / column_height
+    return (interior * ops_per_cell + ops_per_top_cell) / column_height
+
+
+def average_ops_per_cycle(column_height: int = DEFAULT_COLUMN_HEIGHT) -> float:
+    """The advection pipeline's derived ops/cycle (the paper's 62.875).
+
+    Kept as the historical entry point; identical to
+    :func:`derived_ops_per_cycle` with the advection 63/55 operation
+    model.
+    """
+    return derived_ops_per_cycle(column_height)

@@ -1,0 +1,94 @@
+"""The buoyancy-smoothing kernel on the general-purpose shift buffer.
+
+The third kernel of the scenario suite, assembled from the same parts as
+diffusion: :class:`~repro.shiftbuffer.general.GeneralShiftBuffer` windows
+streamed one value per cycle, interior cells evaluated from their own
+window, and the one-sided vertical boundary cells resolved from the
+adjacent interior window (the burst-absorbed-by-FIFOs trick).  The result
+is bit-identical to :func:`repro.core.buoyancy.buoyancy_reference`.
+
+The filter only has vertical neighbours, so it is the cheapest stencil
+in the suite — 15 operations per cell against advection's 63 — which is
+exactly why it is worth carrying: the derived ops-per-cycle model must
+hold at both ends of the intensity range.
+"""
+
+from __future__ import annotations
+
+from repro.core.buoyancy import (  # noqa: F401 (re-export)
+    DEFAULT_FILTER_WEIGHT,
+    buoyancy_reference,
+)
+from repro.core.fields import FieldSet, SourceSet
+from repro.errors import ConfigurationError
+from repro.shiftbuffer.general import GeneralShiftBuffer, GeneralWindow
+from repro.shiftbuffer.ports import MemoryPortTracker
+
+__all__ = ["buoyancy_from_window", "buoyancy_boundary_from_window",
+           "buoyancy_shiftbuffer"]
+
+
+def buoyancy_from_window(window: GeneralWindow, alpha: float) -> float:
+    """Smoothed value of the window's centre cell (interior k)."""
+    return (alpha * window.at(0, 0, -1)
+            + (1.0 - 2.0 * alpha) * window.at(0, 0, 0)
+            + alpha * window.at(0, 0, 1))
+
+
+def buoyancy_boundary_from_window(window: GeneralWindow, alpha: float, *,
+                                  top: bool) -> float:
+    """Boundary-cell value computed from the adjacent interior window.
+
+    For ``top=False`` the window must be centred at ``k = 1`` and the
+    ``k = 0`` cell is evaluated through the ``dk = -1`` plane; for
+    ``top=True`` the window is centred at ``k = nz - 2`` and the top
+    cell uses the ``dk = +1`` plane.
+    """
+    dk = 1 if top else -1
+    return (1.0 - alpha) * window.at(0, 0, dk) + alpha * window.at(0, 0, 0)
+
+
+def buoyancy_shiftbuffer(fields: FieldSet,
+                         alpha: float = DEFAULT_FILTER_WEIGHT, *,
+                         tracker: MemoryPortTracker | None = None
+                         ) -> SourceSet:
+    """Smoothing of all three fields through general shift buffers.
+
+    Streams each field once (x/y halo included), evaluating interior
+    cells from their windows and the vertical boundary cells from the
+    adjacent windows.  Must agree bit for bit with
+    :func:`repro.core.buoyancy.buoyancy_reference`.
+    """
+    grid = fields.grid
+    if grid.nz < 3:
+        raise ConfigurationError(
+            f"shift-buffer smoothing needs nz >= 3, got {grid.nz}"
+        )
+    if not 0.0 < alpha <= 0.5:
+        raise ConfigurationError(
+            f"filter weight must be in (0, 0.5], got {alpha}"
+        )
+
+    out = SourceSet.zeros(grid)
+    nx_buf, ny_buf = grid.nx + 2, grid.ny + 2
+
+    for name, target in (("u", out.su), ("v", out.sv), ("w", out.sw)):
+        buffer = GeneralShiftBuffer(
+            nx_buf, ny_buf, grid.nz, radius=1,
+            tracker=tracker if tracker is not None
+            else MemoryPortTracker(enforce=False),
+            name=f"buoyancy.{name}",
+        )
+        block = getattr(fields, name)
+        for window in buffer.feed_block(block):
+            cx, cy, cz = window.center
+            if not (1 <= cx <= grid.nx and 1 <= cy <= grid.ny):
+                continue
+            target[cx - 1, cy - 1, cz] = buoyancy_from_window(window, alpha)
+            if cz == 1:
+                target[cx - 1, cy - 1, 0] = buoyancy_boundary_from_window(
+                    window, alpha, top=False)
+            if cz == grid.nz - 2:
+                target[cx - 1, cy - 1, grid.nz - 1] = \
+                    buoyancy_boundary_from_window(window, alpha, top=True)
+    return out

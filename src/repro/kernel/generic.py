@@ -18,7 +18,7 @@ simulation for free:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -28,6 +28,11 @@ from repro.dataflow.stage import SourceStage, Stage
 from repro.errors import ConfigurationError
 from repro.shiftbuffer.general import GeneralShiftBuffer, GeneralWindow
 from repro.shiftbuffer.ports import MemoryPortTracker
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.observe.metrics import MetricRegistry
+    from repro.observe.trace import Tracer
 
 __all__ = [
     "GeneralShiftBufferStage",
@@ -125,7 +130,12 @@ class ScatterWriteStage(Stage):
 def run_stencil_kernel(block: np.ndarray, fn: WindowFn, out: np.ndarray, *,
                        radius: int = 1, stream_depth: int = 4,
                        tracker: MemoryPortTracker | None = None,
-                       max_cycles: int = 10_000_000) -> RunStats:
+                       max_cycles: int = 10_000_000,
+                       mode: str = "exact", batched: bool = True,
+                       fault_plan: "FaultPlan | None" = None,
+                       watchdog: int | None = None,
+                       tracer: "Tracer | None" = None,
+                       metrics: "MetricRegistry | None" = None) -> RunStats:
     """Run one stencil kernel pass, cycle-accurately.
 
     Parameters
@@ -139,6 +149,18 @@ def run_stencil_kernel(block: np.ndarray, fn: WindowFn, out: np.ndarray, *,
     out:
         Interior output array, shape ``(nx - 2r, ny - 2r, nz)`` in the
         x/y axes with the full z extent of ``block``.
+    mode, batched:
+        Engine execution mode.  The shift-buffer and window-compute
+        stages are data-dependent (``unit_rate = False``, no
+        ``ff_signature``), so ``mode="fast"`` always demotes to exact
+        ticking with a veto recorded on
+        :attr:`~repro.dataflow.engine.RunStats.ff_veto_reason`, and
+        batched exact execution falls back to the scalar loop — both by
+        design, both bit-identical to forced-scalar execution.
+    fault_plan, watchdog, tracer, metrics:
+        Passed straight to the :class:`~repro.dataflow.engine.
+        DataflowEngine` (FIFO word faults, stage freezes, cycle
+        watchdog, observability sinks).
     """
     if block.ndim != 3:
         raise ConfigurationError(
@@ -160,4 +182,7 @@ def run_stencil_kernel(block: np.ndarray, fn: WindowFn, out: np.ndarray, *,
     graph.connect("read", "out", shift, "in", depth=stream_depth)
     graph.connect(shift, "out", compute, "in", depth=stream_depth)
     graph.connect(compute, "out", write, "in", depth=stream_depth)
-    return DataflowEngine(graph, max_cycles=max_cycles).run()
+    return DataflowEngine(graph, max_cycles=max_cycles, mode=mode,
+                          batched=batched, fault_plan=fault_plan,
+                          watchdog=watchdog, tracer=tracer,
+                          metrics=metrics).run()

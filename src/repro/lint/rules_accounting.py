@@ -21,6 +21,11 @@ from repro.lint.registry import LintContext, rule
 PAPER_OPS_PER_CELL: int = 63
 PAPER_OPS_PER_TOP_CELL: int = 55
 
+#: The paper's quoted theoretical ops/cycle at the MONC default column
+#: height of 64 — which :func:`repro.constants.derived_ops_per_cycle`
+#: must reproduce exactly from the 63/55 model.
+PAPER_OPS_PER_CYCLE_AT_64: float = 62.875
+
 #: Below this strict/paper ratio the convention difference stops being
 #: negligible and quoted GFLOPS overstate executed operations.
 CONVENTION_RATIO_FLOOR: float = 0.9
@@ -125,6 +130,49 @@ def check_stage_flops(context: LintContext) -> Iterable[Diagnostic]:
             hint="the one-sided vertical term saves 4 ops on the U and V "
                  "stages only",
         )
+
+
+@rule("AC305", name="derived-ops-per-cycle-drift", family="accounting",
+      description="the theoretical ops/cycle must derive from the column "
+                  "height and the per-cell operation model, reproducing "
+                  "62.875 at the MONC default height",
+      requires=())
+def check_derived_ops_per_cycle(context: LintContext) -> Iterable[Diagnostic]:
+    # The quoted 62.875 must fall out of the formula at the default
+    # height, not be hard-coded anywhere.
+    at_default = constants.derived_ops_per_cycle(
+        constants.DEFAULT_COLUMN_HEIGHT)
+    if at_default != PAPER_OPS_PER_CYCLE_AT_64:
+        yield Diagnostic(
+            code="AC305", severity=Severity.ERROR,
+            message=(
+                f"derived_ops_per_cycle({constants.DEFAULT_COLUMN_HEIGHT}) "
+                f"= {at_default}, but the paper quotes "
+                f"{PAPER_OPS_PER_CYCLE_AT_64}; the theoretical-peak "
+                f"denominator of every roofline report has drifted"
+            ),
+            location=Location("model", "constants", "derived_ops_per_cycle"),
+            hint="the figure must equal ((h-1)*63 + 55) / h at h=64",
+        )
+    # The historical alias must stay in lock-step with the derivation.
+    heights = (2, 8, constants.DEFAULT_COLUMN_HEIGHT, 96, 128)
+    for height in heights:
+        derived = constants.derived_ops_per_cycle(height)
+        composed = ((height - 1) * constants.OPS_PER_CELL
+                    + constants.OPS_PER_TOP_CELL) / height
+        alias = constants.average_ops_per_cycle(height)
+        if derived != composed or alias != derived:
+            yield Diagnostic(
+                code="AC305", severity=Severity.ERROR,
+                message=(
+                    f"ops/cycle at column height {height} does not compose "
+                    f"from the operation model: derived={derived}, "
+                    f"composed={composed}, alias={alias}"
+                ),
+                location=Location("model", "constants",
+                                  "derived_ops_per_cycle"),
+            )
+            break
 
 
 @rule("AC304", name="convention-divergence", family="accounting",

@@ -142,10 +142,19 @@ def _infeasible(point: TunePoint, codes: tuple[str, ...],
 class CostModel:
     """Lint-gated analytic pricing of tune points on one device."""
 
-    def __init__(self, device: FPGADevice, grid: Grid) -> None:
+    def __init__(self, device: FPGADevice, grid: Grid, *,
+                 flops_scale: float = 1.0) -> None:
+        if not flops_scale > 0:
+            raise TuneError(
+                f"flops_scale must be > 0, got {flops_scale}")
         self.device = device
         self.grid = grid
-        self._flops = grid_flops(grid)
+        #: Operation intensity relative to the advection kernel the
+        #: pricing models assume (scenario kernels stream cells at the
+        #: same rate but issue a different per-cell op count, so their
+        #: GFLOPS axes re-scale by this ratio).
+        self.flops_scale = flops_scale
+        self._flops = round(grid_flops(grid) * flops_scale)
 
     # -- feasibility ---------------------------------------------------------
 
@@ -217,9 +226,9 @@ class CostModel:
         return Evaluation(
             point=point,
             feasible=True,
-            kernel_gflops=invocation.gflops(self.grid),
-            end_to_end_gflops=run.gflops,
-            gflops_per_watt=run.gflops_per_watt,
+            kernel_gflops=invocation.gflops(self.grid) * self.flops_scale,
+            end_to_end_gflops=run.gflops * self.flops_scale,
+            gflops_per_watt=run.gflops_per_watt * self.flops_scale,
             kernel_seconds=invocation.seconds,
             runtime_seconds=run.runtime_seconds,
             transfer_seconds=run.transfer_seconds,
@@ -241,6 +250,7 @@ class CostModel:
                      "nz": self.grid.nz},
             "cells": self.grid.num_cells,
             "flops": self._flops,
+            "flops_scale": self.flops_scale,
             "float64_identity": point_identity_check(self),
         }
 

@@ -117,6 +117,7 @@ def tune(device: "FPGADevice | str", grid: Grid, *,
          budget: int | None = None, seed: int = 0,
          space: ParameterSpace | None = None,
          wide_precision: bool = False,
+         flops_scale: float = 1.0,
          cache_path: "str | pathlib.Path | None" = None,
          measure_top_k: int = 0, measure_seed: int | None = None,
          tracer: "Tracer | None" = None,
@@ -145,6 +146,10 @@ def tune(device: "FPGADevice | str", grid: Grid, *,
         omitted.
     wide_precision:
         Open the reduced-precision axis when deriving the space.
+    flops_scale:
+        Operation intensity relative to the advection kernel (scenario
+        kernels pass ``scenario.flops_scale``); re-scales the GFLOPS
+        axes and keys the evaluation cache separately.
     cache_path:
         Persistent JSON evaluation cache (loaded before, saved after).
     measure_top_k:
@@ -170,8 +175,11 @@ def tune(device: "FPGADevice | str", grid: Grid, *,
     if measure_top_k < 0:
         raise TuneError(f"measure_top_k must be >= 0, got {measure_top_k}")
 
-    model = CostModel(fpga, grid)
+    model = CostModel(fpga, grid, flops_scale=flops_scale)
     grid_key = f"{grid.nx}x{grid.ny}x{grid.nz}"
+    if flops_scale != 1.0:
+        # Scaled scenarios must not share cached GFLOPS with advection.
+        grid_key += f"@x{flops_scale:g}"
     cache = EvaluationCache(cache_path, device=fpga.name, grid_key=grid_key)
 
     trace_on = tracer is not None and tracer.enabled

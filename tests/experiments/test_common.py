@@ -3,7 +3,7 @@
 import pytest
 
 from repro import constants
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.common import (
     MULTI_KERNEL_SIZES,
     TABLE2_SIZES,
@@ -51,7 +51,7 @@ class TestRunAll:
 
 class TestConstants:
     def test_average_ops_rejects_short_column(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             constants.average_ops_per_cycle(1)
 
     def test_transfer_payload_constant(self):

@@ -1,0 +1,54 @@
+"""Golden snapshots of the scenario suite's CLI surfaces.
+
+Pins the ``repro scenarios`` listing (text and JSON), a full
+``repro simulate --scenario`` run on a non-advection kernel, and the
+per-scenario lint report, so any drift in the registry's contents, the
+derived ops-per-cycle figures, or the report shapes surfaces as a
+fixture diff.
+"""
+
+import json
+import re
+
+from repro.cli import main
+
+from .conftest import as_json
+
+
+def normalise_wall(text: str) -> str:
+    return re.sub(r"wall:\s+[\d.]+ s", "wall:     <elapsed> s", text)
+
+
+class TestScenarioCliSnapshots:
+    def test_scenarios_listing_text(self, golden, capsys):
+        assert main(["scenarios"]) == 0
+        golden("cli_scenarios.txt", capsys.readouterr().out)
+
+    def test_scenarios_listing_json(self, golden, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_scenarios.json", as_json(payload))
+
+    def test_simulate_scenario_diffusion_text(self, golden, capsys):
+        assert main(["simulate", "--scenario", "diffusion",
+                     "--nx", "4", "--ny", "5", "--nz", "6"]) == 0
+        golden("cli_simulate_scenario_diffusion.txt",
+               normalise_wall(capsys.readouterr().out))
+
+    def test_simulate_scenario_buoyancy_text(self, golden, capsys):
+        assert main(["simulate", "--scenario", "buoyancy",
+                     "--nx", "4", "--ny", "4", "--nz", "5"]) == 0
+        golden("cli_simulate_scenario_buoyancy.txt",
+               normalise_wall(capsys.readouterr().out))
+
+    def test_lint_scenario_json(self, golden, capsys):
+        assert main(["lint", "--scenario", "diffusion", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_lint_scenario_diffusion.json", as_json(payload))
+
+    def test_analyze_scenario_json(self, golden, capsys):
+        # The per-scenario deadlock/throughput proof object: any drift
+        # in a proved number is a real change to the verifier's claims.
+        assert main(["analyze", "--scenario", "buoyancy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_analyze_scenario_buoyancy.json", as_json(payload))

@@ -1,0 +1,109 @@
+"""The derived ops-per-cycle model: 62.875 is a theorem, not a constant.
+
+The paper quotes 62.875 operations per cycle for the advection kernel at
+the MONC default column height of 64.  The reproduction *derives* that
+figure from the per-cell operation model and the column height
+(:func:`repro.constants.derived_ops_per_cycle`); these tests pin the
+derivation at the paper's point and check it composes for every kernel
+in the scenario suite.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.core.buoyancy import (
+    BUOYANCY_OPS_PER_CELL,
+    BUOYANCY_OPS_PER_TOP_CELL,
+)
+from repro.core.diffusion import DIFFUSION_OPS_PER_CELL
+from repro.core.grid import Grid
+from repro.errors import ConfigurationError
+from repro.lint.registry import LintContext
+from repro.lint.runner import run_lint
+from repro.observe.opscycle import OpsPerCycleReport
+from repro.scenarios import OpModel, get
+
+
+class TestDerivedOpsPerCycle:
+    def test_paper_figure_at_default_height(self):
+        """The quoted 62.875 falls out of the 63/55 model at h = 64."""
+        assert constants.derived_ops_per_cycle(64) == 62.875
+        assert constants.derived_ops_per_cycle(
+            constants.DEFAULT_COLUMN_HEIGHT) == 62.875
+
+    def test_historical_alias_stays_in_lock_step(self):
+        for height in (2, 3, 8, 64, 96, 128):
+            assert constants.average_ops_per_cycle(height) == \
+                constants.derived_ops_per_cycle(height)
+
+    @given(height=st.integers(min_value=2, max_value=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_composes_from_the_operation_model(self, height):
+        derived = constants.derived_ops_per_cycle(height)
+        composed = ((height - 1) * constants.OPS_PER_CELL
+                    + constants.OPS_PER_TOP_CELL) / height
+        assert derived == composed
+        # The one-sided top only ever costs, never gains.
+        assert derived <= constants.OPS_PER_CELL
+
+    def test_tends_to_interior_count_on_tall_columns(self):
+        """Deep columns amortise the top saving toward the 63-op cell."""
+        shallow = constants.derived_ops_per_cycle(4)
+        deep = constants.derived_ops_per_cycle(1024)
+        assert shallow < deep < constants.OPS_PER_CELL
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            constants.derived_ops_per_cycle(1)
+        with pytest.raises(ConfigurationError):
+            constants.derived_ops_per_cycle(64, ops_per_cell=0)
+
+    def test_lint_rule_ac305_passes(self):
+        """The accounting family pins the derivation in every lint run."""
+        report = run_lint(LintContext(), select=["AC305"])
+        assert not report.diagnostics
+
+
+class TestOpModel:
+    def test_advection_model_reproduces_the_paper(self):
+        model = OpModel(63, 55)
+        assert model.ops_per_cycle(64) == 62.875
+        assert model.flops_scale == 1.0
+        grid = Grid(nx=4, ny=5, nz=64)
+        assert model.grid_flops(grid) == 20 * (63 * 63 + 55)
+
+    def test_scenario_models_scale(self):
+        diffusion = get("diffusion").kernel.op_model
+        buoyancy = get("buoyancy").kernel.op_model
+        assert diffusion.ops_per_cell == DIFFUSION_OPS_PER_CELL
+        assert buoyancy.ops_per_cell == BUOYANCY_OPS_PER_CELL
+        assert buoyancy.ops_per_top_cell == BUOYANCY_OPS_PER_TOP_CELL
+        # Ops intensity spans both sides of unity across the suite.
+        assert buoyancy.flops_scale < diffusion.flops_scale < 1.0
+
+    def test_column_height_is_a_live_axis(self):
+        """Different grid families yield different derived peaks."""
+        cubic = get("pw-advection")
+        tall = get("pw-advection-tall")
+        assert cubic.ops_per_cycle != tall.ops_per_cycle
+        assert tall.ops_per_cycle == \
+            constants.derived_ops_per_cycle(tall.grids.column_height)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpModel(0, 55)
+        with pytest.raises(ConfigurationError):
+            OpModel(63, 55).column_flops(1)
+
+
+class TestReportUsesTheModel:
+    def test_theoretical_peak_derives_per_kernel(self):
+        report = OpsPerCycleReport(cycles=100, flops=500, column_height=64)
+        assert report.theoretical_ops_per_cycle == 62.875
+        scenario = OpsPerCycleReport(
+            cycles=100, flops=500, column_height=10,
+            ops_per_cell=45, ops_per_top_cell=45)
+        assert scenario.theoretical_ops_per_cycle == 45.0
+        assert scenario.to_dict()["ops_per_cell"] == 45
