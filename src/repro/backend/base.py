@@ -1,0 +1,184 @@
+"""The hardware-backend abstraction and its registry.
+
+A :class:`Backend` bundles everything the toolchain needs to target one
+*family* of machines: a device catalog, a tuner parameter space, a
+lint-gated cost model, structural-graph lowering for the static
+verifier, a lint entry point, a roofline summary, and a deterministic
+scenario-pricing policy.  The FPGA shift-buffer path the paper describes
+(`fpga_shiftbuffer`, Alveo U280 + Stratix 10) and the Versal AI-engine
+array from Brown's follow-on paper (`versal_aie`) are both registered
+backends; ``repro tune/lint/analyze/simulate/scenarios --backend ...``
+dispatch through this interface and nothing else.
+
+Built-in backends are imported lazily on first lookup so that importing
+:mod:`repro.backend` (e.g. from :mod:`repro.tune.space`, which uses the
+shared :class:`~repro.backend.space.AxisSpace`) never drags in the tune
+package and cannot create an import cycle.
+"""
+
+from __future__ import annotations
+
+import abc
+from importlib import import_module
+from typing import TYPE_CHECKING, Any, ClassVar, Iterator
+
+from repro.errors import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.grid import Grid
+    from repro.dataflow.graph import DataflowGraph
+    from repro.lint.diagnostics import LintReport
+    from repro.scenarios.base import Scenario
+    from repro.tune.cost import Evaluation
+
+__all__ = [
+    "Backend",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
+
+#: Backend used whenever a CLI or API caller does not name one; wraps
+#: today's U280/Stratix 10 shift-buffer path bit-identically.
+DEFAULT_BACKEND = "fpga_shiftbuffer"
+
+_REGISTRY: dict[str, "Backend"] = {}
+
+#: Modules whose import registers the built-in backends.
+_BUILTIN_BACKEND_MODULES = (
+    "repro.backend.fpga_shiftbuffer",
+    "repro.backend.versal_aie",
+)
+
+_builtins_loaded = False
+
+
+class Backend(abc.ABC):
+    """One hardware family the toolchain can target end to end."""
+
+    #: Stable registry id (``--backend`` value, cache scope component).
+    id: ClassVar[str]
+    #: Human-readable family title for reports.
+    title: ClassVar[str]
+    #: Device resolved when the caller names none.
+    default_device: ClassVar[str]
+
+    # -- device catalog -------------------------------------------------
+    @abc.abstractmethod
+    def device_names(self) -> tuple[str, ...]:
+        """Canonical catalog names this backend can resolve."""
+
+    @abc.abstractmethod
+    def resolve_device(self, name: str | None = None) -> Any:
+        """Resolve ``name`` (or the backend default) to a device model.
+
+        Raises :class:`BackendError` when the name belongs to a different
+        family or is unknown.
+        """
+
+    # -- tuner surface --------------------------------------------------
+    @abc.abstractmethod
+    def parameter_space(self, device: Any, grid: "Grid", *,
+                        wide_precision: bool = False) -> Any:
+        """The tuner design space for ``device`` at ``grid``.
+
+        The returned object exposes the :class:`repro.backend.space.
+        AxisSpace` surface (``size``/``points``/``point_at``/
+        ``neighbours``) so every search strategy works unchanged.
+        """
+
+    @abc.abstractmethod
+    def cost_model(self, device: Any, grid: "Grid", *,
+                   flops_scale: float = 1.0) -> Any:
+        """A lint-gated analytic cost model with ``evaluate(point)``."""
+
+    @abc.abstractmethod
+    def point_from_dict(self, data: dict) -> Any:
+        """Rebuild a design point from its ``to_dict`` form (cache I/O)."""
+
+    # -- lowering and lint ----------------------------------------------
+    @abc.abstractmethod
+    def structural_graph(self, grid: "Grid", *, point: Any | None = None,
+                         read_ii: int = 1) -> "DataflowGraph":
+        """Lower a deployment to a dataflow graph for ``repro analyze``."""
+
+    @abc.abstractmethod
+    def lint(self, grid: "Grid", *, device: Any | None = None,
+             num_kernels: int | None = None, select: Any = None,
+             ignore: Any = None, subject: str = "") -> "LintReport":
+        """Run this backend's lint family over a canonical deployment."""
+
+    # -- accounting ------------------------------------------------------
+    @abc.abstractmethod
+    def roofline(self, column_height: int = 64) -> dict:
+        """Analytic peak/attainable summary for the default device."""
+
+    @abc.abstractmethod
+    def scenario_candidates(self, device: Any,
+                            grid: "Grid") -> Iterator[Any]:
+        """Deterministic candidate deployments, most aggressive first.
+
+        :meth:`price_scenario` walks these in order and serves the first
+        feasible one, so the sequence must degrade gracefully (fewer
+        replicas / narrower vectors) rather than stop at the peak point.
+        """
+
+    def price_scenario(self, scenario: "Scenario", *,
+                       device: Any | None = None) -> "Evaluation":
+        """Price ``scenario`` on this backend: the first feasible
+        candidate deployment on the scenario's small grid, costed with
+        the scenario's ``flops_scale``.
+
+        Raises :class:`BackendError` when no candidate is feasible.
+        """
+        resolved = device if device is not None else self.resolve_device()
+        grid = scenario.grids.small_grid()
+        model = self.cost_model(resolved, grid,
+                                flops_scale=scenario.flops_scale)
+        rejects: list[str] = []
+        for point in self.scenario_candidates(resolved, grid):
+            evaluation = model.evaluate(point)
+            if evaluation.feasible:
+                return evaluation
+            rejects.extend(evaluation.reject_codes)
+        raise BackendError(
+            f"backend {self.id!r} has no feasible deployment for "
+            f"scenario {scenario.name!r} on {grid.nx}x{grid.ny}x{grid.nz} "
+            f"(rejects: {sorted(set(rejects)) or 'none'})"
+        )
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add ``backend`` to the registry (ids must be unique)."""
+    if backend.id in _REGISTRY:
+        raise BackendError(f"backend {backend.id!r} is already registered")
+    _REGISTRY[backend.id] = backend
+    return backend
+
+
+def _load_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for module in _BUILTIN_BACKEND_MODULES:
+        import_module(module)
+
+
+def backend_names() -> tuple[str, ...]:
+    """Sorted ids of every registered backend."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """Look up a backend by id (``None`` -> the default backend)."""
+    _load_builtins()
+    wanted = name or DEFAULT_BACKEND
+    try:
+        return _REGISTRY[wanted]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {wanted!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None

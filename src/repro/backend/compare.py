@@ -1,0 +1,128 @@
+"""Cross-architecture Pareto comparison (GFLOPS vs watts).
+
+The ROADMAP's multi-backend goal is exactly this plot: once a Versal
+deployment has been tuned, put it on one front with the paper's four
+measured platforms — the U280 and Stratix 10 priced through the
+``fpga_shiftbuffer`` cost model at the same grid, and the Xeon 8260M /
+Tesla V100 from the calibrated catalog models — and mark which
+architectures are Pareto-optimal on (kernel GFLOPS up, watts down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.backend.base import get_backend
+from repro.core.grid import Grid
+from repro.hardware.devices import TESLA_V100, XEON_8260M
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tune.cost import Evaluation
+
+__all__ = ["ArchitecturePoint", "cross_architecture_front"]
+
+_ROUND = 6
+
+
+@dataclass
+class ArchitecturePoint:
+    """One architecture's best known operating point on the shared axes."""
+
+    architecture: str
+    backend: str
+    device: str
+    kernel_gflops: float
+    watts: float
+    detail: str = ""
+    on_front: bool = False
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.kernel_gflops / self.watts if self.watts else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "architecture": self.architecture,
+            "backend": self.backend,
+            "device": self.device,
+            "kernel_gflops": round(self.kernel_gflops, _ROUND),
+            "watts": round(self.watts, _ROUND),
+            "gflops_per_watt": round(self.gflops_per_watt, _ROUND),
+            "detail": self.detail,
+            "on_front": self.on_front,
+        }
+
+
+def _fpga_reference(device_name: str, grid: Grid,
+                    flops_scale: float) -> "ArchitecturePoint | None":
+    """First feasible canonical deployment on an FPGA catalog device."""
+    backend = get_backend("fpga_shiftbuffer")
+    device = backend.resolve_device(device_name)
+    model = backend.cost_model(device, grid, flops_scale=flops_scale)
+    for point in backend.scenario_candidates(device, grid):
+        evaluation = model.evaluate(point)
+        if evaluation.feasible:
+            return ArchitecturePoint(
+                architecture=device_name,
+                backend=backend.id,
+                device=device.name,
+                kernel_gflops=evaluation.kernel_gflops,
+                watts=evaluation.watts,
+                detail=evaluation.point.key(),
+            )
+    return None
+
+
+def cross_architecture_front(versal_best: "Evaluation | None", grid: Grid,
+                             *, flops_scale: float = 1.0
+                             ) -> list[ArchitecturePoint]:
+    """All five architectures on one (GFLOPS, watts) front.
+
+    ``versal_best`` is the tuned ``versal_aie`` evaluation (``None``
+    leaves Versal off the plot, e.g. when the tune found nothing
+    feasible).  Entries are sorted by kernel GFLOPS descending and
+    flagged ``on_front`` when no other entry dominates them.
+    """
+    points: list[ArchitecturePoint] = []
+    for name in ("u280", "stratix10"):
+        reference = _fpga_reference(name, grid, flops_scale)
+        if reference is not None:
+            points.append(reference)
+    points.append(ArchitecturePoint(
+        architecture="cpu",
+        backend="host",
+        device=XEON_8260M.name,
+        kernel_gflops=XEON_8260M.gflops() * flops_scale,
+        watts=XEON_8260M.run_power_watts(),
+        detail=f"{XEON_8260M.cores} cores",
+    ))
+    points.append(ArchitecturePoint(
+        architecture="gpu",
+        backend="host",
+        device=TESLA_V100.name,
+        kernel_gflops=TESLA_V100.kernel_gflops * flops_scale,
+        watts=TESLA_V100.run_power_watts(),
+        detail="OpenACC port",
+    ))
+    if versal_best is not None:
+        points.append(ArchitecturePoint(
+            architecture="versal",
+            backend="versal_aie",
+            device=get_backend("versal_aie").resolve_device().name,
+            kernel_gflops=versal_best.kernel_gflops,
+            watts=versal_best.watts,
+            detail=versal_best.point.key(),
+        ))
+
+    for entry in points:
+        entry.on_front = not any(
+            other is not entry
+            and other.kernel_gflops >= entry.kernel_gflops
+            and other.watts <= entry.watts
+            and (other.kernel_gflops > entry.kernel_gflops
+                 or other.watts < entry.watts)
+            for other in points
+        )
+    points.sort(key=lambda e: (-e.kernel_gflops, e.watts, e.architecture))
+    return points

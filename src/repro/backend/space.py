@@ -1,0 +1,108 @@
+"""Shared mixed-radix design-space machinery for backend tuner spaces.
+
+Every backend exposes a parameter space as a cross product of per-axis
+candidate tuples.  :class:`AxisSpace` implements the space algebra once
+— deterministic enumeration, O(1) mixed-radix indexing, single-axis
+neighbourhoods for local search — in terms of two hooks a concrete
+space provides:
+
+* :meth:`AxisSpace.axes` — axis name -> candidate values, in the point
+  type's field order, and
+* :meth:`AxisSpace._make_point` — construct a point from axis keywords.
+
+The tuner's search strategies are written against exactly this surface
+(``size``, ``points``, ``point_at``, ``neighbours`` and ``point.key()``),
+so any backend whose space derives from :class:`AxisSpace` is searchable
+by every registered strategy with no strategy changes.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterator
+
+from repro.errors import TuneError
+
+__all__ = ["AxisSpace"]
+
+
+class AxisSpace:
+    """Mixed-radix cross product of named candidate axes."""
+
+    def axes(self) -> dict[str, tuple]:
+        """Axis name -> candidate values, in point field order."""
+        raise NotImplementedError
+
+    def _make_point(self, **values: Any) -> Any:
+        """Construct a point of this space from axis keywords."""
+        raise NotImplementedError
+
+    def validate_axes(self) -> None:
+        """Reject empty or duplicated axes (call from ``__post_init__``)."""
+        for name, axis in self._axis_fields().items():
+            if not axis:
+                raise TuneError(f"parameter axis {name!r} is empty")
+            if len(set(axis)) != len(axis):
+                raise TuneError(f"parameter axis {name!r} has duplicates")
+
+    def _axis_fields(self) -> dict[str, tuple]:
+        """Axis storage-field name -> values, for validation messages.
+
+        Defaults to :meth:`axes`; spaces whose dataclass fields are named
+        differently from their point fields (plural vs singular) override
+        this so error messages cite the declared field.
+        """
+        return self.axes()
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for axis in self.axes().values():
+            total *= len(axis)
+        return total
+
+    def points(self) -> Iterator[Any]:
+        """Every point, in deterministic lexicographic axis order."""
+        names = tuple(self.axes())
+        for values in product(*self.axes().values()):
+            yield self._make_point(**dict(zip(names, values)))
+
+    def point_at(self, index: int) -> Any:
+        """The ``index``-th point of :meth:`points` without materialising.
+
+        Treats the space as a mixed-radix number, most-significant axis
+        first — the same order ``points()`` yields.
+        """
+        if not 0 <= index < self.size:
+            raise TuneError(
+                f"point index {index} outside space of {self.size}"
+            )
+        axes = self.axes()
+        chosen: dict[str, Any] = {}
+        for name in reversed(tuple(axes)):
+            axis = axes[name]
+            index, digit = divmod(index, len(axis))
+            chosen[name] = axis[digit]
+        return self._make_point(**chosen)
+
+    def neighbours(self, point: Any) -> list[Any]:
+        """Points one step away along a single axis (for local search)."""
+        out: list[Any] = []
+        values = point.to_dict()
+        for name, axis in self.axes().items():
+            try:
+                at = axis.index(values[name])
+            except ValueError:
+                raise TuneError(
+                    f"point {point.key()} is not on the space's "
+                    f"{name} axis {axis}"
+                ) from None
+            for step in (-1, 1):
+                if 0 <= at + step < len(axis):
+                    moved = dict(values)
+                    moved[name] = axis[at + step]
+                    out.append(self._make_point(**moved))
+        return out
+
+    def to_dict(self) -> dict:
+        return {name: list(axis) for name, axis in self.axes().items()}

@@ -51,6 +51,11 @@ Commands
     depth, precision, memory space and host schedule; prints the best
     deployment and the (GFLOPS, utilisation, watts) Pareto front, with
     optional simulation-backed refinement of the top candidates.
+    ``--backend versal_aie`` explores the AI-engine array axes instead
+    (tile columns x engines x vector lanes x buffering) and adds the
+    cross-architecture front spanning U280 / Stratix 10 / Versal /
+    CPU / GPU.  ``simulate``, ``lint``, ``analyze`` and ``scenarios``
+    accept the same ``--backend`` flag (see docs/backends.md).
 ``serve [--fleet 2xu280+1xstratix10] [--jobs 24] [--rate 300] [--chaos]``
     Advection-as-a-service fleet scheduler under a seeded Poisson load:
     admission-priced jobs, exact->fast degradation, per-device circuit
@@ -113,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a registered workload-suite scenario "
                             "(see 'repro scenarios'); grid defaults to "
                             "the scenario's grid family")
+    p_sim.add_argument("--backend", default=None, metavar="ID",
+                       help="target a registered hardware backend; "
+                            "non-default backends print the analytic "
+                            "invocation summary and the roofline "
+                            "cross-check instead of a cycle-accurate run")
     p_sim.add_argument("--nx", type=int, default=None)
     p_sim.add_argument("--ny", type=int, default=None)
     p_sim.add_argument("--nz", type=int, default=None)
@@ -149,6 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--check-cli", action="store_true",
                         help="fail if any kernel reachable from the CLI "
                              "has no registered scenario")
+    p_scen.add_argument("--backend", default=None, metavar="ID",
+                        help="price every listed scenario on a registered "
+                             "hardware backend (adds a backend_pricing "
+                             "section; non-zero exit if any scenario has "
+                             "no feasible deployment)")
     p_scen.add_argument("--seed", type=int, default=0)
     p_scen.add_argument("--json", action="store_true",
                         help="emit the listing (and any results) as "
@@ -177,8 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--scenario", default=None, metavar="NAME",
                         help="lint a registered workload-suite scenario's "
                              "dataflow graph instead")
-    p_lint.add_argument("--device", default="u280",
-                        help="target FPGA (u280 | stratix10)")
+    p_lint.add_argument("--backend", default=None, metavar="ID",
+                        help="lint through a registered hardware backend "
+                             "(fpga_shiftbuffer | versal_aie); the "
+                             "default path is the fpga_shiftbuffer family")
+    p_lint.add_argument("--device", default=None,
+                        help="target device (u280 | stratix10 | vc1902; "
+                             "default: the backend's default device)")
     p_lint.add_argument("--cells", default="16M",
                         help="problem size label "
                              f"({', '.join(constants.PAPER_GRID_LABELS)})")
@@ -213,6 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("--scenario", default=None, metavar="NAME",
                        help="analyze a registered workload-suite "
                             "scenario's dataflow graph instead")
+    p_ana.add_argument("--backend", default=None, metavar="ID",
+                       help="analyze a hardware backend's lowered graph "
+                            "(fpga_shiftbuffer | versal_aie)")
     p_ana.add_argument("--cells", default="16M",
                        help="problem size label "
                             f"({', '.join(constants.PAPER_GRID_LABELS)})")
@@ -301,8 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
         "tune",
         help="design-space exploration over deployment parameters",
     )
-    p_tune.add_argument("--device", default="u280",
-                        help="target FPGA (u280 | stratix10)")
+    p_tune.add_argument("--backend", default=None, metavar="ID",
+                        help="hardware backend (fpga_shiftbuffer | "
+                             "versal_aie; default fpga_shiftbuffer)")
+    p_tune.add_argument("--device", default=None,
+                        help="target device (u280 | stratix10 | vc1902; "
+                             "default: the backend's default device)")
     p_tune.add_argument("--scenario", default=None, metavar="NAME",
                         help="tune for a registered workload-suite "
                              "scenario: its default grid and its "
@@ -353,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mean arrivals per modelled second")
     p_serve.add_argument("--seed", type=int, default=0,
                          help="load seed (arrivals, tenants, tier mix)")
+    p_serve.add_argument("--scenario", default=None, metavar="NAME",
+                         help="serve a registered workload-suite scenario "
+                              "instead of plain advection (admission "
+                              "quotes scale by the scenario's operation "
+                              "intensity)")
     p_serve.add_argument("--nx", type=int, default=8)
     p_serve.add_argument("--ny", type=int, default=9)
     p_serve.add_argument("--nz", type=int, default=8)
@@ -500,6 +532,45 @@ def _cmd_simulate_scenario(args) -> int:
     return 0 if diff == 0.0 else 1
 
 
+def _cmd_simulate_backend(args, backend) -> int:
+    """Analytic invocation summary for a backend with no cycle engine."""
+    from repro.core.grid import Grid
+
+    grid = Grid(nx=args.nx or 64, ny=args.ny or 64, nz=args.nz or 64)
+    device = backend.resolve_device()
+    model = backend.cost_model(device, grid)
+    if hasattr(backend, "canonical_point"):
+        point = backend.canonical_point(device, tile_columns=args.kernels)
+    else:  # pragma: no cover - no such backend registered today
+        point = next(iter(backend.scenario_candidates(device, grid)))
+    evaluation = model.evaluate(point)
+    roofline = backend.roofline(grid.nz)
+
+    print(f"backend:  {backend.id} ({backend.title})")
+    print(f"device:   {device.name}")
+    print(f"grid:     {grid.interior_shape}, point {point.key()}")
+    if not evaluation.feasible:
+        print(f"rejected: {evaluation.reject_reason}")
+        return 1
+    bound = "feed-bound" if evaluation.memory_bound else "compute-bound"
+    print(f"kernel:   {evaluation.kernel_gflops:.2f} GFLOPS analytic "
+          f"({evaluation.kernel_seconds * 1e3:.3f} ms, {bound})")
+    print(f"host:     {evaluation.runtime_seconds * 1e3:.3f} ms "
+          f"end-to-end ({evaluation.end_to_end_gflops:.2f} GFLOPS "
+          f"incl. transfers)")
+    print(f"power:    {evaluation.watts:.1f} W "
+          f"({evaluation.gflops_per_watt:.3f} GFLOPS/W)")
+    line = f"roofline: {roofline['attainable_gflops']:.2f} GFLOPS attainable"
+    if "projection_attainable_gflops" in roofline:
+        verdict = ("consistent" if roofline["projection_consistent"]
+                   else "INCONSISTENT")
+        line += (f"; projection "
+                 f"{roofline['projection_attainable_gflops']:.2f} "
+                 f"[{verdict}]")
+    print(line)
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     import time
 
@@ -509,6 +580,18 @@ def _cmd_simulate(args) -> int:
     from repro.kernel.multi_simulate import simulate_multi_kernel
     from repro.kernel.simulate import simulate_kernel
 
+    if args.backend:
+        from repro.backend import DEFAULT_BACKEND, get_backend
+
+        backend = get_backend(args.backend)
+        if backend.id != DEFAULT_BACKEND:
+            if args.scenario:
+                print("error: --backend and --scenario are mutually "
+                      "exclusive on simulate", file=sys.stderr)
+                return 2
+            return _cmd_simulate_backend(args, backend)
+        # The default backend *is* the cycle-accurate shift-buffer
+        # path below; naming it explicitly changes nothing.
     if args.scenario:
         return _cmd_simulate_scenario(args)
     grid = Grid(nx=args.nx or 32, ny=args.ny or 32, nz=args.nz or 32)
@@ -609,6 +692,31 @@ def _cmd_scenarios(args) -> int:
         if uncovered:
             ok = False
 
+    pricing = None
+    if args.backend:
+        from repro.backend import get_backend
+        from repro.errors import BackendError
+
+        backend = get_backend(args.backend)
+        pricing = []
+        for scenario in listing:
+            entry: dict = {"scenario": scenario.name,
+                           "backend": backend.id,
+                           "flops_scale": scenario.flops_scale}
+            try:
+                evaluation = backend.price_scenario(scenario)
+            except BackendError as error:
+                entry["feasible"] = False
+                entry["error"] = str(error)
+                ok = False
+            else:
+                entry["feasible"] = True
+                entry["point"] = evaluation.point.key()
+                entry["kernel_gflops"] = round(evaluation.kernel_gflops, 6)
+                entry["watts"] = round(evaluation.watts, 6)
+            pricing.append(entry)
+        payload["backend_pricing"] = pricing
+
     report = None
     if args.conformance:
         report = run_suite(selected, seed=args.seed)
@@ -639,6 +747,18 @@ def _cmd_scenarios(args) -> int:
         else:
             print("CLI kernel coverage: every reachable kernel is "
                   "registered")
+    if pricing is not None:
+        print()
+        print(f"backend pricing ({args.backend}):")
+        for entry in pricing:
+            if entry["feasible"]:
+                print(f"  {entry['scenario']:>20}  "
+                      f"{entry['point']:<26} "
+                      f"{entry['kernel_gflops']:9.2f} GFLOPS "
+                      f"{entry['watts']:6.1f} W")
+            else:
+                print(f"  {entry['scenario']:>20}  INFEASIBLE "
+                      f"({entry['error']})")
     if report is not None:
         print()
         print(report.render_text())
@@ -665,6 +785,11 @@ def _cmd_lint(args) -> int:
 
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
+
+    if args.backend and (args.scenario or args.specs):
+        print("error: --backend lints the kernel built from the flags, "
+              "not specs or scenarios", file=sys.stderr)
+        return 2
 
     targets = []
     try:
@@ -694,21 +819,38 @@ def _cmd_lint(args) -> int:
                           f"{', '.join(constants.PAPER_GRID_LABELS)}",
                           file=sys.stderr)
                     return 2
-            try:
-                device = device_by_name(args.device)
-            except ConfigurationError as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
-            if not hasattr(device, "capacity"):
-                print(f"error: {device.name} is not an FPGA model; lint "
-                      f"needs a fabric capacity", file=sys.stderr)
-                return 2
-            config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
-                      if args.chunk_width else KernelConfig(grid=grid))
-            report = lint_kernel(config, device, args.kernels,
-                                 select=select, ignore=ignore,
-                                 subject=f"{args.device}:{args.cells}")
-            targets = [report]
+            if args.backend:
+                from repro.backend import DEFAULT_BACKEND, get_backend
+
+                backend = get_backend(args.backend)
+            else:
+                backend = None
+            if backend is not None and backend.id != DEFAULT_BACKEND:
+                # Non-default families lint their canonical deployment
+                # (--kernels maps to the backend's replica axis, e.g.
+                # Versal tile columns); --chunk-width has no analogue.
+                report = backend.lint(
+                    grid, device=args.device, num_kernels=args.kernels,
+                    select=select, ignore=ignore)
+                targets = [report]
+            else:
+                device_name = args.device or "u280"
+                try:
+                    device = device_by_name(device_name)
+                except ConfigurationError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                if not hasattr(device, "capacity"):
+                    print(f"error: {device.name} is not an FPGA model; "
+                          f"lint needs a fabric capacity", file=sys.stderr)
+                    return 2
+                config = (KernelConfig(grid=grid,
+                                       chunk_width=args.chunk_width)
+                          if args.chunk_width else KernelConfig(grid=grid))
+                report = lint_kernel(config, device, args.kernels,
+                                     select=select, ignore=ignore,
+                                     subject=f"{device_name}:{args.cells}")
+                targets = [report]
     except LintError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -752,6 +894,10 @@ def _cmd_analyze(args) -> int:
     if args.fix_depths and len(args.specs) != 1:
         print("error: --fix-depths needs exactly one spec", file=sys.stderr)
         return 2
+    if args.backend and (args.scenario or args.specs):
+        print("error: --backend analyzes the graph built from the flags, "
+              "not specs or scenarios", file=sys.stderr)
+        return 2
 
     targets: list[tuple[str, Any]] = []  # (name, graph)
     raw_spec: dict | None = None
@@ -790,11 +936,20 @@ def _cmd_analyze(args) -> int:
                           f"{', '.join(constants.PAPER_GRID_LABELS)}",
                           file=sys.stderr)
                     return 2
-            config = (KernelConfig(grid=grid, chunk_width=args.chunk_width)
-                      if args.chunk_width else KernelConfig(grid=grid))
-            targets.append((
-                "advection",
-                build_structural_graph(config, read_ii=args.read_ii)))
+            if args.backend:
+                from repro.backend import get_backend
+
+                backend = get_backend(args.backend)
+                targets.append((
+                    f"backend:{backend.id}",
+                    backend.structural_graph(grid, read_ii=args.read_ii)))
+            else:
+                config = (KernelConfig(grid=grid,
+                                       chunk_width=args.chunk_width)
+                          if args.chunk_width else KernelConfig(grid=grid))
+                targets.append((
+                    "advection",
+                    build_structural_graph(config, read_ii=args.read_ii)))
     except LintError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -976,7 +1131,7 @@ def _cmd_tune(args) -> int:
     tracer = Tracer(enabled=args.trace is not None)
     metrics = MetricRegistry(enabled=args.trace is not None)
     report = tune(
-        args.device, grid,
+        args.device, grid, backend=args.backend,
         strategy=args.strategy, objective=args.objective,
         budget=args.budget, seed=args.seed,
         wide_precision=args.wide_precision, flops_scale=flops_scale,
@@ -984,21 +1139,54 @@ def _cmd_tune(args) -> int:
         tracer=tracer, metrics=metrics,
     )
 
+    # A tuned Versal deployment lands on one front with the paper's
+    # four measured platforms (U280, Stratix 10, Xeon 8260M, V100).
+    cross = None
+    if report.backend == "versal_aie":
+        from repro.backend.compare import cross_architecture_front
+
+        cross = cross_architecture_front(report.best, grid,
+                                         flops_scale=flops_scale)
+
     if args.trace:
         path = write_trace(args.trace, tracer,
-                           process_name=f"tune-{args.device}")
+                           process_name=f"tune-{args.device or report.device}")
         print(f"wrote Perfetto search trace: {path}", file=sys.stderr)
     if args.pareto:
+        if cross is None:
+            pareto_payload = [e.to_dict() for e in report.front]
+        else:
+            pareto_payload = {
+                "front": [e.to_dict() for e in report.front],
+                "cross_architecture": [p.to_dict() for p in cross],
+            }
         with open(args.pareto, "w") as handle:
             handle.write(json_module.dumps(
-                [e.to_dict() for e in report.front],
-                indent=2, sort_keys=True) + "\n")
+                pareto_payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote Pareto front: {args.pareto}", file=sys.stderr)
 
     if args.json:
-        sys.stdout.write(report.to_json())
+        if cross is None:
+            sys.stdout.write(report.to_json())
+        else:
+            payload = report.to_dict()
+            payload["cross_architecture"] = [p.to_dict() for p in cross]
+            sys.stdout.write(json_module.dumps(
+                payload, indent=2, sort_keys=True) + "\n")
     else:
         print(render_text(report), end="")
+        if cross is not None:
+            print()
+            print("cross-architecture front (kernel GFLOPS vs watts):")
+            header = (f"  {'architecture':>12}  {'backend':<16} "
+                      f"{'GFLOPS':>9} {'watts':>7} {'GF/W':>7}  front")
+            print(header)
+            print("  " + "-" * (len(header) - 2))
+            for entry in cross:
+                print(f"  {entry.architecture:>12}  {entry.backend:<16} "
+                      f"{entry.kernel_gflops:9.2f} {entry.watts:7.1f} "
+                      f"{entry.gflops_per_watt:7.3f}  "
+                      f"{'*' if entry.on_front else '-'}")
 
     if report.best is None:
         print("error: no feasible deployment in the space",
@@ -1029,6 +1217,7 @@ def _cmd_serve(args) -> int:
         exact_fraction=args.exact_fraction,
         deadline_seconds=(None if args.deadline_ms is None
                           else args.deadline_ms * 1e-3),
+        scenario=args.scenario,
     )
 
     fault_plan = None

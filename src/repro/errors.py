@@ -31,6 +31,7 @@ __all__ = [
     "ReplicaLostError",
     "CheckpointError",
     "TuneError",
+    "BackendError",
 ]
 
 
@@ -138,3 +139,8 @@ class CheckpointError(FaultError):
 
 class TuneError(ReproError):
     """Design-space exploration failed (bad space, strategy, or cache)."""
+
+
+class BackendError(ReproError):
+    """A hardware backend is unknown, misconfigured, or cannot serve a
+    request (e.g. no feasible deployment exists for a scenario)."""

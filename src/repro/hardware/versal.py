@@ -12,6 +12,13 @@ buffer design."
 compute ceiling of an AI-engine array on the PW kernel, the feed
 bandwidth the shift-buffer fabric must sustain to keep it busy, and the
 resulting roofline against realisable on-chip bandwidth.
+
+.. deprecated::
+    Import :class:`AIEngineProjection` from :mod:`repro.backend` — the
+    projection is folded into the ``versal_aie`` backend's roofline as
+    a consistency cross-check, and the backend package is its canonical
+    home.  This module remains as a compatibility alias for the device
+    constants (:data:`VERSAL_VC1902`, :data:`STRATIX10_NX_PROJECTION`).
 """
 
 from __future__ import annotations

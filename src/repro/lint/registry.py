@@ -15,6 +15,7 @@ Code families
 ``RS``  device resource budgets (fabric fit, on-chip RAM, memory capacity)
 ``AC``  FLOP accounting (the paper's 63/55-op model)
 ``SA``  proved static-analysis facts (deadlock, minimal depths, periods)
+``BK``  backend deployments (e.g. Versal AI-engine array constraints)
 """
 
 from __future__ import annotations
@@ -51,6 +52,11 @@ class LintContext:
     chunk_plan: "ChunkPlan | None" = None
     #: External-memory initiation interval imposed on the read stage.
     read_ii: int = 1
+    #: A backend-specific deployment under lint (e.g. a
+    #: :class:`repro.backend.versal_aie.VersalDeployment`); only the
+    #: ``BK`` rule family requires it, so every existing flow skips
+    #: those rules untouched.
+    backend_deployment: Any = None
     #: Free-form extras for experiment-specific rules.
     extras: dict[str, Any] = field(default_factory=dict)
 

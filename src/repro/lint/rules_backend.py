@@ -1,0 +1,153 @@
+"""``BK`` rules: backend-deployment constraints (Versal AI-engine array).
+
+The FPGA shift-buffer path prices FIFO depths and fabric budgets with
+the ``DF``/``RS`` families; an AI-engine array has neither — its hard
+limits are the stream interconnect (PLIO feed budget), the memory-tile
+working set, the array geometry, and the vector datapath width.  These
+rules inspect a :class:`~repro.lint.registry.LintContext`'s
+``backend_deployment`` (duck-typed: ``device``/``point``/``grid`` plus
+the derived ``streams_needed``/``tile_bytes_needed``), so the module
+stays import-cycle-free and the family is skipped entirely for every
+flow that does not target a backend deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import LintContext, rule
+
+__all__: list[str] = []
+
+
+def _location(deployment: object) -> Location:
+    point = getattr(deployment, "point", None)
+    detail = point.key() if point is not None else ""
+    device = getattr(deployment, "device", None)
+    name = getattr(device, "name", "backend")
+    return Location("deployment", name, detail)
+
+
+@rule("BK101", name="vector-lanes-illegal", family="backend",
+      description="vector lanes must be a power of two no wider than the "
+                  "engine datapath",
+      requires=("backend_deployment",))
+def check_vector_lanes(context: LintContext) -> Iterable[Diagnostic]:
+    deployment = context.backend_deployment
+    point = deployment.point
+    lanes = point.vector_lanes
+    limit = deployment.device.vector_lanes_max
+    if lanes < 1 or lanes & (lanes - 1):
+        yield Diagnostic(
+            code="BK101", severity=Severity.ERROR,
+            message=(
+                f"vector_lanes = {lanes} is not a power of two; the VLIW "
+                f"vector datapath only issues power-of-two lane groups"
+            ),
+            location=_location(deployment),
+            hint="choose lanes from 1, 2, 4, 8",
+        )
+    elif lanes > limit:
+        yield Diagnostic(
+            code="BK101", severity=Severity.ERROR,
+            message=(
+                f"vector_lanes = {lanes} exceeds the engine datapath "
+                f"width of {limit} single-precision lanes"
+            ),
+            location=_location(deployment),
+            hint=f"the device issues at most {limit} SP FLOPs per cycle "
+                 f"per engine",
+        )
+
+
+@rule("BK102", name="single-buffered-feed", family="backend",
+      description="single-buffered memory tiles serialise load and "
+                  "compute phases",
+      requires=("backend_deployment",), severity=Severity.WARNING)
+def check_buffering(context: LintContext) -> Iterable[Diagnostic]:
+    deployment = context.backend_deployment
+    if getattr(deployment, "buffers", 2) < 2:
+        yield Diagnostic(
+            code="BK102", severity=Severity.WARNING,
+            message=(
+                "single-buffered memory tiles serialise PLIO loads with "
+                "engine compute; throughput drops to the harmonic mean "
+                "of the two rates"
+            ),
+            location=_location(deployment),
+            hint="double-buffer the memory tiles (ping-pong) to overlap "
+                 "load and compute",
+        )
+
+
+@rule("BK201", name="plio-stream-budget", family="backend",
+      description="tile columns must fit the device's PLIO stream budget",
+      requires=("backend_deployment",))
+def check_plio_streams(context: LintContext) -> Iterable[Diagnostic]:
+    deployment = context.backend_deployment
+    needed = deployment.streams_needed
+    budget = deployment.device.plio_streams
+    if needed > budget:
+        yield Diagnostic(
+            code="BK201", severity=Severity.ERROR,
+            message=(
+                f"deployment needs {needed} PLIO streams "
+                f"({deployment.point.tile_columns} tile columns x 3 wind "
+                f"fields), but the device exposes {budget}"
+            ),
+            location=_location(deployment),
+            hint="reduce tile_columns or share streams across columns "
+                 "(halving per-column feed)",
+        )
+
+
+@rule("BK202", name="tile-memory-overflow", family="backend",
+      description="the memory-tile working set must fit local plus "
+                  "neighbour tile memory",
+      requires=("backend_deployment",))
+def check_tile_memory(context: LintContext) -> Iterable[Diagnostic]:
+    deployment = context.backend_deployment
+    needed = deployment.tile_bytes_needed
+    usable = deployment.device.tile_usable_bytes
+    if needed > usable:
+        yield Diagnostic(
+            code="BK202", severity=Severity.ERROR,
+            message=(
+                f"memory-tile working set is {needed} bytes "
+                f"({deployment.buffers} buffer(s) of "
+                f"{deployment.point.vector_lanes} lanes x "
+                f"{deployment.grid.nz}-cell columns), but only {usable} "
+                f"bytes of local+neighbour tile memory are reachable"
+            ),
+            location=_location(deployment),
+            hint="narrow the vector width, drop to single buffering, or "
+                 "shorten the resident column window",
+        )
+
+
+@rule("BK301", name="array-geometry", family="backend",
+      description="the deployment must fit the engine-array geometry",
+      requires=("backend_deployment",))
+def check_array_geometry(context: LintContext) -> Iterable[Diagnostic]:
+    deployment = context.backend_deployment
+    point = deployment.point
+    device = deployment.device
+    if not 1 <= point.tile_columns <= device.columns:
+        yield Diagnostic(
+            code="BK301", severity=Severity.ERROR,
+            message=(
+                f"tile_columns = {point.tile_columns} outside the array's "
+                f"1..{device.columns} columns"
+            ),
+            location=_location(deployment),
+        )
+    if not 1 <= point.engines_per_column <= device.rows:
+        yield Diagnostic(
+            code="BK301", severity=Severity.ERROR,
+            message=(
+                f"engines_per_column = {point.engines_per_column} outside "
+                f"the array's 1..{device.rows} rows"
+            ),
+            location=_location(deployment),
+        )

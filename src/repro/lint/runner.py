@@ -29,6 +29,7 @@ _BUILTIN_RULE_MODULES = (
     "repro.lint.rules_resource",
     "repro.lint.rules_accounting",
     "repro.lint.rules_analyze",
+    "repro.lint.rules_backend",
 )
 
 

@@ -82,7 +82,7 @@ class AdmissionController:
         self.retry = retry
         self.max_queue_depth = max_queue_depth
         self.overload_backlog_seconds = overload_backlog_seconds
-        self._quotes: dict[tuple[str, tuple[int, int, int], str],
+        self._quotes: dict[tuple[str, tuple[int, int, int], str, str | None],
                            JobQuote] = {}
         self.admitted = 0
         self.degraded = 0
@@ -93,11 +93,16 @@ class AdmissionController:
 
     def quote_for(self, device: Any, spec: JobSpec,
                   mode: str) -> JobQuote:
-        """Memoised fault-free quote for one device type x job shape."""
-        key = (device.name, spec.dims(), mode)
+        """Memoised fault-free quote for one device type x job shape.
+
+        Scenario jobs key (and price) separately: the scenario's
+        operation intensity stretches kernel-busy time.
+        """
+        key = (device.name, spec.dims(), mode, spec.scenario)
         quote = self._quotes.get(key)
         if quote is None:
-            quote = quote_job(device, spec.grid(), mode=mode)
+            quote = quote_job(device, spec.grid(), mode=mode,
+                              flops_scale=spec.flops_scale())
             self._quotes[key] = quote
         return quote
 

@@ -47,6 +47,9 @@ class PoissonLoad:
     deadline_seconds: float | None = None
     #: distinct wind seeds cycled across jobs (< jobs => cache hits).
     distinct_inputs: int = 8
+    #: registered workload-suite scenario every job serves (None =
+    #: plain advection); admission quotes scale by its flops_scale.
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -72,7 +75,7 @@ class PoissonLoad:
             )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "jobs": self.jobs,
             "rate_hz": self.rate_hz,
             "seed": self.seed,
@@ -83,6 +86,9 @@ class PoissonLoad:
             "deadline_seconds": self.deadline_seconds,
             "distinct_inputs": self.distinct_inputs,
         }
+        if self.scenario is not None:
+            data["scenario"] = self.scenario
+        return data
 
 
 def build_arrivals(load: PoissonLoad) -> list[tuple[float, JobSpec]]:
@@ -102,6 +108,7 @@ def build_arrivals(load: PoissonLoad) -> list[tuple[float, JobSpec]]:
             mode="exact" if exact else "fast",
             allow_degrade=not no_degrade,
             deadline_seconds=load.deadline_seconds,
+            scenario=load.scenario,
         )
         arrivals.append((now, spec))
     return arrivals

@@ -140,8 +140,12 @@ class DeviceLane:
         or fails the job.
         """
         grid = spec.grid()
+        # Scenario jobs stretch kernel-busy time by the scenario's
+        # operation intensity — the same scaling the admission quote
+        # applied, so quote == bill fault-free.
+        scale = spec.flops_scale()
         if self.is_cpu:
-            return self.device.kernel_time(grid), 0
+            return self.device.kernel_time(grid) * scale, 0
         from repro.runtime.simulator import simulate_schedule
 
         session = self.session_for(grid)
@@ -153,8 +157,12 @@ class DeviceLane:
             queue, fault_plan=fault_plan, retry=retry,
             watchdog_seconds=watchdog_seconds,
         )
-        seconds = schedule.makespan + getattr(self.device,
-                                              "setup_seconds", 0.0)
+        kernel_busy = sum(seconds for resource, seconds
+                          in schedule.busy.items()
+                          if resource.split(":")[-1].startswith("kernel"))
+        seconds = (schedule.makespan
+                   + getattr(self.device, "setup_seconds", 0.0)
+                   + kernel_busy * (scale - 1.0))
         return seconds, len(schedule.retries)
 
     def to_dict(self) -> dict[str, Any]:

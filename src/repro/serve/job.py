@@ -71,6 +71,11 @@ class JobSpec:
     allow_degrade: bool = True
     #: modelled-seconds deadline measured from submission (None = none).
     deadline_seconds: float | None = None
+    #: registered workload-suite scenario to serve instead of plain
+    #: advection (None = the default advection kernel).  The scenario
+    #: supplies the input generator, the numeric kernel, and — via its
+    #: operation-intensity ``flops_scale`` — the admission price.
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -85,14 +90,42 @@ class JobSpec:
                 f"job {self.job_id}: deadline must be positive, "
                 f"got {self.deadline_seconds}"
             )
+        if self.scenario is not None:
+            from repro.errors import ConfigurationError
+            from repro.scenarios import get as get_scenario
+
+            try:
+                get_scenario(self.scenario)
+            except ConfigurationError as error:
+                raise AdmissionError(
+                    f"job {self.job_id}: {error}") from error
 
     def grid(self) -> Grid:
         return Grid(self.nx, self.ny, self.nz)
 
     def fields(self) -> FieldSet:
-        """Deterministically regenerate this job's input wind fields."""
+        """Deterministically regenerate this job's input field set.
+
+        Scenario jobs use the scenario's own wind generator and boundary
+        variant (first batch); plain jobs draw the default random wind.
+        """
+        if self.scenario is not None:
+            from repro.scenarios import get as get_scenario
+
+            return get_scenario(self.scenario).make_fields(
+                self.grid(), seed=self.seed)
         return random_wind(self.grid(), seed=self.seed,
                            magnitude=self.magnitude)
+
+    def flops_scale(self) -> float:
+        """Operation intensity relative to the advection kernel (1.0
+        for plain jobs) — the admission controller and the device lanes
+        both scale kernel-busy time by this, so quote == bill."""
+        if self.scenario is None:
+            return 1.0
+        from repro.scenarios import get as get_scenario
+
+        return get_scenario(self.scenario).flops_scale
 
     def dims(self) -> tuple[int, int, int]:
         return (self.nx, self.ny, self.nz)

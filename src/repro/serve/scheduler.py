@@ -186,6 +186,11 @@ class FleetScheduler:
         now = self.clock.now
         fields = spec.fields()
         fingerprint = fingerprint_fields(fields)
+        if spec.scenario is not None:
+            # A scenario job's numbers come from a different kernel, so
+            # its results must never collide with an advection job that
+            # happens to carry identical input bytes.
+            fingerprint = f"{spec.scenario}:{fingerprint}"
 
         entry = self.cache.get(fingerprint, spec.mode)
         if entry is not None:
@@ -467,17 +472,27 @@ class FleetScheduler:
         Sources always come from the device-independent functional
         path, so the checksum is a pure function of the input — the
         invariant that makes resharding and degradation bit-identical
-        by construction.
+        by construction.  Scenario jobs dispatch to the scenario's own
+        kernel (reference numerics; its engine for exact-tier cycles).
         """
-        config = serve_config(record.spec.grid())
-        sources = execute_chunked(config, record.fields)
-        checksum = checksum_sources(sources)
         stats_cycles: int | None = None
-        if mode == "exact":
-            from repro.kernel.simulate import simulate_kernel
+        if record.spec.scenario is not None:
+            from repro.scenarios import get as get_scenario
 
-            sim = simulate_kernel(config, record.fields, mode="exact")
-            stats_cycles = sim.total_cycles
+            scenario = get_scenario(record.spec.scenario)
+            sources = scenario.kernel.reference(record.fields)
+            if mode == "exact":
+                stats_cycles = scenario.kernel.run(
+                    record.fields, mode="exact")[2]
+        else:
+            config = serve_config(record.spec.grid())
+            sources = execute_chunked(config, record.fields)
+            if mode == "exact":
+                from repro.kernel.simulate import simulate_kernel
+
+                sim = simulate_kernel(config, record.fields, mode="exact")
+                stats_cycles = sim.total_cycles
+        checksum = checksum_sources(sources)
         self.cache.put(record.fingerprint, mode,
                        CacheEntry(checksum=checksum, sources=sources,
                                   stats_cycles=stats_cycles))

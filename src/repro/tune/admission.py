@@ -108,19 +108,26 @@ class JobQuote:
 
 
 def quote_job(device: Any, grid: Grid, *, mode: str = "fast",
-              x_chunks: int = SERVE_X_CHUNKS) -> JobQuote:
-    """Price one advection job on one device model, fault-free.
+              x_chunks: int = SERVE_X_CHUNKS,
+              flops_scale: float = 1.0) -> JobQuote:
+    """Price one job on one device model, fault-free.
 
     CPU baselines run host-resident (no transfers); accelerator quotes
     simulate the overlapped schedule the lane will actually execute, so
-    quote and bill agree to the float.
+    quote and bill agree to the float.  ``flops_scale`` is the served
+    kernel's operation intensity relative to advection (scenario jobs
+    pass ``scenario.flops_scale``): kernel-busy time stretches by it,
+    transfer time does not — data movement is per-cell, not per-op.
     """
     if mode not in SERVE_MODES:
         raise TuneError(
             f"unknown service mode {mode!r}; known: {list(SERVE_MODES)}"
         )
+    if not flops_scale > 0:
+        raise TuneError(f"flops_scale must be > 0, got {flops_scale}")
     if isinstance(device, CPUModel):
-        seconds = device.kernel_time(grid)
+        # Host-resident: the whole service time is kernel time.
+        seconds = device.kernel_time(grid) * flops_scale
         return JobQuote(device=device.name, mode=mode,
                         service_seconds=seconds, transfer_seconds=0.0,
                         kernel_seconds=seconds)
@@ -134,6 +141,7 @@ def quote_job(device: Any, grid: Grid, *, mode: str = "fast",
                         if resource.startswith("pcie"))
     setup = getattr(device, "setup_seconds", 0.0)
     return JobQuote(device=device.name, mode=mode,
-                    service_seconds=schedule.makespan + setup,
+                    service_seconds=(schedule.makespan + setup
+                                     + kernel_busy * (flops_scale - 1.0)),
                     transfer_seconds=transfer_busy,
-                    kernel_seconds=kernel_busy)
+                    kernel_seconds=kernel_busy * flops_scale)

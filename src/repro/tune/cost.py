@@ -57,9 +57,14 @@ def _rounded(value: float) -> float:
 
 @dataclass(frozen=True)
 class Evaluation:
-    """Everything the cost model says about one candidate point."""
+    """Everything the cost model says about one candidate point.
 
-    point: TunePoint
+    ``point`` is a :class:`TunePoint` on the FPGA backend; other
+    backends store their own point type (duck-typed: ``key()``,
+    ``to_dict()``, ``num_kernels``, and a total order).
+    """
+
+    point: Any
     feasible: bool
     reject_codes: tuple[str, ...] = ()
     reject_reason: str = ""
@@ -133,7 +138,7 @@ class Evaluation:
         }
 
 
-def _infeasible(point: TunePoint, codes: tuple[str, ...],
+def _infeasible(point: Any, codes: tuple[str, ...],
                 reason: str) -> Evaluation:
     return Evaluation(point=point, feasible=False, reject_codes=codes,
                       reject_reason=reason)

@@ -21,9 +21,8 @@ searches are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from itertools import product
-from typing import Iterator
 
+from repro.backend.space import AxisSpace
 from repro.core.grid import Grid
 from repro.errors import TuneError
 from repro.hardware.device import FPGADevice
@@ -106,8 +105,13 @@ class TunePoint:
 
 
 @dataclass(frozen=True)
-class ParameterSpace:
-    """The cross product of per-axis candidate values."""
+class ParameterSpace(AxisSpace):
+    """The cross product of per-axis candidate values.
+
+    The space algebra (enumeration, mixed-radix indexing, single-axis
+    neighbourhoods) comes from :class:`repro.backend.space.AxisSpace`,
+    the surface every backend's tuner space shares.
+    """
 
     chunk_widths: tuple[int, ...]
     num_kernels: tuple[int, ...]
@@ -118,20 +122,18 @@ class ParameterSpace:
     overlapped: tuple[bool, ...]
 
     def __post_init__(self) -> None:
-        for name in ("chunk_widths", "num_kernels", "stream_depths",
-                     "precisions", "memories", "x_chunks", "overlapped"):
-            axis = getattr(self, name)
-            if not axis:
-                raise TuneError(f"parameter axis {name!r} is empty")
-            if len(set(axis)) != len(axis):
-                raise TuneError(f"parameter axis {name!r} has duplicates")
+        self.validate_axes()
 
-    @property
-    def size(self) -> int:
-        return (len(self.chunk_widths) * len(self.num_kernels)
-                * len(self.stream_depths) * len(self.precisions)
-                * len(self.memories) * len(self.x_chunks)
-                * len(self.overlapped))
+    def _axis_fields(self) -> dict[str, tuple]:
+        return {
+            "chunk_widths": self.chunk_widths,
+            "num_kernels": self.num_kernels,
+            "stream_depths": self.stream_depths,
+            "precisions": self.precisions,
+            "memories": self.memories,
+            "x_chunks": self.x_chunks,
+            "overlapped": self.overlapped,
+        }
 
     def axes(self) -> dict[str, tuple]:
         """Axis name -> candidate values, in TunePoint field order."""
@@ -145,49 +147,8 @@ class ParameterSpace:
             "overlapped": self.overlapped,
         }
 
-    def points(self) -> Iterator[TunePoint]:
-        """Every point, in deterministic lexicographic axis order."""
-        for values in product(*self.axes().values()):
-            yield TunePoint(*values)
-
-    def point_at(self, index: int) -> TunePoint:
-        """The ``index``-th point of :meth:`points` without materialising.
-
-        Treats the space as a mixed-radix number, most-significant axis
-        first — the same order ``points()`` yields.
-        """
-        if not 0 <= index < self.size:
-            raise TuneError(
-                f"point index {index} outside space of {self.size}"
-            )
-        axes = list(self.axes().values())
-        chosen = []
-        for axis in reversed(axes):
-            index, digit = divmod(index, len(axis))
-            chosen.append(axis[digit])
-        return TunePoint(*reversed(chosen))
-
-    def neighbours(self, point: TunePoint) -> list[TunePoint]:
-        """Points one step away along a single axis (for local search)."""
-        out: list[TunePoint] = []
-        values = point.to_dict()
-        for name, axis in self.axes().items():
-            try:
-                at = axis.index(values[name])
-            except ValueError:
-                raise TuneError(
-                    f"point {point.key()} is not on the space's "
-                    f"{name} axis {axis}"
-                ) from None
-            for step in (-1, 1):
-                if 0 <= at + step < len(axis):
-                    moved = dict(values)
-                    moved[name] = axis[at + step]
-                    out.append(TunePoint(**moved))
-        return out
-
-    def to_dict(self) -> dict:
-        return {name: list(axis) for name, axis in self.axes().items()}
+    def _make_point(self, **values: object) -> TunePoint:
+        return TunePoint(**values)  # type: ignore[arg-type]
 
     @classmethod
     def derive(cls, device: FPGADevice, grid: Grid, *,

@@ -31,11 +31,14 @@ from repro.errors import TuneError
 from repro.hardware.device import FPGADevice
 from repro.hardware.devices import device_by_name
 from repro.tune.cache import EvaluationCache
-from repro.tune.cost import OBJECTIVES, CostModel, Evaluation
+from repro.tune.cost import OBJECTIVES, Evaluation
 from repro.tune.measure import MeasuredResult, measure_candidates
 from repro.tune.pareto import pareto_front
-from repro.tune.space import ParameterSpace, TunePoint
 from repro.tune.strategies import make_strategy
+
+#: Backend whose behaviour predates the backend seam; reports omit the
+#: backend key for it so pre-backend golden fixtures stay byte-identical.
+_DEFAULT_BACKEND = "fpga_shiftbuffer"
 
 if TYPE_CHECKING:
     from repro.observe.metrics import MetricRegistry
@@ -54,13 +57,14 @@ class TuneReport:
     objective: str
     seed: int
     budget: int
-    space: ParameterSpace
+    space: Any
     evaluations: list[Evaluation]
     front: list[Evaluation]
     best: Evaluation | None
     measured: list[MeasuredResult] = field(default_factory=list)
     cache_hits: int = 0
     context: dict[str, Any] = field(default_factory=dict)
+    backend: str = _DEFAULT_BACKEND
 
     @property
     def feasible_count(self) -> int:
@@ -75,6 +79,14 @@ class TuneReport:
         return max((m.relative_error for m in self.measured), default=0.0)
 
     def to_dict(self) -> dict[str, Any]:
+        payload = self._base_dict()
+        if self.backend != _DEFAULT_BACKEND:
+            # Pre-backend golden fixtures pin the schema without this
+            # key; only non-default backends stamp themselves.
+            payload["backend"] = self.backend
+        return payload
+
+    def _base_dict(self) -> dict[str, Any]:
         return {
             "device": self.device,
             "grid": {"nx": self.grid.nx, "ny": self.grid.ny,
@@ -112,10 +124,11 @@ def _resolve_device(device: "FPGADevice | str") -> FPGADevice:
     return resolved
 
 
-def tune(device: "FPGADevice | str", grid: Grid, *,
+def tune(device: "FPGADevice | str | None", grid: Grid, *,
+         backend: str | None = None,
          strategy: str = "greedy", objective: str = "kernel",
          budget: int | None = None, seed: int = 0,
-         space: ParameterSpace | None = None,
+         space: Any | None = None,
          wide_precision: bool = False,
          flops_scale: float = 1.0,
          cache_path: "str | pathlib.Path | None" = None,
@@ -127,8 +140,12 @@ def tune(device: "FPGADevice | str", grid: Grid, *,
     Parameters
     ----------
     device:
-        FPGA device fixture or catalog alias (``"u280"``,
-        ``"stratix10"``).
+        Device fixture or catalog alias (``"u280"``, ``"stratix10"``,
+        ``"vc1902"``); ``None`` resolves the backend's default device.
+    backend:
+        Registered backend id (``"fpga_shiftbuffer"``, ``"versal_aie"``);
+        ``None`` uses the default FPGA shift-buffer backend, preserving
+        the pre-backend behaviour exactly.
     grid:
         The problem the deployment must serve.
     strategy:
@@ -160,33 +177,53 @@ def tune(device: "FPGADevice | str", grid: Grid, *,
     tracer / metrics:
         Optional observability sinks (see module docstring).
     """
-    fpga = _resolve_device(device)
+    # Deferred import: repro.backend's built-in modules import this
+    # package's cost/space layers, so the registry is only reached at
+    # call time, never at module import.
+    from repro.backend import get_backend
+
+    target = get_backend(backend)
+    if target.id == _DEFAULT_BACKEND:
+        # Preserve the pre-backend resolution path (and its TuneError
+        # for non-FPGA catalog devices) exactly.
+        fpga = _resolve_device(device if device is not None
+                               else target.default_device)
+    else:
+        fpga = target.resolve_device(device)
     if objective not in OBJECTIVES:
         raise TuneError(
             f"unknown objective {objective!r}; known: {sorted(OBJECTIVES)}"
         )
     if space is None:
-        space = ParameterSpace.derive(fpga, grid,
-                                      wide_precision=wide_precision)
+        space = target.parameter_space(fpga, grid,
+                                       wide_precision=wide_precision)
     if budget is None:
         budget = space.size
     if budget < 1:
         raise TuneError(f"budget must be >= 1, got {budget}")
     if measure_top_k < 0:
         raise TuneError(f"measure_top_k must be >= 0, got {measure_top_k}")
+    if measure_top_k and target.id != _DEFAULT_BACKEND:
+        raise TuneError(
+            f"measured refinement runs the shift-buffer simulation tier "
+            f"and is only available on the {_DEFAULT_BACKEND!r} backend, "
+            f"not {target.id!r}"
+        )
 
-    model = CostModel(fpga, grid, flops_scale=flops_scale)
+    model = target.cost_model(fpga, grid, flops_scale=flops_scale)
     grid_key = f"{grid.nx}x{grid.ny}x{grid.nz}"
     if flops_scale != 1.0:
         # Scaled scenarios must not share cached GFLOPS with advection.
         grid_key += f"@x{flops_scale:g}"
-    cache = EvaluationCache(cache_path, device=fpga.name, grid_key=grid_key)
+    cache = EvaluationCache(cache_path, backend=target.id,
+                            device=fpga.name, grid_key=grid_key,
+                            point_factory=target.point_from_dict)
 
     trace_on = tracer is not None and tracer.enabled
     metrics_on = metrics is not None and metrics.enabled
     eval_index = 0
 
-    def instrumented_evaluate(point: TunePoint) -> Evaluation:
+    def instrumented_evaluate(point: Any) -> Evaluation:
         nonlocal eval_index
         cached = cache.get(point)
         if cached is not None:
@@ -262,6 +299,7 @@ def tune(device: "FPGADevice | str", grid: Grid, *,
         measured=measured,
         cache_hits=cache.hits,
         context=model.describe(),
+        backend=target.id,
     )
 
 
@@ -271,6 +309,8 @@ def render_text(report: TuneReport) -> str:
         f"tune: {report.device} | grid "
         f"{report.grid.nx}x{report.grid.ny}x{report.grid.nz} "
         f"({report.grid.num_cells:,} cells)",
+        *([f"backend: {report.backend}"]
+          if report.backend != _DEFAULT_BACKEND else []),
         f"strategy {report.strategy} (seed {report.seed}, budget "
         f"{report.budget}) maximising {report.objective}; "
         f"space {report.space.size} points",

@@ -1,0 +1,74 @@
+"""The cross-architecture Pareto front (GFLOPS vs watts)."""
+
+import pytest
+
+from repro.backend import get_backend
+from repro.backend.compare import ArchitecturePoint, cross_architecture_front
+from repro.backend.versal_aie import VERSAL_VC1902_DEVICE
+from repro.core.grid import Grid
+
+GRID = Grid(nx=64, ny=64, nz=64)
+
+
+def versal_best():
+    backend = get_backend("versal_aie")
+    model = backend.cost_model(VERSAL_VC1902_DEVICE, GRID)
+    return model.evaluate(backend.canonical_point(VERSAL_VC1902_DEVICE))
+
+
+class TestFront:
+    def test_all_five_architectures_present(self):
+        front = cross_architecture_front(versal_best(), GRID)
+        assert [p.architecture for p in front] == \
+            ["versal", "gpu", "u280", "stratix10", "cpu"]
+
+    def test_versal_is_pareto_optimal(self):
+        front = cross_architecture_front(versal_best(), GRID)
+        by_arch = {p.architecture: p for p in front}
+        assert by_arch["versal"].on_front
+        assert by_arch["versal"].kernel_gflops == \
+            pytest.approx(versal_best().kernel_gflops)
+        # The fastest entry is trivially on the front; dominated entries
+        # (slower and hungrier than some other point) are not.
+        fastest = front[0]
+        assert fastest.on_front
+        assert not by_arch["cpu"].on_front  # dominated by the U280
+
+    def test_front_without_versal(self):
+        front = cross_architecture_front(None, GRID)
+        assert "versal" not in {p.architecture for p in front}
+        assert len(front) == 4
+
+    def test_flops_scale_rescales_every_architecture(self):
+        base = {p.architecture: p.kernel_gflops
+                for p in cross_architecture_front(None, GRID)}
+        scaled = {p.architecture: p.kernel_gflops
+                  for p in cross_architecture_front(None, GRID,
+                                                    flops_scale=2.0)}
+        # Host models are pure rate scalings; FPGA replicas re-price
+        # but never get faster under a heavier kernel.
+        assert scaled["cpu"] == pytest.approx(2.0 * base["cpu"])
+        assert scaled["gpu"] == pytest.approx(2.0 * base["gpu"])
+
+    def test_dominance_is_strict(self):
+        # Two identical points must both stay on the front (neither
+        # strictly dominates the other).
+        a = ArchitecturePoint("a", "b", "d", 10.0, 5.0)
+        b = ArchitecturePoint("b", "b", "d", 10.0, 5.0)
+        points = [a, b]
+        for entry in points:
+            entry.on_front = not any(
+                other is not entry
+                and other.kernel_gflops >= entry.kernel_gflops
+                and other.watts <= entry.watts
+                and (other.kernel_gflops > entry.kernel_gflops
+                     or other.watts < entry.watts)
+                for other in points
+            )
+        assert a.on_front and b.on_front
+
+    def test_to_dict_rounding(self):
+        entry = cross_architecture_front(versal_best(), GRID)[0].to_dict()
+        assert set(entry) == {"architecture", "backend", "device",
+                              "kernel_gflops", "watts", "gflops_per_watt",
+                              "detail", "on_front"}

@@ -1,0 +1,41 @@
+"""Property: every registered backend prices every registered scenario.
+
+The scenarios CLI's ``--backend`` pricing section and the serve layer's
+admission path both assume any (backend, scenario) pair resolves to a
+feasible deployment on the scenario's small grid.  Hypothesis sweeps
+the full cross product so a new backend or scenario cannot silently
+break the contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.scenarios as scenarios
+from repro.backend import backend_names, get_backend
+
+
+@settings(max_examples=30, deadline=None)
+@given(backend_name=st.sampled_from(backend_names()),
+       scenario_name=st.sampled_from(scenarios.names()))
+def test_every_backend_prices_every_scenario(backend_name, scenario_name):
+    backend = get_backend(backend_name)
+    scenario = scenarios.get(scenario_name)
+    evaluation = backend.price_scenario(scenario)
+    assert evaluation.feasible
+    assert evaluation.kernel_gflops > 0
+    assert evaluation.watts > 0
+    # The priced point must belong to the backend's own design space
+    # (round-trips through the backend's dict codec).
+    assert backend.point_from_dict(evaluation.point.to_dict()) == \
+        evaluation.point
+
+
+@settings(max_examples=20, deadline=None)
+@given(backend_name=st.sampled_from(backend_names()),
+       scenario_name=st.sampled_from(scenarios.names()))
+def test_pricing_is_deterministic(backend_name, scenario_name):
+    backend = get_backend(backend_name)
+    scenario = scenarios.get(scenario_name)
+    first = backend.price_scenario(scenario)
+    second = backend.price_scenario(scenario)
+    assert first.to_dict() == second.to_dict()

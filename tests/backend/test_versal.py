@@ -1,0 +1,241 @@
+"""The Versal AI-engine backend: cost model, BK lint family, roofline."""
+
+import pytest
+
+from repro.backend import BackendError, get_backend
+from repro.backend.versal_aie import (
+    VERSAL_VC1902_DEVICE,
+    VersalCostModel,
+    VersalDevice,
+    VersalPoint,
+    VersalSpace,
+)
+from repro.core.grid import Grid
+from repro.errors import TuneError
+
+GRID = Grid(nx=64, ny=64, nz=64)
+BACKEND = get_backend("versal_aie")
+
+
+def peak_point(**overrides) -> VersalPoint:
+    values = dict(tile_columns=50, engines_per_column=8, vector_lanes=8,
+                  buffering="double")
+    values.update(overrides)
+    return VersalPoint(**values)
+
+
+class TestPoint:
+    def test_key_and_round_trip(self):
+        point = peak_point()
+        assert point.key() == "tc50-ec8-vl8-double"
+        assert BACKEND.point_from_dict(point.to_dict()) == point
+
+    def test_num_kernels_is_tile_columns(self):
+        # The CLI's --expect-kernels anchor reads num_kernels off the
+        # winning point; for Versal that is the active tile columns.
+        assert peak_point(tile_columns=25).num_kernels == 25
+
+    def test_unknown_buffering_rejected(self):
+        with pytest.raises(TuneError, match="buffering"):
+            VersalPoint(tile_columns=1, engines_per_column=1,
+                        vector_lanes=2, buffering="triple")
+
+
+class TestSpace:
+    def test_axes_respect_device_geometry(self):
+        space = VersalSpace.derive(VERSAL_VC1902_DEVICE, GRID)
+        assert max(space.tile_columns) == VERSAL_VC1902_DEVICE.columns
+        assert max(space.engines_per_column) == VERSAL_VC1902_DEVICE.rows
+        assert max(space.vector_lanes) == \
+            VERSAL_VC1902_DEVICE.vector_lanes_max
+        assert space.buffering == ("single", "double")
+
+    def test_small_device_narrows_every_axis(self):
+        small = VersalDevice(
+            name="toy", columns=4, rows=2, clock_ghz=1.0,
+            vector_lanes_max=4, plio_streams=12, plio_bytes_per_cycle=4,
+            tile_local_bytes=32768, tile_neighbour_bytes=32768,
+            static_watts=10.0, engine_watts=0.1, stream_watts=0.01,
+        )
+        space = VersalSpace.derive(small, GRID)
+        assert space.tile_columns == (1, 2, 4)
+        assert space.engines_per_column == (1, 2)
+        assert space.vector_lanes == (2, 4)
+
+    def test_strategies_see_the_axis_space_surface(self):
+        space = VersalSpace.derive(VERSAL_VC1902_DEVICE, GRID)
+        assert space.size == len(list(space.points()))
+        first = space.point_at(0)
+        assert first in set(space.points())
+        assert all(n in set(space.points())
+                   for n in space.neighbours(first))
+
+
+class TestCostModel:
+    def test_peak_point_is_feed_bound_at_projection_rate(self):
+        model = VersalCostModel(VERSAL_VC1902_DEVICE, GRID)
+        evaluation = model.evaluate(peak_point())
+        assert evaluation.feasible
+        assert evaluation.memory_bound  # feed-bound
+        projection = VERSAL_VC1902_DEVICE.projection()
+        assert evaluation.kernel_gflops == pytest.approx(
+            projection.attainable_gflops(GRID.nz), rel=1e-9)
+
+    def test_double_buffering_beats_single(self):
+        model = VersalCostModel(VERSAL_VC1902_DEVICE, GRID)
+        double = model.evaluate(peak_point())
+        single = model.evaluate(peak_point(buffering="single"))
+        assert double.kernel_gflops > single.kernel_gflops
+
+    def test_narrow_vectors_go_compute_bound(self):
+        model = VersalCostModel(VERSAL_VC1902_DEVICE, GRID)
+        narrow = model.evaluate(peak_point(engines_per_column=1,
+                                           vector_lanes=2))
+        assert narrow.feasible
+        assert not narrow.memory_bound
+        assert narrow.kernel_gflops < \
+            model.evaluate(peak_point()).kernel_gflops
+
+    def test_flops_scale_moves_the_balance_point(self):
+        device = VERSAL_VC1902_DEVICE
+        base = VersalCostModel(device, GRID)
+        scaled = VersalCostModel(device, GRID, flops_scale=2.0)
+        assert base.evaluate(peak_point()).memory_bound  # feed-bound
+        heavy = scaled.evaluate(peak_point())
+        # Doubling the ops per cell at a fixed feed rate tips the peak
+        # point over to compute-bound: it lands on the engine ceiling
+        # (engines x lanes x clock), not on twice the feed roofline.
+        assert not heavy.memory_bound
+        compute_peak = device.engines * device.vector_lanes_max \
+            * device.clock_hz / 1e9
+        assert heavy.kernel_gflops == pytest.approx(compute_peak)
+
+    def test_invalid_flops_scale_rejected(self):
+        with pytest.raises(TuneError, match="flops_scale"):
+            VersalCostModel(VERSAL_VC1902_DEVICE, GRID, flops_scale=0.0)
+
+
+class TestBkLintFamily:
+    def lint_codes(self, grid=GRID, **overrides):
+        model = VersalCostModel(VERSAL_VC1902_DEVICE, grid)
+        return model.lint_gate(peak_point(**overrides))
+
+    def test_canonical_deployment_is_clean(self):
+        assert self.lint_codes() == ()
+
+    def test_bk101_non_power_of_two_lanes(self):
+        assert "BK101" in self.lint_codes(vector_lanes=3)
+
+    def test_bk101_lanes_beyond_datapath(self):
+        assert "BK101" in self.lint_codes(vector_lanes=16)
+
+    def test_bk102_single_buffering_is_a_warning_not_a_gate(self):
+        # Single buffering costs throughput but is legal: the gate
+        # (errors only) passes, while a full lint run surfaces BK102.
+        assert self.lint_codes(buffering="single") == ()
+        report = BACKEND.lint(GRID)
+        assert not any(d.code == "BK102" for d in report.warnings)
+        model = VersalCostModel(VERSAL_VC1902_DEVICE, GRID)
+        from repro.lint.registry import LintContext
+        from repro.lint.runner import run_lint
+
+        report = run_lint(LintContext(backend_deployment=model.deployment(
+            peak_point(buffering="single"))))
+        assert any(d.code == "BK102" for d in report.warnings)
+
+    def test_bk201_plio_budget(self):
+        starved = VersalDevice(
+            name="starved", columns=50, rows=8, clock_ghz=1.0,
+            vector_lanes_max=8, plio_streams=90, plio_bytes_per_cycle=4,
+            tile_local_bytes=32768, tile_neighbour_bytes=32768,
+            static_watts=45.0, engine_watts=0.12, stream_watts=0.02,
+        )
+        model = VersalCostModel(starved, GRID)
+        assert "BK201" in model.lint_gate(peak_point())
+        assert "BK201" not in model.lint_gate(peak_point(tile_columns=25))
+
+    def test_bk202_tall_columns_overflow_the_tile(self):
+        # nz=96 at full vector width needs 2 x 3 x 4 x 96 x 4 x 8 =
+        # 73728 bytes against a 65536-byte local+neighbour budget.
+        tall = Grid(nx=64, ny=64, nz=96)
+        assert "BK202" in self.lint_codes(grid=tall)
+        # Narrowing the vectors shrinks the resident window back in.
+        assert "BK202" not in self.lint_codes(grid=tall, vector_lanes=4)
+
+    def test_bk301_geometry(self):
+        assert "BK301" in self.lint_codes(tile_columns=64)
+
+    def test_infeasible_points_reject_with_codes(self):
+        model = VersalCostModel(VERSAL_VC1902_DEVICE,
+                                Grid(nx=64, ny=64, nz=96))
+        evaluation = model.evaluate(peak_point())
+        assert not evaluation.feasible
+        assert evaluation.reject_codes == ("BK202",)
+
+
+class TestBackendSurface:
+    def test_unique_best_point_under_tuning(self):
+        from repro.tune.tuner import tune
+
+        report = tune(None, GRID, backend="versal_aie", strategy="grid")
+        assert report.backend == "versal_aie"
+        assert report.best is not None
+        assert report.best.point == peak_point()
+        # Exactly one optimum: nothing else on the front matches its
+        # kernel rate at equal-or-lower power.
+        ties = [e for e in report.front
+                if e.kernel_gflops == report.best.kernel_gflops
+                and e.watts <= report.best.watts]
+        assert ties == [report.best]
+
+    def test_roofline_projection_consistency(self):
+        roofline = BACKEND.roofline()
+        assert roofline["projection_consistent"]
+        assert roofline["attainable_gflops"] == pytest.approx(
+            roofline["projection_attainable_gflops"], rel=1e-9)
+        assert roofline["feed_bound"]
+
+    def test_roofline_tracks_column_height(self):
+        # Taller columns amortise the column-edge operations, so ops per
+        # cell falls and so does the feed-bound attainable rate.
+        shorter = BACKEND.roofline(column_height=32)
+        taller = BACKEND.roofline(column_height=128)
+        assert shorter["projection_consistent"]
+        assert taller["projection_consistent"]
+        assert shorter["attainable_gflops"] != \
+            taller["attainable_gflops"]
+
+    def test_lint_entry_point_uses_the_canonical_deployment(self):
+        report = BACKEND.lint(GRID, num_kernels=25)
+        assert "tc25-ec8-vl8-double" in report.subject
+        assert not report.errors
+
+    def test_structural_graph_is_verifier_clean(self):
+        graph = BACKEND.structural_graph(GRID)
+        graph.validate()
+        assert not graph.structural_diagnostics()
+        names = [stage.name for stage in graph.stages]
+        assert "plio_u" in names and "mem_tile_out" in names
+
+    def test_describe_carries_the_cross_check(self):
+        model = VersalCostModel(VERSAL_VC1902_DEVICE, GRID)
+        context = model.describe()
+        assert context["projection_consistent"]
+        assert context["model_attainable_gflops"] == \
+            context["projection_attainable_gflops"]
+
+    def test_price_scenario_infeasible_raises_backend_error(self):
+        class Starved:
+            pass
+
+        starved = VersalDevice(
+            name="starved", columns=1, rows=1, clock_ghz=1.0,
+            vector_lanes_max=2, plio_streams=3, plio_bytes_per_cycle=4,
+            tile_local_bytes=16, tile_neighbour_bytes=16,
+            static_watts=1.0, engine_watts=0.1, stream_watts=0.01,
+        )
+        from repro.scenarios import get as get_scenario
+
+        scenario = get_scenario("diffusion")
+        with pytest.raises(BackendError, match="no feasible deployment"):
+            BACKEND.price_scenario(scenario, device=starved)

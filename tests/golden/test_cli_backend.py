@@ -1,0 +1,47 @@
+"""Golden snapshots: the ``--backend versal_aie`` CLI report surfaces.
+
+The Versal tune report (with its cross-architecture Pareto section) and
+the BK-family lint report are consumed by the CI backend-smoke job, so
+their exact JSON shape is pinned here alongside the pre-backend U280 and
+Stratix 10 fixtures — which must never change when a run routes through
+the backend seam.  Regenerate with ``REPRO_UPDATE_GOLDEN=1`` after an
+intentional model or schema change.
+"""
+
+import json
+
+from repro.cli import main
+
+from .conftest import as_json
+
+
+class TestBackendSnapshots:
+    def test_tune_json_versal_greedy(self, golden, capsys):
+        assert main(["tune", "--backend", "versal_aie", "--strategy",
+                     "greedy", "--seed", "0", "--budget", "120",
+                     "--nx", "64", "--ny", "64", "--nz", "64",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "versal_aie"
+        assert [p["architecture"] for p in payload["cross_architecture"]] \
+            == ["versal", "gpu", "u280", "stratix10", "cpu"]
+        golden("cli_tune_versal.json", as_json(payload))
+
+    def test_lint_json_versal(self, golden, capsys):
+        assert main(["lint", "--backend", "versal_aie",
+                     "--nx", "64", "--ny", "64", "--nz", "64",
+                     "--kernels", "50", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        golden("cli_lint_versal.json", as_json(payload))
+
+    def test_explicit_default_backend_is_byte_identical(self, capsys):
+        """``--backend fpga_shiftbuffer`` must not perturb the report."""
+        argv = ["tune", "--device", "u280", "--strategy", "anneal",
+                "--seed", "7", "--budget", "48",
+                "--nx", "16", "--ny", "64", "--nz", "16", "--json"]
+        assert main(argv) == 0
+        implicit = capsys.readouterr().out
+        assert main(argv[:1] + ["--backend", "fpga_shiftbuffer"]
+                    + argv[1:]) == 0
+        explicit = capsys.readouterr().out
+        assert implicit == explicit

@@ -77,9 +77,54 @@ class TestPersistence:
 
         # Saving the second scope must not erase the first.
         data = json.loads(path.read_text())
-        assert set(data["scopes"]) == {"u280/g", "stratix10/g"}
+        assert set(data["scopes"]) == {"fpga_shiftbuffer/u280/g",
+                                       "fpga_shiftbuffer/stratix10/g"}
         reloaded = EvaluationCache(path, device="u280", grid_key="g")
         assert len(reloaded) == 1
+
+    def test_backends_do_not_share_entries(self, tmp_path, model):
+        path = tmp_path / "cache.json"
+        fpga = EvaluationCache(path, device="u280", grid_key="g")
+        fpga.put(model.evaluate(point()))
+        fpga.save()
+
+        # Same device/grid labels under a different backend id must see
+        # an empty scope: a cached U280 evaluation can never be served
+        # for a Versal query.
+        versal = EvaluationCache(path, backend="versal_aie",
+                                 device="u280", grid_key="g")
+        assert len(versal) == 0
+        versal.save()
+        data = json.loads(path.read_text())
+        assert set(data["scopes"]) == {"fpga_shiftbuffer/u280/g",
+                                       "versal_aie/u280/g"}
+
+    def test_legacy_schema2_migrates(self, tmp_path, model):
+        """A pre-backend cache file loads under the default backend."""
+        path = tmp_path / "cache.json"
+        evaluation = model.evaluate(point())
+        path.write_text(json.dumps({
+            "schema": 2,
+            "scopes": {
+                "u280/g": {evaluation.point.key(): evaluation.to_dict()},
+                "stratix10/g": {},
+            },
+        }))
+        migrated = EvaluationCache(path, device="u280", grid_key="g")
+        assert len(migrated) == 1
+        assert migrated.get(evaluation.point).to_dict() == evaluation.to_dict()
+
+        # Saving rewrites the file as schema 3 with every legacy scope
+        # re-keyed under the default backend.
+        migrated.save()
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        assert set(data["scopes"]) == {"fpga_shiftbuffer/u280/g",
+                                       "fpga_shiftbuffer/stratix10/g"}
+        # A non-default backend still sees nothing after migration.
+        versal = EvaluationCache(path, backend="versal_aie",
+                                 device="u280", grid_key="g")
+        assert len(versal) == 0
 
     def test_schema_mismatch_rejected(self, tmp_path):
         path = tmp_path / "cache.json"
